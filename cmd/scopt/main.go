@@ -1,0 +1,113 @@
+// Command scopt runs the S/C optimizer as a filter: a JSON problem on
+// stdin, a JSON plan on stdout. This is how external pipeline tools (dbt,
+// Airflow operators) integrate the optimizer without linking Go code.
+//
+// Input format:
+//
+//	{
+//	  "nodes": [{"name": "mv_a", "size": 1073741824, "score": 12.5}, ...],
+//	  "edges": [["mv_a", "mv_b"], ...],
+//	  "memory": 1717986918,
+//	  "flag_algorithm": "mkp",   // optional
+//	  "order_algorithm": "ma-dfs" // optional
+//	}
+//
+// Scores may be omitted (0); pass "estimate_scores": true to derive them
+// from sizes with the paper's device profile.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	sc "github.com/shortcircuit-db/sc"
+)
+
+type inputNode struct {
+	Name  string  `json:"name"`
+	Size  int64   `json:"size"`
+	Score float64 `json:"score"`
+}
+
+type input struct {
+	Nodes          []inputNode `json:"nodes"`
+	Edges          [][2]string `json:"edges"`
+	Memory         int64       `json:"memory"`
+	FlagAlgorithm  string      `json:"flag_algorithm"`
+	OrderAlgorithm string      `json:"order_algorithm"`
+	EstimateScores bool        `json:"estimate_scores"`
+	Seed           int64       `json:"seed"`
+}
+
+type output struct {
+	Order      []string `json:"order"`
+	Flagged    []string `json:"flagged"`
+	Score      float64  `json:"score_seconds"`
+	PeakMemory int64    `json:"peak_memory_bytes"`
+	Iterations int      `json:"iterations"`
+	ElapsedUS  int64    `json:"elapsed_us"`
+}
+
+func main() {
+	var in input
+	dec := json.NewDecoder(os.Stdin)
+	if err := dec.Decode(&in); err != nil {
+		fail("decode input: %v", err)
+	}
+	b := sc.NewGraphBuilder()
+	ids := make(map[string]sc.NodeID, len(in.Nodes))
+	for _, n := range in.Nodes {
+		if _, dup := ids[n.Name]; dup {
+			fail("duplicate node %q", n.Name)
+		}
+		ids[n.Name] = b.Node(n.Name, n.Size, n.Score)
+	}
+	for _, e := range in.Edges {
+		p, ok := ids[e[0]]
+		if !ok {
+			fail("edge references unknown node %q", e[0])
+		}
+		c, ok := ids[e[1]]
+		if !ok {
+			fail("edge references unknown node %q", e[1])
+		}
+		if err := b.Edge(p, c); err != nil {
+			fail("%v", err)
+		}
+	}
+	p := b.Problem(in.Memory)
+	if in.EstimateScores {
+		sc.EstimateScores(p, sc.PaperProfile())
+	}
+	plan, stats, err := sc.Optimize(p, sc.Options{
+		FlagAlgorithm:  in.FlagAlgorithm,
+		OrderAlgorithm: in.OrderAlgorithm,
+		Seed:           in.Seed,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	out := output{
+		Score:      stats.Score,
+		PeakMemory: stats.PeakMemory,
+		Iterations: stats.Iterations,
+		ElapsedUS:  stats.Elapsed.Microseconds(),
+	}
+	for _, id := range plan.Order {
+		out.Order = append(out.Order, p.G.Name(id))
+	}
+	for _, id := range plan.FlaggedIDs() {
+		out.Flagged = append(out.Flagged, p.G.Name(id))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail("encode output: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scopt: "+format+"\n", args...)
+	os.Exit(1)
+}

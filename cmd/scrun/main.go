@@ -1,0 +1,82 @@
+// Command scrun simulates one of the paper's TPC-DS workloads under a
+// chosen method and prints the plan and execution timeline.
+//
+// Usage:
+//
+//	scrun -workload "I/O 1" -scale 100 -variant tpcds -mem 0.016 -method sc
+//
+// Methods: noopt, lru, random, greedy, ratio, sc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/shortcircuit-db/sc/internal/bench"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/sim"
+	"github.com/shortcircuit-db/sc/internal/tpcds"
+)
+
+func main() {
+	workload := flag.String("workload", "I/O 1", `workload: "I/O 1".."I/O 3", "Compute 1", "Compute 2"`)
+	scale := flag.Int("scale", 100, "dataset scale in GB")
+	variant := flag.String("variant", "tpcds", "dataset variant: tpcds or tpcdsp")
+	memFrac := flag.Float64("mem", 0.016, "Memory Catalog as a fraction of data size")
+	method := flag.String("method", "sc", "method: noopt, lru, random, greedy, ratio, sc")
+	workers := flag.Int("workers", 1, "cluster worker count")
+	flag.Parse()
+
+	v := tpcds.Regular()
+	if strings.EqualFold(*variant, "tpcdsp") {
+		v = tpcds.Partitioned()
+	}
+	var m bench.Method
+	found := false
+	for _, cand := range bench.Methods() {
+		key := strings.ToLower(strings.Fields(cand.Name)[0])
+		if strings.HasPrefix(key, strings.ToLower(*method)) || (*method == "sc" && strings.HasPrefix(cand.Name, "S/C")) {
+			m, found = cand, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "scrun: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	d := costmodel.PaperProfile()
+	scaleBytes := tpcds.ScaleBytes(*scale)
+	mem := tpcds.MemoryForFraction(scaleBytes, *memFrac)
+	w, p, err := tpcds.Build(tpcds.WorkloadName(*workload), scaleBytes, v, mem, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scrun:", err)
+		os.Exit(1)
+	}
+	plan, elapsed, err := bench.PlanFor(m, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scrun:", err)
+		os.Exit(1)
+	}
+	res, err := sim.Run(w, plan, sim.Config{Device: d, Memory: mem, Workers: *workers, LRU: m.LRU})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s on %dGB %s, Memory Catalog %.1f MB, method %s (optimized in %v)\n",
+		*workload, *scale, v.Name, float64(mem)/1e6, m.Name, elapsed.Round(10e3))
+	fmt.Printf("%-16s %10s %10s %10s %10s %8s\n", "node", "start", "end", "read", "write", "flagged")
+	for _, nt := range res.Timeline {
+		flag := ""
+		if nt.Flagged {
+			flag = "mem"
+		}
+		fmt.Printf("%-16s %9.1fs %9.1fs %9.2fs %9.2fs %8s\n",
+			nt.Name, nt.Start, nt.End, nt.ReadSec, nt.WriteSec, flag)
+	}
+	fmt.Printf("\nend-to-end %.1fs  (read %.1fs, compute %.1fs, blocking write %.1fs, peak memory %.1f MB)\n",
+		res.Total, res.ReadSeconds, res.ComputeSeconds, res.WriteSeconds, float64(res.PeakMemory)/1e6)
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/opt"
+	"github.com/shortcircuit-db/sc/internal/sim"
+	"github.com/shortcircuit-db/sc/internal/tpcds"
+)
+
+// Ablate exercises the design decisions DESIGN.md calls out beyond the
+// paper's own Figure 12 ablation:
+//
+//  1. background-write bandwidth sharing vs a dedicated write channel
+//     (decision 4) — how much of S/C's gain depends on the materialization
+//     channel model;
+//  2. score-based vs size-based alternating-optimization termination
+//     (decision 3) — the paper's line 5 ambiguity;
+//  3. the MA-DFS write-tail effect (decision 6) — S/C's plan executed in
+//     its own order vs the same flagged set in the initial topological
+//     order.
+func Ablate(w io.Writer) error {
+	t := &tw{w: w}
+	d := costmodel.PaperProfile()
+	scale := tpcds.ScaleBytes(100)
+	mem := tpcds.MemoryForFraction(scale, 0.016)
+
+	t.printf("Design-decision ablations, 100GB TPC-DS, 1.6%% Memory Catalog\n\n")
+
+	// (1) Write-channel model.
+	t.printf("%-34s %12s %12s\n", "write channel", "total (s)", "speedup")
+	for _, dedicated := range []bool{false, true} {
+		var base, ours float64
+		for _, name := range tpcds.AllWorkloads {
+			wl, p, err := tpcds.Build(name, scale, tpcds.Regular(), mem, d)
+			if err != nil {
+				return err
+			}
+			pl, _, err := PlanFor(Methods()[5], p)
+			if err != nil {
+				return err
+			}
+			cfg := sim.Config{Device: d, Memory: mem, DedicatedWriteBand: dedicated}
+			topo, err := p.G.TopoSort()
+			if err != nil {
+				return err
+			}
+			b, err := sim.Run(wl, planWithOrder(pl, topo, false), cfg)
+			if err != nil {
+				return err
+			}
+			o, err := sim.Run(wl, pl, cfg)
+			if err != nil {
+				return err
+			}
+			base += b.Total
+			ours += o.Total
+		}
+		label := "shared (paper model)"
+		if dedicated {
+			label = "dedicated background channel"
+		}
+		t.printf("%-34s %12.1f %11.2fx\n", label, ours, base/ours)
+	}
+
+	// (2) Termination metric of Algorithm 2 line 5.
+	t.printf("\n%-34s %12s\n", "alternation termination", "score (s)")
+	for _, bySize := range []bool{false, true} {
+		var score float64
+		for _, name := range tpcds.AllWorkloads {
+			_, p, err := tpcds.Build(name, scale, tpcds.Regular(), mem, d)
+			if err != nil {
+				return err
+			}
+			_, st, err := opt.Solve(p, opt.Options{TerminateOnSize: bySize})
+			if err != nil {
+				return err
+			}
+			score += st.Score
+		}
+		label := "score-based (ours)"
+		if bySize {
+			label = "size-based (paper line 5 literal)"
+		}
+		t.printf("%-34s %12.1f\n", label, score)
+	}
+
+	// (3) MA-DFS order vs initial topological order for the same flags.
+	t.printf("\n%-34s %12s\n", "execution order for S/C's flags", "total (s)")
+	var madfsTotal, topoTotal float64
+	for _, name := range tpcds.AllWorkloads {
+		wl, p, err := tpcds.Build(name, scale, tpcds.Regular(), mem, d)
+		if err != nil {
+			return err
+		}
+		pl, _, err := PlanFor(Methods()[5], p)
+		if err != nil {
+			return err
+		}
+		cfg := sim.Config{Device: d, Memory: mem}
+		a, err := sim.Run(wl, pl, cfg)
+		if err != nil {
+			return err
+		}
+		madfsTotal += a.Total
+		topo, err := p.G.TopoSort()
+		if err != nil {
+			return err
+		}
+		// The simulator enforces the budget at run time (flagged nodes
+		// that no longer fit fall back to disk), so the same flags under
+		// the initial order remain executable even when MA-DFS reordered
+		// precisely to make them coexist.
+		alt := planWithOrder(pl, topo, true)
+		b, err := sim.Run(wl, alt, cfg)
+		if err != nil {
+			return err
+		}
+		topoTotal += b.Total
+	}
+	t.printf("%-34s %12.1f\n", "MA-DFS order (ours)", madfsTotal)
+	t.printf("%-34s %12.1f\n", "initial topological order", topoTotal)
+	t.printf("\n")
+	return t.err
+}
+
+// planWithOrder rebuilds a plan on a different order, optionally keeping
+// the flagged set (otherwise nothing is flagged).
+func planWithOrder(pl *core.Plan, order []dag.NodeID, keepFlags bool) *core.Plan {
+	out := &core.Plan{Order: order, Flagged: make([]bool, len(pl.Flagged))}
+	if keepFlags {
+		copy(out.Flagged, pl.Flagged)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI) from the simulator, the optimizer
+// and the real engine, printing the same rows/series the paper reports.
+// cmd/scbench and the repository-root benchmarks are thin wrappers over it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/flagsel"
+	"github.com/shortcircuit-db/sc/internal/opt"
+	"github.com/shortcircuit-db/sc/internal/order"
+	"github.com/shortcircuit-db/sc/internal/sim"
+	"github.com/shortcircuit-db/sc/internal/tpcds"
+)
+
+// Method is one of the compared systems of §VI-A.
+type Method struct {
+	Name     string
+	NoOpt    bool // raw engine: topological order, nothing kept in memory
+	LRU      bool // LRU result cache of Memory Catalog size
+	Selector flagsel.Selector
+	Orderer  order.Orderer
+	// Alternate runs the full alternating optimization; otherwise the
+	// selector runs once on the initial topological order (how the paper
+	// evaluates the off-the-shelf flagging baselines, which do not
+	// reorder).
+	Alternate bool
+}
+
+// Methods returns the six systems of Figure 9 in display order.
+func Methods() []Method {
+	return []Method{
+		{Name: "No optimization", NoOpt: true},
+		{Name: "LRU Cache", LRU: true},
+		{Name: "Random", Selector: flagsel.Random{Seed: 1}},
+		{Name: "Greedy", Selector: flagsel.Greedy{}},
+		{Name: "Ratio-based selection", Selector: flagsel.Ratio{}},
+		{Name: "S/C (Ours)", Selector: flagsel.MKP{}, Orderer: order.MADFS{}, Alternate: true},
+	}
+}
+
+// AblationMethods returns the §VI-F combinations of Figure 12.
+func AblationMethods() []Method {
+	return []Method{
+		{Name: "No Opt", NoOpt: true},
+		{Name: "Random + MA-DFS", Selector: flagsel.Random{Seed: 1}, Orderer: order.MADFS{}, Alternate: true},
+		{Name: "Greedy + MA-DFS", Selector: flagsel.Greedy{}, Orderer: order.MADFS{}, Alternate: true},
+		{Name: "Ratio + MA-DFS", Selector: flagsel.Ratio{}, Orderer: order.MADFS{}, Alternate: true},
+		{Name: "MKP + SA", Selector: flagsel.MKP{}, Orderer: order.SA{Seed: 1, Iterations: 10000}, Alternate: true},
+		{Name: "MKP + Separator", Selector: flagsel.MKP{}, Orderer: order.Separator{}, Alternate: true},
+		{Name: "MKP + MA-DFS (Ours)", Selector: flagsel.MKP{}, Orderer: order.MADFS{}, Alternate: true},
+	}
+}
+
+// PlanFor computes the method's plan for a problem: the flagged set and
+// execution order it would submit to the controller.
+func PlanFor(m Method, p *core.Problem) (*core.Plan, time.Duration, error) {
+	start := time.Now()
+	topo, err := p.G.TopoSort()
+	if err != nil {
+		return nil, 0, err
+	}
+	switch {
+	case m.NoOpt, m.LRU:
+		return core.NewPlan(topo), time.Since(start), nil
+	case m.Alternate:
+		pl, st, err := opt.Solve(p, opt.Options{Selector: m.Selector, Orderer: m.Orderer})
+		if err != nil {
+			return nil, 0, err
+		}
+		return pl, st.Elapsed, nil
+	default:
+		pl, err := m.Selector.Select(p, topo)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pl, time.Since(start), nil
+	}
+}
+
+// SimWorkload simulates one workload under one method and returns the
+// result.
+func SimWorkload(m Method, name tpcds.WorkloadName, scaleGB int, v tpcds.Variant, memFrac float64, workers int, d costmodel.DeviceProfile) (*sim.Result, error) {
+	scale := tpcds.ScaleBytes(scaleGB)
+	mem := tpcds.MemoryForFraction(scale, memFrac)
+	w, p, err := tpcds.Build(name, scale, v, mem, d)
+	if err != nil {
+		return nil, err
+	}
+	pl, _, err := PlanFor(m, p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{Device: d, Memory: mem, Workers: workers, LRU: m.LRU}
+	return sim.Run(w, pl, cfg)
+}
+
+// SimSuite simulates all five workloads and returns the summed totals.
+func SimSuite(m Method, scaleGB int, v tpcds.Variant, memFrac float64, workers int, d costmodel.DeviceProfile) (float64, error) {
+	var total float64
+	for _, name := range tpcds.AllWorkloads {
+		res, err := SimWorkload(m, name, scaleGB, v, memFrac, workers, d)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Total
+	}
+	return total, nil
+}
+
+// tw writes aligned rows.
+type tw struct {
+	w   io.Writer
+	err error
+}
+
+func (t *tw) printf(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}

@@ -1,0 +1,299 @@
+package colfmt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+func roundTrip(t *testing.T, tb *table.Table) *table.Table {
+	t.Helper()
+	data, err := Encode(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func tablesEqual(a, b *table.Table) error {
+	if !a.Schema.Equal(b.Schema) {
+		return fmt.Errorf("schemas differ: %s vs %s", a.Schema, b.Schema)
+	}
+	if a.NumRows() != b.NumRows() {
+		return fmt.Errorf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for c := range ra {
+			va, vb := ra[c], rb[c]
+			if va.Type == table.Float && math.IsNaN(va.F) && math.IsNaN(vb.F) {
+				continue
+			}
+			if va != vb {
+				return fmt.Errorf("row %d col %d: %v vs %v", i, c, va, vb)
+			}
+		}
+	}
+	return nil
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	tb := table.New(table.NewSchema(
+		table.Column{Name: "k", Type: table.Int},
+		table.Column{Name: "v", Type: table.Float},
+		table.Column{Name: "s", Type: table.Str},
+	))
+	for i := 0; i < 100; i++ {
+		if err := tb.AppendRow(table.IntValue(int64(i)), table.FloatValue(float64(i)*1.5), table.StrValue(fmt.Sprintf("row-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := roundTrip(t, tb)
+	if err := tablesEqual(tb, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripEmptyTable(t *testing.T) {
+	tb := table.New(table.NewSchema(table.Column{Name: "x", Type: table.Int}))
+	got := roundTrip(t, tb)
+	if got.NumRows() != 0 || got.Schema.Cols[0].Name != "x" {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestRoundTripZeroColumns(t *testing.T) {
+	tb := table.New(table.NewSchema())
+	got := roundTrip(t, tb)
+	if got.Schema.NumCols() != 0 {
+		t.Fatalf("got %d cols", got.Schema.NumCols())
+	}
+}
+
+func TestRLEChosenForRuns(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i / 100) // 10 long runs
+	}
+	payload, enc := encodeInts(vals)
+	if enc != EncRLE {
+		t.Fatalf("encoding = %d, want RLE", enc)
+	}
+	if len(payload) > 100 {
+		t.Fatalf("RLE payload %d bytes for 10 runs", len(payload))
+	}
+	got, err := decodeInts(payload, enc, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("RLE mismatch at %d", i)
+		}
+	}
+}
+
+func TestDeltaChosenForDistinct(t *testing.T) {
+	vals := []int64{5, 900, -3, 17, 88, 2, 41, 1000000, -99999, 0}
+	payload, enc := encodeInts(vals)
+	if enc != EncPlain {
+		t.Fatalf("encoding = %d, want plain/delta", enc)
+	}
+	got, err := decodeInts(payload, enc, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("delta mismatch at %d: %d vs %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestDictChosenForRepetitiveStrings(t *testing.T) {
+	vals := make([]string, 500)
+	for i := range vals {
+		vals[i] = []string{"red", "green", "blue"}[i%3]
+	}
+	payload, enc := encodeStrings(vals)
+	if enc != EncDict {
+		t.Fatalf("encoding = %d, want dict", enc)
+	}
+	got, err := decodeStrings(payload, enc, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("dict mismatch at %d", i)
+		}
+	}
+	plain := encodeStringsPlain(vals)
+	if len(payload) >= len(plain) {
+		t.Fatalf("dict (%d) not smaller than plain (%d)", len(payload), len(plain))
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	tb := table.New(table.NewSchema(table.Column{Name: "k", Type: table.Int}))
+	for i := 0; i < 50; i++ {
+		if err := tb.AppendRow(table.IntValue(int64(i * 7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := Encode(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte somewhere in the payload region.
+	data[len(data)-10] ^= 0xFF
+	if _, err := Decode(data); err == nil {
+		t.Fatal("corrupted data decoded without error")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("nope"),
+		[]byte("SCF1"),
+		[]byte("SCF1\x01\x00\x00\x00"),
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage decoded", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedPayload(t *testing.T) {
+	tb := table.New(table.NewSchema(table.Column{Name: "s", Type: table.Str}))
+	for i := 0; i < 20; i++ {
+		if err := tb.AppendRow(table.StrValue("some-string-value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := Encode(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated data decoded")
+	}
+}
+
+func TestFloatSpecials(t *testing.T) {
+	tb := table.New(table.NewSchema(table.Column{Name: "f", Type: table.Float}))
+	for _, f := range []float64{0, math.Inf(1), math.Inf(-1), math.NaN(), -0.0, math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		if err := tb.AppendRow(table.FloatValue(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := roundTrip(t, tb)
+	if err := tablesEqual(tb, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New(table.NewSchema(
+			table.Column{Name: "a", Type: table.Int},
+			table.Column{Name: "b", Type: table.Float},
+			table.Column{Name: "c", Type: table.Str},
+		))
+		n := rng.Intn(200)
+		words := []string{"", "x", "hello", "a longer string value", "repeat", "repeat"}
+		for i := 0; i < n; i++ {
+			if err := tb.AppendRow(
+				table.IntValue(rng.Int63()-rng.Int63()),
+				table.FloatValue(rng.NormFloat64()*1e6),
+				table.StrValue(words[rng.Intn(len(words))]),
+			); err != nil {
+				return false
+			}
+		}
+		data, err := Encode(tb)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return tablesEqual(tb, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeCompressesSortedKeys(t *testing.T) {
+	tb := table.New(table.NewSchema(table.Column{Name: "k", Type: table.Int}))
+	for i := 0; i < 10000; i++ {
+		if err := tb.AppendRow(table.IntValue(int64(1000000 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := Encode(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta encoding stores ~1 byte per consecutive key vs 8 raw.
+	if int64(len(data)) > tb.ByteSize()/4 {
+		t.Fatalf("encoded %d bytes for %d in-memory", len(data), tb.ByteSize())
+	}
+}
+
+// Decode must never panic on arbitrarily corrupted input: every mutation
+// either fails cleanly or yields a structurally valid table.
+func TestDecodeNeverPanicsOnCorruptionProperty(t *testing.T) {
+	tb := table.New(table.NewSchema(
+		table.Column{Name: "a", Type: table.Int},
+		table.Column{Name: "b", Type: table.Str},
+		table.Column{Name: "c", Type: table.Float},
+	))
+	for i := 0; i < 64; i++ {
+		if err := tb.AppendRow(table.IntValue(int64(i)), table.StrValue("v"), table.FloatValue(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clean, err := Encode(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		data := append([]byte(nil), clean...)
+		// Corrupt 1-8 random bytes, sometimes truncate.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(3) == 0 {
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return true
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

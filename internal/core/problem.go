@@ -1,0 +1,229 @@
+// Package core defines the S/C Opt problem (§IV of the paper) and the
+// shared machinery every solver builds on: execution plans, peak and average
+// Memory Catalog usage, feasibility checks, and constraint-set extraction
+// for the multidimensional-knapsack formulation.
+//
+// Inputs mirror Problem 1 of the paper: a dependency DAG G, per-node output
+// sizes S, per-node speedup scores T, and the Memory Catalog size M. A
+// solution is an execution order τ together with a set U of flagged nodes
+// whose outputs are kept in memory until all their dependents finish.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/shortcircuit-db/sc/internal/dag"
+)
+
+// Problem is an instance of S/C Opt.
+type Problem struct {
+	G      *dag.Graph
+	Sizes  []int64   // Sizes[i]: bytes of the intermediate table produced by node i
+	Scores []float64 // Scores[i]: estimated seconds saved by flagging node i
+	Memory int64     // Memory Catalog size M in bytes
+}
+
+// Validate checks that the instance is well-formed.
+func (p *Problem) Validate() error {
+	if p.G == nil {
+		return errors.New("core: nil graph")
+	}
+	n := p.G.Len()
+	if len(p.Sizes) != n {
+		return fmt.Errorf("core: %d sizes for %d nodes", len(p.Sizes), n)
+	}
+	if len(p.Scores) != n {
+		return fmt.Errorf("core: %d scores for %d nodes", len(p.Scores), n)
+	}
+	for i, s := range p.Sizes {
+		if s < 0 {
+			return fmt.Errorf("core: negative size at node %d", i)
+		}
+	}
+	for i, t := range p.Scores {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("core: non-finite score at node %d", i)
+		}
+	}
+	if p.Memory < 0 {
+		return errors.New("core: negative Memory Catalog size")
+	}
+	if !p.G.IsAcyclic() {
+		return dag.ErrCycle
+	}
+	return nil
+}
+
+// Plan is a solution to S/C Opt: an execution order and the flagged set.
+type Plan struct {
+	Order   []dag.NodeID // execution order τ; Order[t] runs at step t
+	Flagged []bool       // Flagged[i]: keep node i's output in the Memory Catalog
+}
+
+// NewPlan returns a plan with the given order and nothing flagged.
+func NewPlan(order []dag.NodeID) *Plan {
+	n := len(order)
+	return &Plan{Order: append([]dag.NodeID(nil), order...), Flagged: make([]bool, n)}
+}
+
+// Clone returns a deep copy.
+func (pl *Plan) Clone() *Plan {
+	return &Plan{
+		Order:   append([]dag.NodeID(nil), pl.Order...),
+		Flagged: append([]bool(nil), pl.Flagged...),
+	}
+}
+
+// FlaggedIDs returns the flagged nodes in execution order.
+func (pl *Plan) FlaggedIDs() []dag.NodeID {
+	var out []dag.NodeID
+	for _, id := range pl.Order {
+		if pl.Flagged[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TotalScore sums the speedup scores of flagged nodes.
+func (pl *Plan) TotalScore(p *Problem) float64 {
+	var s float64
+	for i, f := range pl.Flagged {
+		if f {
+			s += p.Scores[i]
+		}
+	}
+	return s
+}
+
+// TotalFlaggedSize sums the sizes of flagged nodes.
+func (pl *Plan) TotalFlaggedSize(p *Problem) int64 {
+	var s int64
+	for i, f := range pl.Flagged {
+		if f {
+			s += p.Sizes[i]
+		}
+	}
+	return s
+}
+
+// Validate checks the plan against the problem: the order must be a
+// topological permutation and the flagged slice sized to the graph.
+func (pl *Plan) Validate(p *Problem) error {
+	if len(pl.Flagged) != p.G.Len() {
+		return fmt.Errorf("core: flagged slice has %d entries for %d nodes", len(pl.Flagged), p.G.Len())
+	}
+	if !p.G.IsTopological(pl.Order) {
+		return errors.New("core: order is not a topological permutation")
+	}
+	return nil
+}
+
+// Positions inverts an order: pos[id] = step at which id executes.
+func Positions(order []dag.NodeID) []int {
+	pos := make([]int, len(order))
+	for t, id := range order {
+		pos[id] = t
+	}
+	return pos
+}
+
+// ReleasePositions returns, for every node, the step after which its output
+// may leave the Memory Catalog: the position of its last-executed child, or
+// its own position when it has no children (§V design decision 5: childless
+// flagged nodes occupy memory only during their own step in the unit-time
+// model).
+func ReleasePositions(g *dag.Graph, order []dag.NodeID) []int {
+	pos := Positions(order)
+	rel := make([]int, g.Len())
+	for i := 0; i < g.Len(); i++ {
+		rel[i] = pos[i]
+		for _, c := range g.Children(dag.NodeID(i)) {
+			if pos[c] > rel[i] {
+				rel[i] = pos[c]
+			}
+		}
+	}
+	return rel
+}
+
+// PeakMemoryUsage computes the maximum combined size of flagged nodes
+// resident in the Memory Catalog at any step of the order, in the unit-time
+// model of §IV: a flagged node occupies memory from its own step through the
+// step of its last child. Linear in nodes plus edges.
+func PeakMemoryUsage(p *Problem, pl *Plan) int64 {
+	n := p.G.Len()
+	if n == 0 {
+		return 0
+	}
+	pos := Positions(pl.Order)
+	rel := ReleasePositions(p.G, pl.Order)
+	// Difference array over steps: +size at pos, -size after rel.
+	delta := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		if !pl.Flagged[i] {
+			continue
+		}
+		delta[pos[i]] += p.Sizes[i]
+		delta[rel[i]+1] -= p.Sizes[i]
+	}
+	var cur, peak int64
+	for t := 0; t < n; t++ {
+		cur += delta[t]
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// MemoryTimeline returns the resident flagged bytes at every step.
+func MemoryTimeline(p *Problem, pl *Plan) []int64 {
+	n := p.G.Len()
+	pos := Positions(pl.Order)
+	rel := ReleasePositions(p.G, pl.Order)
+	delta := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		if !pl.Flagged[i] {
+			continue
+		}
+		delta[pos[i]] += p.Sizes[i]
+		delta[rel[i]+1] -= p.Sizes[i]
+	}
+	out := make([]int64, n)
+	var cur int64
+	for t := 0; t < n; t++ {
+		cur += delta[t]
+		out[t] = cur
+	}
+	return out
+}
+
+// AverageMemoryUsage is the objective of S/C Opt Order (Problem 3):
+// (1/n) Σ_{flagged i} (release(i) − pos(i))·size(i), assuming unit job
+// execution times. Lower is better: it rewards orders that release flagged
+// outputs soon after they are produced.
+func AverageMemoryUsage(p *Problem, pl *Plan) float64 {
+	n := p.G.Len()
+	if n == 0 {
+		return 0
+	}
+	pos := Positions(pl.Order)
+	rel := ReleasePositions(p.G, pl.Order)
+	var sum float64
+	for i := 0; i < n; i++ {
+		if !pl.Flagged[i] {
+			continue
+		}
+		sum += float64(rel[i]-pos[i]) * float64(p.Sizes[i])
+	}
+	return sum / float64(n)
+}
+
+// Feasible reports whether the flagged set fits in the Memory Catalog at
+// every step of the order.
+func Feasible(p *Problem, pl *Plan) bool {
+	return PeakMemoryUsage(p, pl) <= p.Memory
+}

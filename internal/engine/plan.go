@@ -1,0 +1,588 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// Context supplies table resolution during execution. The controller wires
+// Resolve to check the Memory Catalog first and fall back to external
+// storage, which is where S/C's read short-circuiting happens.
+type Context struct {
+	Resolve func(name string) (*table.Table, error)
+}
+
+// Node is an executable plan operator.
+type Node interface {
+	// Schema returns the operator's output schema.
+	Schema() table.Schema
+	// Run executes the operator and returns its full result.
+	Run(ctx *Context) (*table.Table, error)
+	// String renders a one-line description for plan display.
+	String() string
+}
+
+// --- Scan ---
+
+// Scan reads a named table. The expected schema is fixed at plan time; at
+// run time the resolved table must match.
+type Scan struct {
+	Name string
+	Sch  table.Schema
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() table.Schema { return s.Sch }
+
+// Run implements Node.
+func (s *Scan) Run(ctx *Context) (*table.Table, error) {
+	if ctx == nil || ctx.Resolve == nil {
+		return nil, fmt.Errorf("engine: no resolver for scan of %q", s.Name)
+	}
+	t, err := ctx.Resolve(s.Name)
+	if err != nil {
+		return nil, fmt.Errorf("engine: scan %q: %w", s.Name, err)
+	}
+	if !t.Schema.Equal(s.Sch) {
+		return nil, fmt.Errorf("engine: scan %q: schema %s, expected %s", s.Name, t.Schema, s.Sch)
+	}
+	return t, nil
+}
+
+// String implements Node.
+func (s *Scan) String() string { return fmt.Sprintf("Scan(%s)", s.Name) }
+
+// --- Filter ---
+
+// Filter keeps rows where Pred is truthy.
+type Filter struct {
+	Input Node
+	Pred  Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() table.Schema { return f.Input.Schema() }
+
+// Run implements Node.
+func (f *Filter) Run(ctx *Context) (*table.Table, error) {
+	in, err := f.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	row := make([]table.Value, len(in.Cols))
+	for i := 0; i < in.NumRows(); i++ {
+		fillRow(in, i, row)
+		v, err := f.Pred.Eval(row)
+		if err != nil {
+			return nil, fmt.Errorf("engine: filter: %w", err)
+		}
+		if truthy(v) {
+			idx = append(idx, i)
+		}
+	}
+	return in.Gather(idx), nil
+}
+
+// String implements Node.
+func (f *Filter) String() string { return fmt.Sprintf("Filter(%s)", f.Pred) }
+
+// --- Project ---
+
+// Project computes one output column per expression.
+type Project struct {
+	Input Node
+	Exprs []Expr
+	Names []string
+	sch   table.Schema
+}
+
+// NewProject builds a projection, computing the output schema eagerly so
+// type errors surface at plan time.
+func NewProject(input Node, exprs []Expr, names []string) (*Project, error) {
+	if len(exprs) != len(names) {
+		return nil, fmt.Errorf("engine: %d exprs, %d names", len(exprs), len(names))
+	}
+	inSch := input.Schema()
+	p := &Project{Input: input, Exprs: exprs, Names: names}
+	for i, e := range exprs {
+		t, err := e.Type(inSch)
+		if err != nil {
+			return nil, fmt.Errorf("engine: project %q: %w", names[i], err)
+		}
+		p.sch.Cols = append(p.sch.Cols, table.Column{Name: names[i], Type: t})
+	}
+	return p, nil
+}
+
+// Schema implements Node.
+func (p *Project) Schema() table.Schema { return p.sch }
+
+// Run implements Node.
+func (p *Project) Run(ctx *Context) (*table.Table, error) {
+	in, err := p.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := table.New(p.sch)
+	row := make([]table.Value, len(in.Cols))
+	vals := make([]table.Value, len(p.Exprs))
+	for i := 0; i < in.NumRows(); i++ {
+		fillRow(in, i, row)
+		for c, e := range p.Exprs {
+			v, err := e.Eval(row)
+			if err != nil {
+				return nil, fmt.Errorf("engine: project %q: %w", p.Names[c], err)
+			}
+			vals[c] = coerce(v, p.sch.Cols[c].Type)
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String implements Node.
+func (p *Project) String() string { return fmt.Sprintf("Project(%d cols)", len(p.Exprs)) }
+
+// coerce widens INT to FLOAT when the planned type demands it (mixed
+// arithmetic can produce either at runtime).
+func coerce(v table.Value, want table.Type) table.Value {
+	if v.Type == table.Int && want == table.Float {
+		return table.FloatValue(float64(v.I))
+	}
+	return v
+}
+
+// --- HashJoin ---
+
+// HashJoin is an inner equi-join: build a hash table on the right input,
+// probe with the left. Output columns are left columns followed by right
+// columns.
+type HashJoin struct {
+	Left, Right         Node
+	LeftKeys, RightKeys []int // column indices, parallel slices
+}
+
+// Schema implements Node.
+func (j *HashJoin) Schema() table.Schema {
+	var sch table.Schema
+	sch.Cols = append(sch.Cols, j.Left.Schema().Cols...)
+	sch.Cols = append(sch.Cols, j.Right.Schema().Cols...)
+	return sch
+}
+
+// Run implements Node.
+func (j *HashJoin) Run(ctx *Context) (*table.Table, error) {
+	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
+		return nil, fmt.Errorf("engine: join needs matching non-empty key lists")
+	}
+	left, err := j.Left.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[string][]int)
+	var key strings.Builder
+	for i := 0; i < right.NumRows(); i++ {
+		key.Reset()
+		for _, c := range j.RightKeys {
+			appendKey(&key, right.Cols[c].Value(i))
+		}
+		build[key.String()] = append(build[key.String()], i)
+	}
+	var leftIdx, rightIdx []int
+	for i := 0; i < left.NumRows(); i++ {
+		key.Reset()
+		for _, c := range j.LeftKeys {
+			appendKey(&key, left.Cols[c].Value(i))
+		}
+		for _, r := range build[key.String()] {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, r)
+		}
+	}
+	lg := left.Gather(leftIdx)
+	rg := right.Gather(rightIdx)
+	out := &table.Table{Schema: j.Schema()}
+	out.Cols = append(out.Cols, lg.Cols...)
+	out.Cols = append(out.Cols, rg.Cols...)
+	return out, nil
+}
+
+// String implements Node.
+func (j *HashJoin) String() string {
+	return fmt.Sprintf("HashJoin(keys=%v=%v)", j.LeftKeys, j.RightKeys)
+}
+
+// appendKey encodes a value unambiguously into a join/group key.
+func appendKey(b *strings.Builder, v table.Value) {
+	switch v.Type {
+	case table.Int:
+		fmt.Fprintf(b, "i%d|", v.I)
+	case table.Float:
+		fmt.Fprintf(b, "f%g|", v.F)
+	default:
+		fmt.Fprintf(b, "s%d:%s|", len(v.S), v.S)
+	}
+}
+
+// --- Aggregate ---
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota // COUNT(*) when Arg is nil
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = map[AggFunc]string{
+	AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX",
+}
+
+// AggSpec is one aggregate output column.
+type AggSpec struct {
+	Func AggFunc
+	Arg  Expr // nil only for COUNT(*)
+	Name string
+}
+
+// Aggregate is a hash aggregation: group by the given input column indices
+// and compute each AggSpec per group. Output columns are the group-by
+// columns followed by the aggregates. With no group-by columns it produces
+// exactly one row (global aggregation).
+type Aggregate struct {
+	Input   Node
+	GroupBy []int
+	Aggs    []AggSpec
+	sch     table.Schema
+}
+
+// NewAggregate builds an aggregation, validating argument types eagerly.
+func NewAggregate(input Node, groupBy []int, aggs []AggSpec) (*Aggregate, error) {
+	inSch := input.Schema()
+	a := &Aggregate{Input: input, GroupBy: groupBy, Aggs: aggs}
+	for _, g := range groupBy {
+		if g < 0 || g >= inSch.NumCols() {
+			return nil, fmt.Errorf("engine: group-by column %d out of range", g)
+		}
+		a.sch.Cols = append(a.sch.Cols, inSch.Cols[g])
+	}
+	for _, spec := range aggs {
+		var t table.Type
+		switch {
+		case spec.Func == AggCount:
+			t = table.Int
+		case spec.Arg == nil:
+			return nil, fmt.Errorf("engine: %s requires an argument", aggNames[spec.Func])
+		default:
+			at, err := spec.Arg.Type(inSch)
+			if err != nil {
+				return nil, fmt.Errorf("engine: agg %q: %w", spec.Name, err)
+			}
+			if spec.Func == AggMin || spec.Func == AggMax {
+				t = at
+			} else if spec.Func == AggAvg {
+				t = table.Float
+			} else { // SUM
+				if at == table.Str {
+					return nil, fmt.Errorf("engine: SUM over STRING")
+				}
+				t = at
+			}
+		}
+		a.sch.Cols = append(a.sch.Cols, table.Column{Name: spec.Name, Type: t})
+	}
+	return a, nil
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() table.Schema { return a.sch }
+
+type aggState struct {
+	count   int64
+	sumF    float64
+	sumI    int64
+	min     table.Value
+	max     table.Value
+	haveExt bool
+}
+
+// Run implements Node.
+func (a *Aggregate) Run(ctx *Context) (*table.Table, error) {
+	in, err := a.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keyRow []table.Value
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var orderKeys []string
+	row := make([]table.Value, len(in.Cols))
+	var key strings.Builder
+	for i := 0; i < in.NumRows(); i++ {
+		fillRow(in, i, row)
+		key.Reset()
+		for _, g := range a.GroupBy {
+			appendKey(&key, row[g])
+		}
+		k := key.String()
+		grp, ok := groups[k]
+		if !ok {
+			keyRow := make([]table.Value, len(a.GroupBy))
+			for gi, g := range a.GroupBy {
+				keyRow[gi] = row[g]
+			}
+			grp = &group{keyRow: keyRow, states: make([]aggState, len(a.Aggs))}
+			groups[k] = grp
+			orderKeys = append(orderKeys, k)
+		}
+		for si, spec := range a.Aggs {
+			st := &grp.states[si]
+			if spec.Func == AggCount && spec.Arg == nil {
+				st.count++
+				continue
+			}
+			v, err := spec.Arg.Eval(row)
+			if err != nil {
+				return nil, fmt.Errorf("engine: agg %q: %w", spec.Name, err)
+			}
+			st.count++
+			switch spec.Func {
+			case AggSum, AggAvg:
+				if v.Type == table.Str {
+					return nil, fmt.Errorf("engine: %s over STRING", aggNames[spec.Func])
+				}
+				st.sumF += v.AsFloat()
+				if v.Type == table.Int {
+					st.sumI += v.I
+				}
+			case AggMin, AggMax:
+				if !st.haveExt {
+					st.min, st.max, st.haveExt = v, v, true
+					continue
+				}
+				if c, err := v.Compare(st.min); err == nil && c < 0 {
+					st.min = v
+				}
+				if c, err := v.Compare(st.max); err == nil && c > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+	// Global aggregation over empty input still yields one row of zeros.
+	if len(a.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{states: make([]aggState, len(a.Aggs))}
+		orderKeys = append(orderKeys, "")
+	}
+	out := table.New(a.sch)
+	for _, k := range orderKeys {
+		grp := groups[k]
+		vals := make([]table.Value, 0, a.sch.NumCols())
+		vals = append(vals, grp.keyRow...)
+		for si, spec := range a.Aggs {
+			st := grp.states[si]
+			outType := a.sch.Cols[len(a.GroupBy)+si].Type
+			switch spec.Func {
+			case AggCount:
+				vals = append(vals, table.IntValue(st.count))
+			case AggSum:
+				if outType == table.Int {
+					vals = append(vals, table.IntValue(st.sumI))
+				} else {
+					vals = append(vals, table.FloatValue(st.sumF))
+				}
+			case AggAvg:
+				if st.count == 0 {
+					vals = append(vals, table.FloatValue(0))
+				} else {
+					vals = append(vals, table.FloatValue(st.sumF/float64(st.count)))
+				}
+			case AggMin:
+				vals = append(vals, extremeOrZero(st.min, st.haveExt, outType))
+			case AggMax:
+				vals = append(vals, extremeOrZero(st.max, st.haveExt, outType))
+			}
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func extremeOrZero(v table.Value, have bool, t table.Type) table.Value {
+	if have {
+		return coerce(v, t)
+	}
+	switch t {
+	case table.Int:
+		return table.IntValue(0)
+	case table.Float:
+		return table.FloatValue(0)
+	default:
+		return table.StrValue("")
+	}
+}
+
+// String implements Node.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("Aggregate(groups=%v, aggs=%d)", a.GroupBy, len(a.Aggs))
+}
+
+// --- Sort ---
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort orders rows by the given keys (stable).
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() table.Schema { return s.Input.Schema() }
+
+// Run implements Node.
+func (s *Sort) Run(ctx *Context) (*table.Table, error) {
+	in, err := s.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, in.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, k := range s.Keys {
+			va := in.Cols[k.Col].Value(idx[a])
+			vb := in.Cols[k.Col].Value(idx[b])
+			c, err := va.Compare(vb)
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, fmt.Errorf("engine: sort: %w", sortErr)
+	}
+	return in.Gather(idx), nil
+}
+
+// String implements Node.
+func (s *Sort) String() string { return fmt.Sprintf("Sort(%d keys)", len(s.Keys)) }
+
+// --- Limit ---
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Input Node
+	N     int
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() table.Schema { return l.Input.Schema() }
+
+// Run implements Node.
+func (l *Limit) Run(ctx *Context) (*table.Table, error) {
+	in, err := l.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := l.N
+	if n > in.NumRows() {
+		n = in.NumRows()
+	}
+	if n < 0 {
+		n = 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return in.Gather(idx), nil
+}
+
+// String implements Node.
+func (l *Limit) String() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// --- UnionAll ---
+
+// UnionAll concatenates inputs with identical schemas.
+type UnionAll struct {
+	Inputs []Node
+}
+
+// Schema implements Node.
+func (u *UnionAll) Schema() table.Schema {
+	if len(u.Inputs) == 0 {
+		return table.Schema{}
+	}
+	return u.Inputs[0].Schema()
+}
+
+// Run implements Node.
+func (u *UnionAll) Run(ctx *Context) (*table.Table, error) {
+	if len(u.Inputs) == 0 {
+		return table.New(table.Schema{}), nil
+	}
+	sch := u.Inputs[0].Schema()
+	out := table.New(sch)
+	for _, in := range u.Inputs {
+		if !in.Schema().Equal(sch) {
+			return nil, fmt.Errorf("engine: UNION ALL schema mismatch: %s vs %s", in.Schema(), sch)
+		}
+		t, err := in.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for c, v := range t.Cols {
+			switch v.Type {
+			case table.Int:
+				out.Cols[c].Ints = append(out.Cols[c].Ints, v.Ints...)
+			case table.Float:
+				out.Cols[c].Floats = append(out.Cols[c].Floats, v.Floats...)
+			default:
+				out.Cols[c].Strs = append(out.Cols[c].Strs, v.Strs...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// String implements Node.
+func (u *UnionAll) String() string { return fmt.Sprintf("UnionAll(%d inputs)", len(u.Inputs)) }
+
+// fillRow copies row i of t into row (avoiding per-row allocation).
+func fillRow(t *table.Table, i int, row []table.Value) {
+	for c, v := range t.Cols {
+		row[c] = v.Value(i)
+	}
+}

@@ -1,0 +1,328 @@
+// Package exec implements S/C's Controller (§III-B/C): it executes the
+// nodes of an MV refresh workload in the order computed by the optimizer,
+// creates flagged outputs directly in the Memory Catalog, materializes them
+// to external storage in the background overlapped with downstream compute,
+// and frees each flagged output once every dependent has executed and its
+// materialization has completed.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/colfmt"
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/sql"
+	"github.com/shortcircuit-db/sc/internal/storage"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// NodeSpec declares one MV update: a SQL statement whose output is
+// materialized under Name. Inputs are whatever tables the statement scans:
+// other nodes' outputs (matched by name) or base tables on storage.
+type NodeSpec struct {
+	Name string
+	SQL  string
+}
+
+// Workload is a set of MV updates with dependencies implied by table names.
+type Workload struct {
+	Nodes []NodeSpec
+}
+
+// BuildGraph extracts the dependency DAG: an edge u→v whenever node v's
+// statement scans node u's output. It also returns, per node, the base
+// tables (non-node inputs) it scans.
+func (w *Workload) BuildGraph() (*dag.Graph, [][]string, error) {
+	g := dag.New()
+	byName := make(map[string]dag.NodeID, len(w.Nodes))
+	for _, n := range w.Nodes {
+		if _, dup := byName[n.Name]; dup {
+			return nil, nil, fmt.Errorf("exec: duplicate node %q", n.Name)
+		}
+		byName[n.Name] = g.AddNode(n.Name)
+	}
+	base := make([][]string, len(w.Nodes))
+	for i, n := range w.Nodes {
+		inputs, err := sql.InputTables(n.SQL)
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: node %q: %w", n.Name, err)
+		}
+		for _, in := range inputs {
+			if pid, ok := byName[in]; ok {
+				if err := g.AddEdge(pid, dag.NodeID(i)); err != nil {
+					return nil, nil, fmt.Errorf("exec: node %q: %w", n.Name, err)
+				}
+			} else {
+				base[i] = append(base[i], in)
+			}
+		}
+	}
+	if !g.IsAcyclic() {
+		return nil, nil, dag.ErrCycle
+	}
+	return g, base, nil
+}
+
+// NodeMetrics records one node's execution, the observations §III-A feeds
+// back into the optimizer.
+type NodeMetrics struct {
+	Name        string
+	ReadTime    time.Duration // resolving all inputs
+	ComputeTime time.Duration // running the plan
+	WriteTime   time.Duration // blocking write (zero for flagged nodes)
+	OutputBytes int64         // in-memory size of the output
+	EncodedSize int64         // bytes written to storage
+	Rows        int
+	Flagged     bool
+	MemReads    int // inputs served from the Memory Catalog
+	DiskReads   int // inputs read from storage
+}
+
+// RunResult aggregates a refresh run.
+type RunResult struct {
+	Total          time.Duration // end-to-end: start → all MVs materialized
+	Nodes          []NodeMetrics // in execution order
+	FallbackWrites int           // flagged outputs that did not fit in memory
+	PeakMemory     int64         // Memory Catalog high-water mark
+}
+
+// TotalRead sums the nodes' input read times.
+func (r *RunResult) TotalRead() time.Duration {
+	var d time.Duration
+	for _, n := range r.Nodes {
+		d += n.ReadTime
+	}
+	return d
+}
+
+// TotalCompute sums the nodes' compute times.
+func (r *RunResult) TotalCompute() time.Duration {
+	var d time.Duration
+	for _, n := range r.Nodes {
+		d += n.ComputeTime
+	}
+	return d
+}
+
+// Controller coordinates one MV refresh run.
+type Controller struct {
+	Store storage.Store   // external storage holding base tables and MVs
+	Mem   *memcat.Catalog // bounded Memory Catalog (nil disables flagging)
+}
+
+// Run executes the workload following the plan. The plan's order indexes
+// into w.Nodes via the graph built by BuildGraph; Flagged marks nodes whose
+// outputs live in the Memory Catalog until their dependents finish.
+func (c *Controller) Run(w *Workload, g *dag.Graph, plan *core.Plan) (*RunResult, error) {
+	if len(plan.Order) != len(w.Nodes) {
+		return nil, fmt.Errorf("exec: plan has %d steps for %d nodes", len(plan.Order), len(w.Nodes))
+	}
+	if !g.IsTopological(plan.Order) {
+		return nil, fmt.Errorf("exec: plan order is not topological")
+	}
+	start := time.Now()
+	res := &RunResult{}
+
+	// Remaining-children refcounts control release of flagged outputs.
+	remaining := make([]int, g.Len())
+	for i := 0; i < g.Len(); i++ {
+		remaining[i] = len(g.Children(dag.NodeID(i)))
+	}
+	type flaggedState struct {
+		mu       sync.Mutex
+		children int
+		written  bool
+		released bool
+	}
+	states := make([]*flaggedState, g.Len())
+	var wg sync.WaitGroup
+	var bgErr error
+	var bgMu sync.Mutex
+
+	release := func(id dag.NodeID, st *flaggedState) {
+		// Free when both conditions hold (§III-C): all dependents done
+		// and the background materialization finished.
+		if st.children == 0 && st.written && !st.released {
+			st.released = true
+			_ = c.Mem.Delete(g.Name(id))
+		}
+	}
+
+	schemas := newSchemaCache(c.Store, c.Mem)
+
+	for _, id := range plan.Order {
+		spec := w.Nodes[id]
+		var m NodeMetrics
+		m.Name = spec.Name
+		m.Flagged = plan.Flagged[id] && c.Mem != nil
+
+		// Plan the statement against current schemas.
+		stmt, err := sql.Parse(spec.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+		}
+		planNode, _, err := sql.Plan(stmt, schemas)
+		if err != nil {
+			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+		}
+
+		// Execute with a resolver that tracks where inputs came from.
+		var readTime time.Duration
+		ctx := &engine.Context{Resolve: func(name string) (*table.Table, error) {
+			t0 := time.Now()
+			defer func() { readTime += time.Since(t0) }()
+			if c.Mem != nil {
+				if t, ok := c.Mem.Get(name); ok {
+					m.MemReads++
+					return t, nil
+				}
+			}
+			data, err := c.Store.Read(tableObject(name))
+			if err != nil {
+				return nil, err
+			}
+			t, err := colfmt.Decode(data)
+			if err != nil {
+				return nil, fmt.Errorf("decode %q: %w", name, err)
+			}
+			m.DiskReads++
+			return t, nil
+		}}
+
+		t0 := time.Now()
+		out, err := planNode.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+		}
+		m.ComputeTime = time.Since(t0) - readTime
+		m.ReadTime = readTime
+		m.OutputBytes = out.ByteSize()
+		m.Rows = out.NumRows()
+		schemas.learn(spec.Name, out.Schema)
+
+		encoded, err := colfmt.Encode(out)
+		if err != nil {
+			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+		}
+		m.EncodedSize = int64(len(encoded))
+
+		if m.Flagged {
+			if err := c.Mem.Put(spec.Name, out); err != nil {
+				// Does not fit: fall back to the unflagged path.
+				m.Flagged = false
+				res.FallbackWrites++
+			}
+		}
+		if m.Flagged {
+			st := &flaggedState{children: remaining[id]}
+			states[id] = st
+			wg.Add(1)
+			go func(name string, data []byte, st *flaggedState, id dag.NodeID) {
+				defer wg.Done()
+				err := c.Store.Write(tableObject(name), data)
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				if err != nil {
+					bgMu.Lock()
+					if bgErr == nil {
+						bgErr = fmt.Errorf("exec: materialize %q: %w", name, err)
+					}
+					bgMu.Unlock()
+				}
+				st.written = true
+				release(id, st)
+			}(spec.Name, encoded, st, id)
+		} else {
+			tw := time.Now()
+			if err := c.Store.Write(tableObject(spec.Name), encoded); err != nil {
+				return nil, fmt.Errorf("exec: write %q: %w", spec.Name, err)
+			}
+			m.WriteTime = time.Since(tw)
+		}
+
+		// This node consumed its parents: drop refcounts, maybe release.
+		for _, par := range g.Parents(id) {
+			remaining[par]--
+			if st := states[par]; st != nil {
+				st.mu.Lock()
+				st.children = remaining[par]
+				release(par, st)
+				st.mu.Unlock()
+			}
+		}
+		res.Nodes = append(res.Nodes, m)
+	}
+
+	wg.Wait() // all MVs materialized: the end-to-end point the paper measures
+	if bgErr != nil {
+		return nil, bgErr
+	}
+	res.Total = time.Since(start)
+	if c.Mem != nil {
+		res.PeakMemory = c.Mem.Peak()
+	}
+	return res, nil
+}
+
+// tableObject maps a table name to its storage object name.
+func tableObject(name string) string { return name + ".sct" }
+
+// LoadTable reads and decodes a table from storage.
+func LoadTable(st storage.Store, name string) (*table.Table, error) {
+	data, err := st.Read(tableObject(name))
+	if err != nil {
+		return nil, err
+	}
+	return colfmt.Decode(data)
+}
+
+// SaveTable encodes and writes a table to storage.
+func SaveTable(st storage.Store, name string, t *table.Table) error {
+	data, err := colfmt.Encode(t)
+	if err != nil {
+		return err
+	}
+	return st.Write(tableObject(name), data)
+}
+
+// schemaCache resolves table schemas for the SQL planner: first from
+// schemas learned this run, then the Memory Catalog, then storage headers.
+type schemaCache struct {
+	store storage.Store
+	mem   *memcat.Catalog
+	known map[string]table.Schema
+}
+
+func newSchemaCache(st storage.Store, mem *memcat.Catalog) *schemaCache {
+	return &schemaCache{store: st, mem: mem, known: make(map[string]table.Schema)}
+}
+
+func (s *schemaCache) learn(name string, sch table.Schema) { s.known[name] = sch }
+
+// TableSchema implements sql.Catalog.
+func (s *schemaCache) TableSchema(name string) (table.Schema, error) {
+	if sch, ok := s.known[name]; ok {
+		return sch, nil
+	}
+	if s.mem != nil {
+		if t, ok := s.mem.Get(name); ok {
+			s.known[name] = t.Schema
+			return t.Schema, nil
+		}
+	}
+	data, err := s.store.Read(tableObject(name))
+	if err != nil {
+		return table.Schema{}, err
+	}
+	sch, _, err := colfmt.DecodeSchema(data)
+	if err != nil {
+		return table.Schema{}, err
+	}
+	s.known[name] = sch
+	return sch, nil
+}

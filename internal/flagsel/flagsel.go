@@ -1,0 +1,181 @@
+// Package flagsel implements solutions to S/C Opt Nodes (Problem 2 of the
+// paper): choosing which node outputs to keep in the bounded Memory Catalog
+// for a fixed execution order, maximizing the total speedup score.
+//
+// SimplifiedMKP is the paper's Algorithm 1—an exact multidimensional-
+// knapsack formulation over the maximal non-trivial constraint sets—and
+// Greedy, Random and Ratio are the baselines it is evaluated against
+// (§VI-A, §VI-F).
+package flagsel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/knapsack"
+)
+
+// Selector chooses flagged nodes for a fixed execution order.
+type Selector interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// Select returns a plan with Order set to order and Flagged filled in.
+	// The returned plan is always feasible (peak Memory Catalog usage ≤ M).
+	Select(p *core.Problem, order []dag.NodeID) (*core.Plan, error)
+}
+
+// scoreScale converts fractional-second speedup scores to integer MKP
+// profits at millisecond granularity. The paper rounds scores to the
+// nearest integer (footnote 3); milliseconds preserve sub-second scores on
+// laptop-scale data.
+const scoreScale = 1000
+
+func intScore(s float64) int64 {
+	v := math.Round(s * scoreScale)
+	if v < 0 {
+		return 0
+	}
+	return int64(v)
+}
+
+// MKP is Algorithm 1 (SimplifiedMKP): excluded nodes are dropped, the
+// maximal non-trivial constraint sets become knapsack constraints, the
+// exact branch-and-bound solver picks the optimal candidate subset, and
+// unconstrained nodes are flagged for free.
+type MKP struct{}
+
+// Name implements Selector.
+func (MKP) Name() string { return "MKP" }
+
+// Select implements Selector.
+func (MKP) Select(p *core.Problem, order []dag.NodeID) (*core.Plan, error) {
+	pl := core.NewPlan(order)
+	cs := core.GetConstraints(p, order)
+	// Line 9: nodes outside every constraint set (and not excluded) are
+	// flagged unconditionally when profitable.
+	for _, id := range cs.Free {
+		pl.Flagged[id] = true
+	}
+	if len(cs.Candidates) == 0 {
+		return pl, nil
+	}
+	kp := &knapsack.Problem{
+		Profits:    make([]int64, len(cs.Candidates)),
+		Weights:    make([][]int64, len(cs.Sets)),
+		Capacities: make([]int64, len(cs.Sets)),
+	}
+	colOf := make(map[dag.NodeID]int, len(cs.Candidates))
+	for col, id := range cs.Candidates {
+		colOf[id] = col
+		kp.Profits[col] = intScore(p.Scores[id])
+	}
+	for row, set := range cs.Sets {
+		kp.Weights[row] = make([]int64, len(cs.Candidates))
+		kp.Capacities[row] = p.Memory
+		for _, id := range set {
+			kp.Weights[row][colOf[id]] = p.Sizes[id]
+		}
+	}
+	sol, err := knapsack.Solve(kp)
+	if err != nil {
+		return nil, fmt.Errorf("flagsel: %w", err)
+	}
+	for col, take := range sol.Take {
+		if take {
+			pl.Flagged[cs.Candidates[col]] = true
+		}
+	}
+	return pl, nil
+}
+
+// Greedy iterates nodes in execution order and flags each node if doing so
+// keeps the plan feasible.
+type Greedy struct{}
+
+// Name implements Selector.
+func (Greedy) Name() string { return "Greedy" }
+
+// Select implements Selector.
+func (Greedy) Select(p *core.Problem, order []dag.NodeID) (*core.Plan, error) {
+	pl := core.NewPlan(order)
+	flagIfFits(p, pl, order)
+	return pl, nil
+}
+
+// Random iterates nodes in a seeded random order and flags each node if
+// doing so keeps the plan feasible.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Selector.
+func (Random) Name() string { return "Random" }
+
+// Select implements Selector.
+func (r Random) Select(p *core.Problem, order []dag.NodeID) (*core.Plan, error) {
+	pl := core.NewPlan(order)
+	perm := append([]dag.NodeID(nil), order...)
+	rng := rand.New(rand.NewSource(r.Seed))
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	flagIfFits(p, pl, perm)
+	return pl, nil
+}
+
+// Ratio is the heuristic of Xin et al. [60]: consider nodes by descending
+// speedup-score/size ratio and flag each if it fits.
+type Ratio struct{}
+
+// Name implements Selector.
+func (Ratio) Name() string { return "Ratio" }
+
+// Select implements Selector.
+func (Ratio) Select(p *core.Problem, order []dag.NodeID) (*core.Plan, error) {
+	pl := core.NewPlan(order)
+	perm := append([]dag.NodeID(nil), order...)
+	ratio := func(id dag.NodeID) float64 {
+		if p.Sizes[id] == 0 {
+			if p.Scores[id] > 0 {
+				return math.Inf(1)
+			}
+			return 0
+		}
+		return p.Scores[id] / float64(p.Sizes[id])
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return ratio(perm[i]) > ratio(perm[j]) })
+	flagIfFits(p, pl, perm)
+	return pl, nil
+}
+
+// flagIfFits flags nodes in the given visit sequence whenever the plan
+// stays feasible, mirroring the paper's baseline definitions (memory is the
+// only criterion; scores are not consulted).
+func flagIfFits(p *core.Problem, pl *core.Plan, visit []dag.NodeID) {
+	for _, id := range visit {
+		if p.Sizes[id] > p.Memory {
+			continue
+		}
+		pl.Flagged[id] = true
+		if !core.Feasible(p, pl) {
+			pl.Flagged[id] = false
+		}
+	}
+}
+
+// ByName returns the named selector, for CLI and benchmark wiring.
+func ByName(name string, seed int64) (Selector, error) {
+	switch name {
+	case "mkp", "MKP":
+		return MKP{}, nil
+	case "greedy", "Greedy":
+		return Greedy{}, nil
+	case "random", "Random":
+		return Random{Seed: seed}, nil
+	case "ratio", "Ratio":
+		return Ratio{}, nil
+	}
+	return nil, fmt.Errorf("flagsel: unknown selector %q", name)
+}

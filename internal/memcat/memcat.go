@@ -1,0 +1,129 @@
+// Package memcat implements S/C's Memory Catalog (§III-C): a bounded
+// in-memory table store. Flagged node outputs are created directly here so
+// downstream nodes read them at memory speed, and are freed as soon as all
+// dependents have executed and background materialization has finished.
+package memcat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// ErrNoSpace reports that an insert would exceed the catalog capacity.
+var ErrNoSpace = errors.New("memcat: insufficient space")
+
+// ErrNotFound reports a missing table.
+var ErrNotFound = errors.New("memcat: table not found")
+
+// Catalog is a bounded, thread-safe in-memory table store.
+type Catalog struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	peak     int64
+	tables   map[string]*entryT
+	// counters
+	hits, misses int64
+}
+
+type entryT struct {
+	t    *table.Table
+	size int64
+}
+
+// New returns a catalog with the given byte capacity.
+func New(capacity int64) *Catalog {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Catalog{capacity: capacity, tables: make(map[string]*entryT)}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Catalog) Capacity() int64 { return c.capacity }
+
+// Put stores t under name, accounting its byte size against the capacity.
+// It fails with ErrNoSpace if the table does not fit, leaving the catalog
+// unchanged. Re-putting an existing name replaces it.
+func (c *Catalog) Put(name string, t *table.Table) error {
+	size := t.ByteSize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var old int64
+	if e, ok := c.tables[name]; ok {
+		old = e.size
+	}
+	if c.used-old+size > c.capacity {
+		return fmt.Errorf("%w: %s needs %d bytes, %d free of %d",
+			ErrNoSpace, name, size, c.capacity-(c.used-old), c.capacity)
+	}
+	c.tables[name] = &entryT{t: t, size: size}
+	c.used += size - old
+	if c.used > c.peak {
+		c.peak = c.used
+	}
+	return nil
+}
+
+// Get returns the named table if resident.
+func (c *Catalog) Get(name string) (*table.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[name]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.t, true
+}
+
+// Delete frees the named table.
+func (c *Catalog) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	c.used -= e.size
+	delete(c.tables, name)
+	return nil
+}
+
+// Used returns the currently accounted bytes.
+func (c *Catalog) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Peak returns the high-water mark of accounted bytes.
+func (c *Catalog) Peak() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}
+
+// Stats returns hit/miss counters for Get.
+func (c *Catalog) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Names lists resident tables, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.tables))
+	for k := range c.tables {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

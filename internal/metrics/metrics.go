@@ -1,0 +1,133 @@
+// Package metrics implements the execution-metadata store of §III-A: S/C's
+// optimizer consumes per-node observations (output sizes, read/write/compute
+// times) gathered from past MV refresh runs. The store persists as JSON so
+// recurring pipelines improve run over run.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
+)
+
+// Observation records one node execution.
+type Observation struct {
+	Name        string        `json:"name"`
+	OutputBytes int64         `json:"output_bytes"`
+	ReadTime    time.Duration `json:"read_time"`
+	WriteTime   time.Duration `json:"write_time"`
+	ComputeTime time.Duration `json:"compute_time"`
+	When        time.Time     `json:"when"`
+}
+
+// Store accumulates observations across runs.
+type Store struct {
+	mu  sync.Mutex
+	obs map[string][]Observation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{obs: make(map[string][]Observation)}
+}
+
+// Record appends an observation.
+func (s *Store) Record(o Observation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs[o.Name] = append(s.obs[o.Name], o)
+}
+
+// Latest returns the most recent observation for name.
+func (s *Store) Latest(name string) (Observation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.obs[name]
+	if len(list) == 0 {
+		return Observation{}, false
+	}
+	return list[len(list)-1], true
+}
+
+// History returns all observations for name, oldest first.
+func (s *Store) History(name string) []Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Observation(nil), s.obs[name]...)
+}
+
+// Len returns the number of nodes with at least one observation.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.obs)
+}
+
+// Sizes extracts the latest observed output sizes for the graph's nodes,
+// using fallback for nodes never observed (e.g. a first run).
+func (s *Store) Sizes(g *dag.Graph, fallback int64) []int64 {
+	out := make([]int64, g.Len())
+	for i := range out {
+		if o, ok := s.Latest(g.Name(dag.NodeID(i))); ok {
+			out[i] = o.OutputBytes
+		} else {
+			out[i] = fallback
+		}
+	}
+	return out
+}
+
+// Scores estimates speedup scores from observed metadata: each child of
+// node i saves i's observed (or modelled) read cost, and i saves its
+// observed blocking write cost. Unobserved quantities fall back to the
+// device model, so a first run can still be optimized.
+func (s *Store) Scores(g *dag.Graph, sizes []int64, d costmodel.DeviceProfile) []float64 {
+	out := make([]float64, g.Len())
+	for i := range out {
+		id := dag.NodeID(i)
+		var saved time.Duration
+		readOnce := d.DiskRead(sizes[i]) - d.MemRead(sizes[i])
+		write := d.DiskWrite(sizes[i]) - d.MemWrite(sizes[i])
+		if o, ok := s.Latest(g.Name(id)); ok && o.WriteTime > 0 {
+			write = o.WriteTime
+		}
+		for range g.Children(id) {
+			saved += readOnce
+		}
+		saved += write
+		if saved < 0 {
+			saved = 0
+		}
+		out[i] = saved.Seconds()
+	}
+	return out
+}
+
+// Save writes the store as JSON.
+func (s *Store) Save(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.MarshalIndent(s.obs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a store saved by Save.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	st := NewStore()
+	if err := json.Unmarshal(data, &st.obs); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return st, nil
+}

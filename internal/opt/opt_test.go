@@ -1,0 +1,192 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/flagsel"
+	"github.com/shortcircuit-db/sc/internal/order"
+	"github.com/shortcircuit-db/sc/internal/testutil"
+)
+
+func TestSolveFigure7(t *testing.T) {
+	p := testutil.Figure7()
+	pl, st, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Feasible(p, pl) {
+		t.Fatal("returned plan infeasible")
+	}
+	// The single-shot MKP under the initial order already achieves 120
+	// (the paper's τ1 optimum); alternation must not do worse.
+	if st.Score < 120 {
+		t.Fatalf("score = %v, want ≥ 120", st.Score)
+	}
+	if st.Iterations < 1 || st.StopReason == "" {
+		t.Fatalf("bad stats: %+v", st)
+	}
+}
+
+func TestSolveStartingFromTau2FindsOptimum(t *testing.T) {
+	p := testutil.Figure7()
+	pl, st, err := Solve(p, Options{InitialOrder: testutil.Tau2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score != 210 {
+		t.Fatalf("score = %v, want 210 (flagged %v)", st.Score, pl.FlaggedIDs())
+	}
+}
+
+func TestSolveRejectsNonTopologicalInitialOrder(t *testing.T) {
+	p := testutil.Figure7()
+	bad := []dag.NodeID{1, 0, 2, 3, 4, 5}
+	if _, _, err := Solve(p, Options{InitialOrder: bad}); err == nil {
+		t.Fatal("non-topological initial order accepted")
+	}
+}
+
+func TestSolveRejectsInvalidProblem(t *testing.T) {
+	p := testutil.Figure7()
+	p.Sizes = p.Sizes[:2]
+	if _, _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestSolveEmptyGraph(t *testing.T) {
+	p := &core.Problem{G: dag.New(), Memory: 100}
+	pl, st, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Order) != 0 || st.Score != 0 {
+		t.Fatalf("empty graph: %+v %+v", pl, st)
+	}
+}
+
+func TestSolveZeroScoresReturnsEmptyFlagged(t *testing.T) {
+	p := testutil.Figure7()
+	for i := range p.Scores {
+		p.Scores[i] = 0
+	}
+	pl, st, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.FlaggedIDs()) != 0 {
+		t.Fatalf("flagged %v with all-zero scores", pl.FlaggedIDs())
+	}
+	if st.StopReason != "no flagged-set improvement" {
+		t.Fatalf("stop reason = %q", st.StopReason)
+	}
+}
+
+func TestSolveFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := testutil.RandomProblem(rng, 25)
+		pl, _, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		return core.Feasible(p, pl) && p.G.IsTopological(pl.Order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Alternating optimization must never end below the single-shot MKP on the
+// initial order: the first iteration *is* that solution.
+func TestSolveAtLeastSingleShotMKPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := testutil.RandomProblem(rng, 25)
+		initOrd, err := p.G.TopoSort()
+		if err != nil {
+			return false
+		}
+		oneShot, err := flagsel.MKP{}.Select(p, initOrd)
+		if err != nil {
+			return false
+		}
+		pl, _, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		return pl.TotalScore(p) >= oneShot.TotalScore(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveWithAllMethodCombos(t *testing.T) {
+	selectors := []flagsel.Selector{flagsel.MKP{}, flagsel.Greedy{}, flagsel.Random{Seed: 3}, flagsel.Ratio{}}
+	orderers := []order.Orderer{order.MADFS{}, order.DFS{Seed: 3}, order.SA{Seed: 3, Iterations: 200}, order.Separator{}}
+	p := testutil.Figure7()
+	for _, s := range selectors {
+		for _, o := range orderers {
+			pl, st, err := Solve(p, Options{Selector: s, Orderer: o})
+			if err != nil {
+				t.Fatalf("%s+%s: %v", s.Name(), o.Name(), err)
+			}
+			if !core.Feasible(p, pl) {
+				t.Fatalf("%s+%s: infeasible plan", s.Name(), o.Name())
+			}
+			if st.Score < 0 {
+				t.Fatalf("%s+%s: negative score", s.Name(), o.Name())
+			}
+		}
+	}
+}
+
+func TestSolveTerminateOnSizeOption(t *testing.T) {
+	p := testutil.Figure7()
+	plA, _, err := Solve(p, Options{TerminateOnSize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Feasible(p, plA) {
+		t.Fatal("size-terminated plan infeasible")
+	}
+}
+
+func TestSolveIterationLimit(t *testing.T) {
+	p := testutil.Figure7()
+	_, st, err := Solve(p, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 1+1 { // loop variable increments once past the limit
+		t.Fatalf("Iterations = %d with MaxIterations = 1", st.Iterations)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p := testutil.Figure7()
+	pl, st, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakMemory != core.PeakMemoryUsage(p, pl) {
+		t.Fatal("stats peak memory mismatch")
+	}
+	if st.Score != pl.TotalScore(p) {
+		t.Fatal("stats score mismatch")
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+	if st.SelectorRan < 1 {
+		t.Fatal("selector never ran")
+	}
+}

@@ -1,0 +1,373 @@
+// Package order implements solutions to S/C Opt Order (Problem 3 of the
+// paper): given a dependency graph and a set of flagged nodes, produce a
+// topological execution order minimizing the average Memory Catalog usage
+//
+//	(1/n) Σ_{flagged i} (release(i) − pos(i)) · size(i).
+//
+// The paper's solution is MA-DFS, a memory-aware depth-first scheduler; the
+// baselines evaluated against it (plain DFS, simulated annealing, recursive
+// separators) are implemented here as well for the §VI-F ablation.
+package order
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/dag"
+)
+
+// Orderer produces a topological execution order for a problem given the
+// currently flagged nodes.
+type Orderer interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// Order returns a topological permutation of all nodes.
+	Order(p *core.Problem, flagged []bool) ([]dag.NodeID, error)
+}
+
+// actualMem is the memory-aware tie-breaking key of MA-DFS: a node's actual
+// memory consumption is its size if flagged and 0 otherwise (§V-B).
+func actualMem(p *core.Problem, flagged []bool, id dag.NodeID) int64 {
+	if flagged != nil && flagged[id] {
+		return p.Sizes[id]
+	}
+	return 0
+}
+
+// MADFS is the paper's memory-aware DFS scheduler. It walks the DAG
+// depth-first—finishing a branch before starting a new one so flagged
+// parents are released as soon as possible—and tie-breaks branch choices by
+// ascending actual memory consumption, scheduling the largest flagged
+// dependencies last to minimize their residency.
+type MADFS struct{}
+
+// Name implements Orderer.
+func (MADFS) Name() string { return "MA-DFS" }
+
+// Order implements Orderer.
+func (MADFS) Order(p *core.Problem, flagged []bool) ([]dag.NodeID, error) {
+	return dfsSchedule(p, flagged, nil)
+}
+
+// DFS is a plain depth-first scheduler with seeded random tie-breaking, the
+// off-the-shelf baseline MA-DFS improves upon (Figure 8).
+type DFS struct {
+	Seed int64
+}
+
+// Name implements Orderer.
+func (d DFS) Name() string { return "DFS" }
+
+// Order implements Orderer.
+func (d DFS) Order(p *core.Problem, flagged []bool) ([]dag.NodeID, error) {
+	rng := rand.New(rand.NewSource(d.Seed))
+	return dfsSchedule(p, flagged, rng)
+}
+
+// Kahn returns the deterministic smallest-ID-first topological order; it is
+// the GetTopologicalOrder subroutine used to initialize Algorithm 2.
+type Kahn struct{}
+
+// Name implements Orderer.
+func (Kahn) Name() string { return "Kahn" }
+
+// Order implements Orderer.
+func (Kahn) Order(p *core.Problem, _ []bool) ([]dag.NodeID, error) {
+	return p.G.TopoSort()
+}
+
+// dfsSchedule runs a stack-based DFS-flavored list scheduler. A node is
+// pushed when its last parent executes; newly enabled children are pushed so
+// the lowest actual-memory child is popped first (rng != nil shuffles
+// instead, yielding the plain-DFS baseline).
+func dfsSchedule(p *core.Problem, flagged []bool, rng *rand.Rand) ([]dag.NodeID, error) {
+	g := p.G
+	n := g.Len()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Parents(dag.NodeID(i)))
+	}
+	// Roots seed the stack; sort descending so the smallest-memory root is
+	// on top (popped first).
+	var stack []dag.NodeID
+	var roots []dag.NodeID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			roots = append(roots, dag.NodeID(i))
+		}
+	}
+	pushBatch := func(batch []dag.NodeID) {
+		if rng != nil {
+			rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		} else {
+			sort.SliceStable(batch, func(a, b int) bool {
+				ma, mb := actualMem(p, flagged, batch[a]), actualMem(p, flagged, batch[b])
+				if ma != mb {
+					return ma > mb // descending: smallest ends up on top
+				}
+				return batch[a] > batch[b]
+			})
+		}
+		stack = append(stack, batch...)
+	}
+	pushBatch(roots)
+
+	order := make([]dag.NodeID, 0, n)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		var enabled []dag.NodeID
+		for _, c := range g.Children(u) {
+			indeg[c]--
+			if indeg[c] == 0 {
+				enabled = append(enabled, c)
+			}
+		}
+		pushBatch(enabled)
+	}
+	if len(order) != n {
+		return nil, dag.ErrCycle
+	}
+	return order, nil
+}
+
+// SA improves an order by simulated annealing over dependency-preserving
+// position swaps, the hill-climbing baseline of §VI-F. Iterations defaults
+// to the paper's 10,000 when zero.
+type SA struct {
+	Seed       int64
+	Iterations int
+	// InitTemp controls the acceptance probability of worsening swaps.
+	// Zero means an automatic scale derived from the problem sizes.
+	InitTemp float64
+}
+
+// Name implements Orderer.
+func (SA) Name() string { return "SA" }
+
+// Order implements Orderer.
+func (s SA) Order(p *core.Problem, flagged []bool) ([]dag.NodeID, error) {
+	iters := s.Iterations
+	if iters == 0 {
+		iters = 10000
+	}
+	cur, err := p.G.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := len(cur)
+	if n < 2 {
+		return cur, nil
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	plan := &core.Plan{Order: cur, Flagged: flaggedOrEmpty(flagged, n)}
+	curCost := core.AverageMemoryUsage(p, plan)
+	best := append([]dag.NodeID(nil), cur...)
+	bestCost := curCost
+
+	temp := s.InitTemp
+	if temp == 0 {
+		var total int64
+		for _, sz := range p.Sizes {
+			total += sz
+		}
+		temp = float64(total) / float64(n)
+		if temp <= 0 {
+			temp = 1
+		}
+	}
+	cooling := math.Pow(1e-3, 1/float64(iters)) // geometric schedule to 0.1% of T0
+
+	for it := 0; it < iters; it++ {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-1-i)
+		if !swapValid(p.G, cur, i, j) {
+			temp *= cooling
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		newCost := core.AverageMemoryUsage(p, plan)
+		accept := newCost <= curCost
+		if !accept {
+			delta := newCost - curCost
+			accept = rng.Float64() < math.Exp(-delta/temp)
+		}
+		if accept {
+			curCost = newCost
+			if newCost < bestCost {
+				bestCost = newCost
+				copy(best, cur)
+			}
+		} else {
+			cur[i], cur[j] = cur[j], cur[i] // undo
+		}
+		temp *= cooling
+	}
+	return best, nil
+}
+
+// swapValid reports whether exchanging the nodes at positions i < j keeps
+// the order topological: the node moving earlier must not depend on anything
+// between the positions, and the node moving later must not feed anything
+// between them.
+func swapValid(g *dag.Graph, ord []dag.NodeID, i, j int) bool {
+	a, b := ord[i], ord[j]
+	if g.HasEdge(a, b) {
+		return false
+	}
+	between := ord[i+1 : j]
+	for _, m := range between {
+		if g.HasEdge(m, b) || g.HasEdge(a, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func flaggedOrEmpty(flagged []bool, n int) []bool {
+	if flagged != nil {
+		return flagged
+	}
+	return make([]bool, n)
+}
+
+// Separator is the recursive divide-and-conquer baseline of §VI-F: it
+// recursively splits the node set into a dependency-closed prefix A and
+// suffix B (every edge crosses A→B or stays inside a part), choosing the
+// prefix greedily to minimize the flagged bytes that must stay resident
+// across the cut, then recurses into both halves.
+type Separator struct{}
+
+// Name implements Orderer.
+func (Separator) Name() string { return "Separator" }
+
+// Order implements Orderer.
+func (s Separator) Order(p *core.Problem, flagged []bool) ([]dag.NodeID, error) {
+	if !p.G.IsAcyclic() {
+		return nil, dag.ErrCycle
+	}
+	all := make([]dag.NodeID, p.G.Len())
+	for i := range all {
+		all[i] = dag.NodeID(i)
+	}
+	fl := flaggedOrEmpty(flagged, p.G.Len())
+	out := make([]dag.NodeID, 0, len(all))
+	s.split(p, fl, all, &out)
+	return out, nil
+}
+
+func (s Separator) split(p *core.Problem, flagged []bool, nodes []dag.NodeID, out *[]dag.NodeID) {
+	if len(nodes) <= 1 {
+		*out = append(*out, nodes...)
+		return
+	}
+	inSet := make(map[dag.NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		inSet[id] = true
+	}
+	// Induced in-degrees.
+	indeg := make(map[dag.NodeID]int, len(nodes))
+	for _, id := range nodes {
+		d := 0
+		for _, par := range p.G.Parents(id) {
+			if inSet[par] {
+				d++
+			}
+		}
+		indeg[id] = d
+	}
+	// Grow A greedily: always add the available node whose flagged bytes
+	// crossing into the remainder grow the cut least.
+	var avail []dag.NodeID
+	for _, id := range nodes {
+		if indeg[id] == 0 {
+			avail = append(avail, id)
+		}
+	}
+	half := len(nodes) / 2
+	inA := make(map[dag.NodeID]bool, half)
+	var a []dag.NodeID
+	for len(a) < half && len(avail) > 0 {
+		bestIdx, bestCost := 0, int64(math.MaxInt64)
+		for k, id := range avail {
+			c := s.cutDelta(p, flagged, inSet, inA, id)
+			if c < bestCost || (c == bestCost && id < avail[bestIdx]) {
+				bestIdx, bestCost = k, c
+			}
+		}
+		pick := avail[bestIdx]
+		avail = append(avail[:bestIdx], avail[bestIdx+1:]...)
+		inA[pick] = true
+		a = append(a, pick)
+		for _, c := range p.G.Children(pick) {
+			if !inSet[c] {
+				continue
+			}
+			indeg[c]--
+			if indeg[c] == 0 {
+				avail = append(avail, c)
+			}
+		}
+	}
+	var b []dag.NodeID
+	for _, id := range nodes {
+		if !inA[id] {
+			b = append(b, id)
+		}
+	}
+	s.split(p, flagged, a, out)
+	s.split(p, flagged, b, out)
+}
+
+// cutDelta scores adding id to A: flagged bytes of id count if id has
+// children outside A (it would stay resident across the cut), minus flagged
+// bytes of parents whose last outside-child this was.
+func (s Separator) cutDelta(p *core.Problem, flagged []bool, inSet, inA map[dag.NodeID]bool, id dag.NodeID) int64 {
+	var cost int64
+	if flagged[id] {
+		for _, c := range p.G.Children(id) {
+			if inSet[c] && !inA[c] {
+				cost += p.Sizes[id]
+				break
+			}
+		}
+	}
+	for _, par := range p.G.Parents(id) {
+		if !inSet[par] || !inA[par] || !flagged[par] {
+			continue
+		}
+		// Would par's cut contribution disappear once id joins A?
+		remaining := false
+		for _, c := range p.G.Children(par) {
+			if c != id && inSet[c] && !inA[c] {
+				remaining = true
+				break
+			}
+		}
+		if !remaining {
+			cost -= p.Sizes[par]
+		}
+	}
+	return cost
+}
+
+// ByName returns the named orderer, for CLI and benchmark wiring.
+func ByName(name string, seed int64) (Orderer, error) {
+	switch name {
+	case "ma-dfs", "madfs", "MA-DFS":
+		return MADFS{}, nil
+	case "dfs", "DFS":
+		return DFS{Seed: seed}, nil
+	case "kahn", "Kahn", "topo":
+		return Kahn{}, nil
+	case "sa", "SA":
+		return SA{Seed: seed}, nil
+	case "separator", "Separator", "sep":
+		return Separator{}, nil
+	}
+	return nil, fmt.Errorf("order: unknown orderer %q", name)
+}

@@ -1,0 +1,135 @@
+// Package sql provides the SQL subset S/C workload nodes are written in:
+// SELECT-PROJECT-JOIN blocks with aggregation, the unit the paper's
+// workloads decompose TPC-DS queries into (§VI-A). It contains a lexer, a
+// recursive-descent parser, and a planner that lowers statements onto the
+// execution engine against a schema catalog.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	stmt     := [CREATE MATERIALIZED VIEW name AS] select
+//	select   := SELECT item ("," item)* FROM ref (JOIN ref ON cond)*
+//	            [WHERE expr] [GROUP BY expr ("," expr)*]
+//	            [ORDER BY ordItem ("," ordItem)*] [LIMIT int]
+//	item     := expr [AS ident] | "*"
+//	ref      := ident [ident]                      -- table with optional alias
+//	expr     := disjunction with AND/OR/NOT, comparisons, + - * / %,
+//	            IN (literal list), parentheses, aggregate calls
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int    // byte offset for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "JOIN": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "ASC": true, "DESC": true,
+	"CREATE": true, "MATERIALIZED": true, "VIEW": true, "UNION": true, "ALL": true,
+	"INNER": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentChar(rune(input[i]))) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case unicode.IsDigit(c):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (!seenDot && input[i] == '.')) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+		default:
+			start := i
+			// Two-char operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					toks = append(toks, token{tokSymbol, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case ',', '(', ')', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected marks failures produced by the Faulty wrapper.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Faulty wraps a Store and fails operations on demand, for failure-
+// injection tests of the controller's error paths (background
+// materialization failures, partial refresh runs).
+type Faulty struct {
+	Inner Store
+
+	mu         sync.Mutex
+	failReads  map[string]bool // object names whose Read fails
+	failWrites map[string]bool // object names whose Write fails
+	writeCount int
+	// FailWriteAfter, when > 0, fails every write after the first N.
+	FailWriteAfter int
+}
+
+// NewFaulty wraps inner with no faults armed.
+func NewFaulty(inner Store) *Faulty {
+	return &Faulty{
+		Inner:      inner,
+		failReads:  make(map[string]bool),
+		failWrites: make(map[string]bool),
+	}
+}
+
+// FailRead arms a read fault for the named object.
+func (f *Faulty) FailRead(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failReads[name] = true
+}
+
+// FailWrite arms a write fault for the named object.
+func (f *Faulty) FailWrite(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrites[name] = true
+}
+
+// Write implements Store.
+func (f *Faulty) Write(name string, data []byte) error {
+	f.mu.Lock()
+	f.writeCount++
+	fail := f.failWrites[name] || (f.FailWriteAfter > 0 && f.writeCount > f.FailWriteAfter)
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: write %s", ErrInjected, name)
+	}
+	return f.Inner.Write(name, data)
+}
+
+// Read implements Store.
+func (f *Faulty) Read(name string) ([]byte, error) {
+	f.mu.Lock()
+	fail := f.failReads[name]
+	f.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("%w: read %s", ErrInjected, name)
+	}
+	return f.Inner.Read(name)
+}
+
+// Delete implements Store.
+func (f *Faulty) Delete(name string) error { return f.Inner.Delete(name) }
+
+// Size implements Store.
+func (f *Faulty) Size(name string) (int64, error) { return f.Inner.Size(name) }
+
+// List implements Store.
+func (f *Faulty) List() ([]string, error) { return f.Inner.List() }

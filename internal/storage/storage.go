@@ -1,0 +1,284 @@
+// Package storage provides the external-storage backends S/C materializes
+// tables to: a real filesystem store (the paper uses NFS), an in-process
+// store for tests, and a throttling wrapper that emulates a device with a
+// given bandwidth and latency so laptop hardware can reproduce the paper's
+// storage-bound regime.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound reports a missing object.
+var ErrNotFound = errors.New("storage: object not found")
+
+// Store is a flat named-blob store.
+type Store interface {
+	// Write stores data under name, replacing any previous object.
+	Write(name string, data []byte) error
+	// Read returns the object's contents.
+	Read(name string) ([]byte, error)
+	// Delete removes the object; deleting a missing object is an error.
+	Delete(name string) error
+	// Size returns the object's size in bytes.
+	Size(name string) (int64, error)
+	// List returns all object names, sorted.
+	List() ([]string, error)
+}
+
+// --- in-memory store ---
+
+// MemStore is a thread-safe in-process Store for tests and examples.
+type MemStore struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string][]byte)}
+}
+
+// Write implements Store.
+func (m *MemStore) Write(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Read implements Store.
+func (m *MemStore) Read(name string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.data[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return append([]byte(nil), d...), nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.data[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(m.data, name)
+	return nil
+}
+
+// Size implements Store.
+func (m *MemStore) Size(name string) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.data[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(len(d)), nil
+}
+
+// List implements Store.
+func (m *MemStore) List() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.data))
+	for k := range m.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- filesystem store ---
+
+// FSStore stores each object as a file in a directory.
+type FSStore struct {
+	dir string
+}
+
+// NewFSStore creates the directory if needed and returns a store over it.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// path maps an object name to a file path, rejecting traversal.
+func (f *FSStore) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return "", fmt.Errorf("storage: invalid object name %q", name)
+	}
+	return filepath.Join(f.dir, name), nil
+}
+
+// Write implements Store. The write is atomic: data lands in a temp file
+// that is renamed into place, so readers never observe partial objects.
+func (f *FSStore) Write(name string, data []byte) error {
+	p, err := f.path(name)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(f.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// Read implements Store.
+func (f *FSStore) Read(name string) ([]byte, error) {
+	p, err := f.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return data, nil
+}
+
+// Delete implements Store.
+func (f *FSStore) Delete(name string) error {
+	p, err := f.path(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// Size implements Store.
+func (f *FSStore) Size(name string) (int64, error) {
+	p, err := f.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// List implements Store.
+func (f *FSStore) List() ([]string, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- throttled store ---
+
+// Throttled wraps a Store and delays operations to emulate a device with
+// the given bandwidths and per-access latency. It lets the real engine
+// reproduce the paper's storage-bound behaviour on fast local disks.
+type Throttled struct {
+	Inner      Store
+	ReadBWBps  float64       // bytes/second; 0 disables read throttling
+	WriteBWBps float64       // bytes/second; 0 disables write throttling
+	Latency    time.Duration // added to every access
+	SleepScale float64       // multiplies sleeps; <1 speeds tests up (0 = 1)
+	mu         sync.Mutex
+	readSlept  time.Duration
+	writeSlept time.Duration
+}
+
+// throttle sleeps for the transfer time of size bytes at bw plus latency.
+func (t *Throttled) throttle(size int64, bw float64, slept *time.Duration) {
+	d := t.Latency
+	if bw > 0 && size > 0 {
+		d += time.Duration(float64(size) / bw * float64(time.Second))
+	}
+	scale := t.SleepScale
+	if scale == 0 {
+		scale = 1
+	}
+	d = time.Duration(float64(d) * scale)
+	if d > 0 {
+		time.Sleep(d)
+		t.mu.Lock()
+		*slept += d
+		t.mu.Unlock()
+	}
+}
+
+// Write implements Store.
+func (t *Throttled) Write(name string, data []byte) error {
+	t.throttle(int64(len(data)), t.WriteBWBps, &t.writeSlept)
+	return t.Inner.Write(name, data)
+}
+
+// Read implements Store.
+func (t *Throttled) Read(name string) ([]byte, error) {
+	size, err := t.Inner.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	t.throttle(size, t.ReadBWBps, &t.readSlept)
+	return t.Inner.Read(name)
+}
+
+// Delete implements Store.
+func (t *Throttled) Delete(name string) error { return t.Inner.Delete(name) }
+
+// Size implements Store.
+func (t *Throttled) Size(name string) (int64, error) { return t.Inner.Size(name) }
+
+// List implements Store.
+func (t *Throttled) List() ([]string, error) { return t.Inner.List() }
+
+// SleptTimes reports the total simulated read and write delays, for
+// measurement harnesses.
+func (t *Throttled) SleptTimes() (read, write time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.readSlept, t.writeSlept
+}

@@ -1,0 +1,194 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSchema() Schema {
+	return NewSchema(
+		Column{Name: "id", Type: Int},
+		Column{Name: "price", Type: Float},
+		Column{Name: "name", Type: Str},
+	)
+}
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tb := New(sampleSchema())
+	rows := [][]Value{
+		{IntValue(1), FloatValue(9.5), StrValue("ale")},
+		{IntValue(2), FloatValue(3.25), StrValue("bock")},
+		{IntValue(3), FloatValue(7.0), StrValue("stout")},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestSchemaColIndexCaseInsensitive(t *testing.T) {
+	s := sampleSchema()
+	if s.ColIndex("PRICE") != 1 {
+		t.Fatalf("ColIndex(PRICE) = %d", s.ColIndex("PRICE"))
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Fatal("missing column found")
+	}
+}
+
+func TestSchemaEqualAndString(t *testing.T) {
+	a, b := sampleSchema(), sampleSchema()
+	if !a.Equal(b) {
+		t.Fatal("identical schemas unequal")
+	}
+	b.Cols[0].Type = Float
+	if a.Equal(b) {
+		t.Fatal("different schemas equal")
+	}
+	if a.String() != "(id INT, price FLOAT, name STRING)" {
+		t.Fatalf("String = %s", a.String())
+	}
+}
+
+func TestAppendRowAndAccess(t *testing.T) {
+	tb := sampleTable(t)
+	if tb.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	row := tb.Row(1)
+	if row[0].I != 2 || row[1].F != 3.25 || row[2].S != "bock" {
+		t.Fatalf("Row(1) = %v", row)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRowArityAndTypeErrors(t *testing.T) {
+	tb := New(sampleSchema())
+	if err := tb.AppendRow(IntValue(1)); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := tb.AppendRow(StrValue("x"), FloatValue(1), StrValue("y")); err == nil {
+		t.Fatal("type-mismatched row accepted")
+	}
+}
+
+func TestGather(t *testing.T) {
+	tb := sampleTable(t)
+	g := tb.Gather([]int{2, 0})
+	if g.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", g.NumRows())
+	}
+	if g.Row(0)[2].S != "stout" || g.Row(1)[2].S != "ale" {
+		t.Fatalf("gather rows wrong: %v %v", g.Row(0), g.Row(1))
+	}
+	// Original untouched.
+	if tb.NumRows() != 3 {
+		t.Fatal("gather mutated source")
+	}
+}
+
+func TestByteSizeGrowsWithRows(t *testing.T) {
+	tb := sampleTable(t)
+	before := tb.ByteSize()
+	if before <= 0 {
+		t.Fatal("zero size for populated table")
+	}
+	if err := tb.AppendRow(IntValue(4), FloatValue(1), StrValue("ipa")); err != nil {
+		t.Fatal(err)
+	}
+	if tb.ByteSize() <= before {
+		t.Fatal("ByteSize did not grow")
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tb := sampleTable(t)
+	if v := tb.Column("name"); v == nil || v.Strs[0] != "ale" {
+		t.Fatalf("Column(name) = %v", v)
+	}
+	if tb.Column("nope") != nil {
+		t.Fatal("missing column returned non-nil")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	lt, err := IntValue(1).Compare(FloatValue(2.5))
+	if err != nil || lt != -1 {
+		t.Fatalf("1 vs 2.5: %d, %v", lt, err)
+	}
+	eq, err := StrValue("a").Compare(StrValue("a"))
+	if err != nil || eq != 0 {
+		t.Fatalf("a vs a: %d, %v", eq, err)
+	}
+	if _, err := StrValue("a").Compare(IntValue(1)); err == nil {
+		t.Fatal("string vs int accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if IntValue(7).String() != "7" || FloatValue(2.5).String() != "2.5" || StrValue("x").String() != "x" {
+		t.Fatal("Value.String misformats")
+	}
+}
+
+func TestVectorAppendTypeMismatch(t *testing.T) {
+	v := &Vector{Type: Int}
+	if err := v.Append(StrValue("x")); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestValidateDetectsRaggedColumns(t *testing.T) {
+	tb := sampleTable(t)
+	tb.Cols[0].Ints = tb.Cols[0].Ints[:1]
+	if err := tb.Validate(); err == nil {
+		t.Fatal("ragged table validated")
+	}
+}
+
+func TestValidateDetectsTypeDrift(t *testing.T) {
+	tb := sampleTable(t)
+	tb.Cols[0] = &Vector{Type: Str, Strs: []string{"a", "b", "c"}}
+	if err := tb.Validate(); err == nil {
+		t.Fatal("type drift validated")
+	}
+}
+
+func TestGatherRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New(sampleSchema())
+		n := rng.Intn(50)
+		for i := 0; i < n; i++ {
+			if err := tb.AppendRow(IntValue(rng.Int63n(100)), FloatValue(rng.Float64()), StrValue("s")); err != nil {
+				return false
+			}
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		g := tb.Gather(idx)
+		if g.NumRows() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			a, b := tb.Row(i), g.Row(i)
+			for c := range a {
+				if a[c] != b[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

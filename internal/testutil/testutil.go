@@ -1,0 +1,99 @@
+// Package testutil provides shared problem fixtures for tests across the
+// optimizer packages: the paper's toy examples and random problem
+// generators for property-based testing.
+package testutil
+
+import (
+	"math/rand"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/dag"
+)
+
+// GB is one gibibyte.
+const GB = int64(1) << 30
+
+// Figure7 builds the toy example of Figure 7: six nodes where execution
+// order determines whether both 100GB nodes can be flagged under a 100GB
+// Memory Catalog. Speedup scores equal sizes in GB.
+//
+// Edges: v1→v2, v1→v4, v2→v3, v3→v5; v6 is isolated.
+func Figure7() *core.Problem {
+	g := dag.New()
+	v1 := g.AddNode("v1")
+	v2 := g.AddNode("v2")
+	v3 := g.AddNode("v3")
+	v4 := g.AddNode("v4")
+	v5 := g.AddNode("v5")
+	g.AddNode("v6")
+	g.MustAddEdge(v1, v2)
+	g.MustAddEdge(v1, v4)
+	g.MustAddEdge(v2, v3)
+	g.MustAddEdge(v3, v5)
+	return &core.Problem{
+		G:      g,
+		Sizes:  []int64{100 * GB, 10 * GB, 100 * GB, 10 * GB, 10 * GB, 10 * GB},
+		Scores: []float64{100, 10, 100, 10, 10, 10},
+		Memory: 100 * GB,
+	}
+}
+
+// Tau1 and Tau2 are the two orders contrasted in Figure 7.
+var (
+	Tau1 = []dag.NodeID{0, 1, 2, 3, 4, 5}
+	Tau2 = []dag.NodeID{0, 1, 3, 2, 4, 5}
+)
+
+// Diamond builds r→{a,b}, {a,b}→c with a large flagged-candidate branch:
+// sizes r=1, a=100GB, b=1, c=1. Used to exercise MA-DFS tie-breaking.
+func Diamond() *core.Problem {
+	g := dag.New()
+	r := g.AddNode("r")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddEdge(r, a)
+	g.MustAddEdge(r, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, c)
+	return &core.Problem{
+		G:      g,
+		Sizes:  []int64{1, 100 * GB, 1, 1},
+		Scores: []float64{1, 100, 1, 1},
+		Memory: 200 * GB,
+	}
+}
+
+// RandomProblem generates a random DAG problem for property tests: n in
+// [3, 3+maxExtra), random forward edges, sizes in [1,100], scores in
+// [0,50), memory in [50, 250).
+func RandomProblem(rng *rand.Rand, maxExtra int) *core.Problem {
+	g := dag.New()
+	n := 3 + rng.Intn(maxExtra)
+	for i := 0; i < n; i++ {
+		g.AddNode("n")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(4) == 0 {
+				g.MustAddEdge(dag.NodeID(i), dag.NodeID(j))
+			}
+		}
+	}
+	sizes := make([]int64, n)
+	scores := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(100)) + 1
+		scores[i] = float64(rng.Intn(50))
+	}
+	return &core.Problem{G: g, Sizes: sizes, Scores: scores, Memory: int64(rng.Intn(200)) + 50}
+}
+
+// RandomFlagged returns a random flagged subset of the problem's nodes.
+func RandomFlagged(rng *rand.Rand, p *core.Problem) []bool {
+	f := make([]bool, p.G.Len())
+	for i := range f {
+		f[i] = rng.Intn(2) == 0
+	}
+	return f
+}

@@ -1,0 +1,193 @@
+package tpcds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/shortcircuit-db/sc/internal/storage"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// Dates are encoded as yyyymmdd integers keyed to date_dim, as TPC-DS
+// surrogate keys are.
+
+// GenConfig controls the laptop-scale data generator.
+type GenConfig struct {
+	// ScaleFactor scales row counts roughly linearly; 1.0 generates on
+	// the order of 20k fact rows, kilobyte-scale analog of TPC-DS SF1.
+	ScaleFactor float64
+	Seed        int64
+}
+
+// Dataset holds the generated base tables by name.
+type Dataset struct {
+	Tables map[string]*table.Table
+}
+
+// Generate builds a deterministic TPC-DS-like dataset.
+func Generate(cfg GenConfig) (*Dataset, error) {
+	if cfg.ScaleFactor <= 0 {
+		return nil, fmt.Errorf("tpcds: scale factor must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sf := cfg.ScaleFactor
+	d := &Dataset{Tables: make(map[string]*table.Table)}
+
+	nItems := int(180*sf) + 40
+	nCust := int(400*sf) + 100
+	nStores := 12
+	nDates := 730 // two years, 1999–2000
+
+	dateDim := table.New(table.NewSchema(
+		table.Column{Name: "d_date_sk", Type: table.Int},
+		table.Column{Name: "d_year", Type: table.Int},
+		table.Column{Name: "d_moy", Type: table.Int},
+		table.Column{Name: "d_week_seq", Type: table.Int},
+	))
+	for i := 0; i < nDates; i++ {
+		year := 1999 + i/365
+		doy := i % 365
+		if err := dateDim.AppendRow(
+			table.IntValue(int64(2450000+i)),
+			table.IntValue(int64(year)),
+			table.IntValue(int64(doy/31+1)),
+			table.IntValue(int64(i/7+1)),
+		); err != nil {
+			return nil, err
+		}
+	}
+	d.Tables["date_dim"] = dateDim
+
+	categories := []string{"Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports", "Toys"}
+	item := table.New(table.NewSchema(
+		table.Column{Name: "i_item_sk", Type: table.Int},
+		table.Column{Name: "i_category", Type: table.Str},
+		table.Column{Name: "i_brand_id", Type: table.Int},
+		table.Column{Name: "i_current_price", Type: table.Float},
+	))
+	for i := 0; i < nItems; i++ {
+		if err := item.AppendRow(
+			table.IntValue(int64(i+1)),
+			table.StrValue(categories[rng.Intn(len(categories))]),
+			table.IntValue(int64(rng.Intn(50)+1)),
+			table.FloatValue(float64(rng.Intn(9500)+50)/100),
+		); err != nil {
+			return nil, err
+		}
+	}
+	d.Tables["item"] = item
+
+	customer := table.New(table.NewSchema(
+		table.Column{Name: "c_customer_sk", Type: table.Int},
+		table.Column{Name: "c_birth_year", Type: table.Int},
+		table.Column{Name: "c_preferred", Type: table.Str},
+	))
+	for i := 0; i < nCust; i++ {
+		pref := "N"
+		if rng.Intn(3) == 0 {
+			pref = "Y"
+		}
+		if err := customer.AppendRow(
+			table.IntValue(int64(i+1)),
+			table.IntValue(int64(1930+rng.Intn(70))),
+			table.StrValue(pref),
+		); err != nil {
+			return nil, err
+		}
+	}
+	d.Tables["customer"] = customer
+
+	store := table.New(table.NewSchema(
+		table.Column{Name: "s_store_sk", Type: table.Int},
+		table.Column{Name: "s_state", Type: table.Str},
+	))
+	states := []string{"CA", "IL", "NY", "TX", "WA"}
+	for i := 0; i < nStores; i++ {
+		if err := store.AppendRow(
+			table.IntValue(int64(i+1)),
+			table.StrValue(states[i%len(states)]),
+		); err != nil {
+			return nil, err
+		}
+	}
+	d.Tables["store"] = store
+
+	// Fact tables: sales per channel plus returns (~8%).
+	type channel struct {
+		sales, returns string
+		rows           int
+	}
+	channels := []channel{
+		{"store_sales", "store_returns", int(12000 * sf)},
+		{"catalog_sales", "catalog_returns", int(6000 * sf)},
+		{"web_sales", "web_returns", int(3000 * sf)},
+	}
+	for _, ch := range channels {
+		sales := table.New(table.NewSchema(
+			table.Column{Name: "sold_date_sk", Type: table.Int},
+			table.Column{Name: "item_sk", Type: table.Int},
+			table.Column{Name: "customer_sk", Type: table.Int},
+			table.Column{Name: "store_sk", Type: table.Int},
+			table.Column{Name: "quantity", Type: table.Int},
+			table.Column{Name: "sales_price", Type: table.Float},
+			table.Column{Name: "net_profit", Type: table.Float},
+		))
+		returns := table.New(table.NewSchema(
+			table.Column{Name: "ret_date_sk", Type: table.Int},
+			table.Column{Name: "item_sk", Type: table.Int},
+			table.Column{Name: "customer_sk", Type: table.Int},
+			table.Column{Name: "return_amt", Type: table.Float},
+		))
+		for i := 0; i < ch.rows; i++ {
+			dateSK := int64(2450000 + rng.Intn(nDates))
+			itemSK := int64(rng.Intn(nItems) + 1)
+			custSK := int64(rng.Intn(nCust) + 1)
+			price := float64(rng.Intn(20000)+100) / 100
+			qty := int64(rng.Intn(10) + 1)
+			profit := price*float64(qty)*0.3 - float64(rng.Intn(500))/100
+			if err := sales.AppendRow(
+				table.IntValue(dateSK),
+				table.IntValue(itemSK),
+				table.IntValue(custSK),
+				table.IntValue(int64(rng.Intn(nStores)+1)),
+				table.IntValue(qty),
+				table.FloatValue(price),
+				table.FloatValue(profit),
+			); err != nil {
+				return nil, err
+			}
+			if rng.Intn(12) == 0 {
+				if err := returns.AppendRow(
+					table.IntValue(dateSK+int64(rng.Intn(30))),
+					table.IntValue(itemSK),
+					table.IntValue(custSK),
+					table.FloatValue(price*float64(rng.Intn(int(qty))+1)*0.9),
+				); err != nil {
+					return nil, err
+				}
+			}
+		}
+		d.Tables[ch.sales] = sales
+		d.Tables[ch.returns] = returns
+	}
+	return d, nil
+}
+
+// Save writes every table of the dataset to a store in the columnar format.
+func (d *Dataset) Save(st storage.Store, save func(storage.Store, string, *table.Table) error) error {
+	for name, t := range d.Tables {
+		if err := save(st, name, t); err != nil {
+			return fmt.Errorf("tpcds: save %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// TotalBytes sums the in-memory sizes of all tables.
+func (d *Dataset) TotalBytes() int64 {
+	var n int64
+	for _, t := range d.Tables {
+		n += t.ByteSize()
+	}
+	return n
+}

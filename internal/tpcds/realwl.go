@@ -1,0 +1,77 @@
+package tpcds
+
+import (
+	"github.com/shortcircuit-db/sc/internal/exec"
+)
+
+// RealWorkload returns an executable MV refresh workload over the generated
+// dataset: a profit-report pipeline in the style of the paper's I/O 1
+// workload (TPC-DS q5/q77/q80), with per-channel SPJ units feeding shared
+// intermediates and small report MVs. Every statement runs on the real
+// engine; dependencies are extracted from the SQL by the controller.
+func RealWorkload() *exec.Workload {
+	return &exec.Workload{Nodes: []exec.NodeSpec{
+		// Channel SPJ units: sales joined with dates, filtered to 1999.
+		{Name: "ss_1999", SQL: `
+			SELECT ss.item_sk AS item_sk, ss.customer_sk AS customer_sk,
+			       ss.store_sk AS store_sk, d.d_moy AS moy,
+			       ss.quantity AS quantity, ss.sales_price AS sales_price,
+			       ss.net_profit AS net_profit
+			FROM store_sales ss JOIN date_dim d ON ss.sold_date_sk = d.d_date_sk
+			WHERE d.d_year = 1999`},
+		{Name: "cs_1999", SQL: `
+			SELECT cs.item_sk AS item_sk, cs.customer_sk AS customer_sk,
+			       d.d_moy AS moy, cs.quantity AS quantity,
+			       cs.sales_price AS sales_price, cs.net_profit AS net_profit
+			FROM catalog_sales cs JOIN date_dim d ON cs.sold_date_sk = d.d_date_sk
+			WHERE d.d_year = 1999`},
+		{Name: "ws_1999", SQL: `
+			SELECT ws.item_sk AS item_sk, ws.customer_sk AS customer_sk,
+			       d.d_moy AS moy, ws.quantity AS quantity,
+			       ws.sales_price AS sales_price, ws.net_profit AS net_profit
+			FROM web_sales ws JOIN date_dim d ON ws.sold_date_sk = d.d_date_sk
+			WHERE d.d_year = 1999`},
+		// Returns per channel.
+		{Name: "sr_agg", SQL: `
+			SELECT item_sk, SUM(return_amt) AS returned
+			FROM store_returns GROUP BY item_sk`},
+		// Profit-and-loss per channel and item (q5 style).
+		{Name: "store_pl", SQL: `
+			SELECT s.item_sk AS item_sk, SUM(s.sales_price * s.quantity) AS revenue,
+			       SUM(s.net_profit) AS profit
+			FROM ss_1999 s GROUP BY s.item_sk`},
+		{Name: "catalog_pl", SQL: `
+			SELECT c.item_sk AS item_sk, SUM(c.sales_price * c.quantity) AS revenue,
+			       SUM(c.net_profit) AS profit
+			FROM cs_1999 c GROUP BY c.item_sk`},
+		{Name: "web_pl", SQL: `
+			SELECT w.item_sk AS item_sk, SUM(w.sales_price * w.quantity) AS revenue,
+			       SUM(w.net_profit) AS profit
+			FROM ws_1999 w GROUP BY w.item_sk`},
+		// Net store P&L after returns.
+		{Name: "store_net", SQL: `
+			SELECT p.item_sk AS item_sk, p.revenue - r.returned AS net_revenue, p.profit AS profit
+			FROM store_pl p JOIN sr_agg r ON p.item_sk = r.item_sk`},
+		// Category rollup (q77 style): join with the item dimension.
+		{Name: "category_report", SQL: `
+			SELECT i.i_category AS category, SUM(p.revenue) AS revenue,
+			       SUM(p.profit) AS profit, COUNT(*) AS items
+			FROM store_pl p JOIN item i ON p.item_sk = i.i_item_sk
+			GROUP BY i.i_category ORDER BY revenue DESC`},
+		// Monthly trend (q80 style) over the store channel.
+		{Name: "monthly_trend", SQL: `
+			SELECT s.moy AS moy, SUM(s.sales_price * s.quantity) AS revenue
+			FROM ss_1999 s GROUP BY s.moy ORDER BY moy`},
+		// Cross-channel union-style comparison via joins on item.
+		{Name: "channel_compare", SQL: `
+			SELECT sp.item_sk AS item_sk, sp.revenue AS store_rev,
+			       cp.revenue AS catalog_rev, wp.revenue AS web_rev
+			FROM store_pl sp
+			JOIN catalog_pl cp ON sp.item_sk = cp.item_sk
+			JOIN web_pl wp ON sp.item_sk = wp.item_sk`},
+		// Final top-line report.
+		{Name: "top_items", SQL: `
+			SELECT item_sk, store_rev + catalog_rev + web_rev AS total_rev
+			FROM channel_compare ORDER BY total_rev DESC LIMIT 100`},
+	}}
+}

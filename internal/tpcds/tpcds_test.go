@@ -1,0 +1,232 @@
+package tpcds
+
+import (
+	"math"
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/sim"
+	"github.com/shortcircuit-db/sc/internal/storage"
+)
+
+func TestInfosMatchTableIII(t *testing.T) {
+	infos := Infos()
+	if len(infos) != 5 {
+		t.Fatalf("workloads = %d", len(infos))
+	}
+	wantNodes := map[WorkloadName]int{IO1: 21, IO2: 19, IO3: 26, Compute1: 21, Compute2: 16}
+	for _, in := range infos {
+		if in.NumNodes != wantNodes[in.Name] {
+			t.Errorf("%s: %d nodes, want %d", in.Name, in.NumNodes, wantNodes[in.Name])
+		}
+	}
+}
+
+func TestBuildNodeCountsAndDAGs(t *testing.T) {
+	d := costmodel.PaperProfile()
+	for _, in := range Infos() {
+		w, p, err := Build(in.Name, ScaleBytes(100), Regular(), MemoryForFraction(ScaleBytes(100), 0.016), d)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if w.G.Len() != in.NumNodes {
+			t.Errorf("%s: %d nodes, want %d", in.Name, w.G.Len(), in.NumNodes)
+		}
+		if !w.G.IsAcyclic() {
+			t.Errorf("%s: cyclic", in.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", in.Name, err)
+		}
+		// Every node must have finite non-negative parameters.
+		for i, n := range w.Nodes {
+			if n.OutputBytes <= 0 {
+				t.Errorf("%s node %d: empty output", in.Name, i)
+			}
+		}
+	}
+}
+
+func TestCalibrationHitsTableIIIRatios(t *testing.T) {
+	d := costmodel.PaperProfile()
+	for _, in := range Infos() {
+		w, _, err := Build(in.Name, ScaleBytes(100), Regular(), 1<<30, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MeasuredIORatio(w, d)
+		if math.Abs(got-in.IORatio) > 0.02 {
+			t.Errorf("%s: I/O ratio %.3f, Table III says %.3f", in.Name, got, in.IORatio)
+		}
+	}
+}
+
+func TestPartitionedVariantShrinksEverything(t *testing.T) {
+	d := costmodel.PaperProfile()
+	reg, _, err := Build(IO2, ScaleBytes(100), Regular(), 1<<30, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _, err := Build(IO2, ScaleBytes(100), Partitioned(), 1<<30, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reg.Nodes {
+		if part.Nodes[i].OutputBytes >= reg.Nodes[i].OutputBytes {
+			t.Fatalf("node %d: partitioned output not smaller", i)
+		}
+		if reg.Nodes[i].BaseReadBytes > 0 && part.Nodes[i].BaseReadBytes >= reg.Nodes[i].BaseReadBytes {
+			t.Fatalf("node %d: partitioned base read not smaller", i)
+		}
+	}
+}
+
+func TestBuildScalesLinearly(t *testing.T) {
+	d := costmodel.PaperProfile()
+	w10, _, err := Build(IO1, ScaleBytes(10), Regular(), 1<<30, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w100, _, err := Build(IO1, ScaleBytes(100), Regular(), 1<<30, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(w100.Nodes[0].OutputBytes) / float64(w10.Nodes[0].OutputBytes)
+	if math.Abs(ratio-10) > 0.1 {
+		t.Fatalf("scale ratio = %v, want 10", ratio)
+	}
+}
+
+func TestBuildUnknownWorkload(t *testing.T) {
+	if _, _, err := Build("nope", ScaleBytes(10), Regular(), 1, costmodel.PaperProfile()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestSimulatedWorkloadsRunEndToEnd(t *testing.T) {
+	d := costmodel.PaperProfile()
+	for _, in := range Infos() {
+		w, p, err := Build(in.Name, ScaleBytes(100), Regular(), MemoryForFraction(ScaleBytes(100), 0.016), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := w.G.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(w, core.NewPlan(order), sim.Config{Device: d, Memory: p.Memory})
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if res.Total <= 0 {
+			t.Fatalf("%s: zero total", in.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{ScaleFactor: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{ScaleFactor: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ta := range a.Tables {
+		tb, ok := b.Tables[name]
+		if !ok || ta.NumRows() != tb.NumRows() {
+			t.Fatalf("table %s differs between identical seeds", name)
+		}
+	}
+	if a.TotalBytes() != b.TotalBytes() {
+		t.Fatal("sizes differ between identical seeds")
+	}
+}
+
+func TestGenerateHasAllBaseTables(t *testing.T) {
+	d, err := Generate(GenConfig{ScaleFactor: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"date_dim", "item", "customer", "store",
+		"store_sales", "catalog_sales", "web_sales",
+		"store_returns", "catalog_returns", "web_returns",
+	} {
+		tb, ok := d.Tables[name]
+		if !ok {
+			t.Fatalf("missing table %s", name)
+		}
+		if tb.NumRows() == 0 {
+			t.Fatalf("empty table %s", name)
+		}
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	if _, err := Generate(GenConfig{ScaleFactor: 0}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestRealWorkloadRunsOnRealEngine(t *testing.T) {
+	ds, err := Generate(GenConfig{ScaleFactor: 0.3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewMemStore()
+	if err := ds.Save(store, exec.SaveTable); err != nil {
+		t.Fatal(err)
+	}
+	w := RealWorkload()
+	g, base, err := w.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != len(w.Nodes) {
+		t.Fatalf("graph nodes = %d", g.Len())
+	}
+	// Source nodes must reference real base tables.
+	for i, b := range base {
+		for _, name := range b {
+			if _, ok := ds.Tables[name]; !ok {
+				t.Fatalf("node %d references unknown base table %q", i, name)
+			}
+		}
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := &exec.Controller{Store: store, Mem: memcat.New(64 << 20)}
+	plan := core.NewPlan(order)
+	res, err := ctl.Run(w, g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != len(w.Nodes) {
+		t.Fatalf("executed %d of %d nodes", len(res.Nodes), len(w.Nodes))
+	}
+	// Spot-check a report: category_report has one row per category seen.
+	rep, err := exec.LoadTable(store, "category_report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumRows() == 0 || rep.NumRows() > 8 {
+		t.Fatalf("category_report rows = %d", rep.NumRows())
+	}
+	// Revenue sorted descending.
+	rev := rep.Column("revenue")
+	for i := 1; i < rep.NumRows(); i++ {
+		if rev.Floats[i-1] < rev.Floats[i] {
+			t.Fatal("category_report not sorted by revenue")
+		}
+	}
+}

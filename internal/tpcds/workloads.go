@@ -1,0 +1,351 @@
+// Package tpcds models the TPC-DS evaluation setup of §VI-A: the five MV
+// refresh workloads of Table III (I/O 1–3, Compute 1–2) built from the SPJ
+// units of TPC-DS queries, the regular and date-partitioned dataset
+// variants, and—at laptop scale—a deterministic data generator plus real
+// SQL workloads for end-to-end validation on the actual engine.
+//
+// Workload DAG structures follow the paper's construction: one node per
+// select-project-join unit, with the graphs of queries sharing intermediate
+// nodes merged (e.g. the profit-report queries of I/O 1). Node counts match
+// Table III exactly. Per-node sizes are fractions of the dataset scale;
+// compute time is calibrated so each workload's unoptimized I/O share
+// matches its Table III I/O ratio under the paper's device profile.
+package tpcds
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/sim"
+)
+
+// WorkloadName identifies one of the paper's five workloads.
+type WorkloadName string
+
+// The five workloads of Table III.
+const (
+	IO1      WorkloadName = "I/O 1"     // TPC-DS q5, q77, q80 — 21 nodes
+	IO2      WorkloadName = "I/O 2"     // TPC-DS q2, q59, q74, q75 — 19 nodes
+	IO3      WorkloadName = "I/O 3"     // TPC-DS q44, q49 — 26 nodes
+	Compute1 WorkloadName = "Compute 1" // TPC-DS q33, q56, q60, q61 — 21 nodes
+	Compute2 WorkloadName = "Compute 2" // TPC-DS q14, q23 — 16 nodes
+)
+
+// AllWorkloads lists the workloads in the paper's order.
+var AllWorkloads = []WorkloadName{IO1, IO2, IO3, Compute1, Compute2}
+
+// Info mirrors one row of Table III.
+type Info struct {
+	Name     WorkloadName
+	Queries  string  // TPC-DS query numbers
+	NumNodes int     // dependency-graph nodes
+	IORatio  float64 // fraction of unoptimized runtime spent on I/O
+}
+
+// Infos returns the Table III rows.
+func Infos() []Info {
+	return []Info{
+		{IO1, "5, 77, 80", 21, 0.515},
+		{IO2, "2, 59, 74, 75", 19, 0.590},
+		{IO3, "44, 49", 26, 0.466},
+		{Compute1, "33, 56, 60, 61", 21, 0.009},
+		{Compute2, "14, 23", 16, 0.283},
+	}
+}
+
+func infoFor(name WorkloadName) (Info, error) {
+	for _, in := range Infos() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Info{}, fmt.Errorf("tpcds: unknown workload %q", name)
+}
+
+// Variant selects the dataset flavour of §VI-A.
+type Variant struct {
+	Name string
+	// BaseFactor scales base-table scan bytes (date partitioning prunes
+	// fact-table scans to the needed years).
+	BaseFactor float64
+	// InterFactor scales intermediate table sizes (partitioned
+	// intermediates are split per year).
+	InterFactor float64
+	// ComputeFactor scales per-node compute (smaller per-partition hash
+	// tables and joins).
+	ComputeFactor float64
+}
+
+// Regular is the as-generated TPC-DS dataset.
+func Regular() Variant {
+	return Variant{Name: "TPC-DS", BaseFactor: 1, InterFactor: 1, ComputeFactor: 1}
+}
+
+// Partitioned is TPC-DSp: store_sales, catalog_sales and web_sales
+// partitioned by year via a join with date_dim. Fact scans prune to the
+// needed years, per-partition intermediates are smaller, and per-partition
+// operators (cache-resident hash tables) compute disproportionately faster.
+func Partitioned() Variant {
+	return Variant{Name: "TPC-DSp", BaseFactor: 0.10, InterFactor: 0.50, ComputeFactor: 0.12}
+}
+
+// columnPruning is the fraction of a scanned base table's bytes actually
+// read: columnar engines (Presto over ORC) read only referenced columns.
+const columnPruning = 0.25
+
+// nodeSpec is one SPJ unit in a workload definition. Fractions are of the
+// dataset scale (e.g. 0.003 on a 100GB dataset is a 300MB table).
+type nodeSpec struct {
+	name     string
+	parents  []string
+	baseFrac float64 // base-table bytes scanned
+	outFrac  float64 // output table size
+}
+
+// workloadSpecs defines the five DAGs. Structure summary:
+//   - source nodes scan fact tables joined with dimensions,
+//   - mid nodes combine channel-level intermediates (the paper's merged
+//     query graphs share these),
+//   - report nodes produce small final MVs.
+var workloadSpecs = map[WorkloadName][]nodeSpec{
+	// q5/q77/q80: profit-and-loss reports across three sales channels.
+	IO1: {
+		{name: "q5_ss_spj", baseFrac: 0.160, outFrac: 0.0042},
+		{name: "q5_sr_spj", baseFrac: 0.020, outFrac: 0.0016},
+		{name: "q5_cs_spj", baseFrac: 0.080, outFrac: 0.0040},
+		{name: "q5_cr_spj", baseFrac: 0.010, outFrac: 0.0009},
+		{name: "q5_ws_spj", baseFrac: 0.040, outFrac: 0.0030},
+		{name: "q5_wr_spj", baseFrac: 0.006, outFrac: 0.0005},
+		{name: "q5_store_pl", parents: []string{"q5_ss_spj", "q5_sr_spj"}, outFrac: 0.0036},
+		{name: "q5_catalog_pl", parents: []string{"q5_cs_spj", "q5_cr_spj"}, outFrac: 0.0028},
+		{name: "q5_web_pl", parents: []string{"q5_ws_spj", "q5_wr_spj"}, outFrac: 0.0014},
+		{name: "q5_rollup", parents: []string{"q5_store_pl", "q5_catalog_pl", "q5_web_pl"}, outFrac: 0.0004},
+		{name: "q77_ss_agg", parents: []string{"q5_ss_spj"}, outFrac: 0.0030},
+		{name: "q77_cs_agg", parents: []string{"q5_cs_spj"}, outFrac: 0.0018},
+		{name: "q77_ws_agg", parents: []string{"q5_ws_spj"}, outFrac: 0.0010},
+		{name: "q77_returns", baseFrac: 0.030, outFrac: 0.0022},
+		{name: "q77_channel", parents: []string{"q77_ss_agg", "q77_cs_agg", "q77_ws_agg", "q77_returns"}, outFrac: 0.0012},
+		{name: "q77_report", parents: []string{"q77_channel"}, outFrac: 0.0003},
+		{name: "q80_ss_promo", parents: []string{"q5_ss_spj"}, baseFrac: 0.002, outFrac: 0.0040},
+		{name: "q80_cs_promo", parents: []string{"q5_cs_spj"}, baseFrac: 0.002, outFrac: 0.0022},
+		{name: "q80_ws_promo", parents: []string{"q5_ws_spj"}, baseFrac: 0.002, outFrac: 0.0012},
+		{name: "q80_union", parents: []string{"q80_ss_promo", "q80_cs_promo", "q80_ws_promo"}, outFrac: 0.0030},
+		{name: "q80_report", parents: []string{"q80_union"}, outFrac: 0.0003},
+	},
+	// q2/q59/q74/q75: week-over-week and year-over-year sales comparisons.
+	IO2: {
+		{name: "q2_ws_wk", baseFrac: 0.030, outFrac: 0.0038},
+		{name: "q2_cs_wk", baseFrac: 0.050, outFrac: 0.0040},
+		{name: "q2_wscs", parents: []string{"q2_ws_wk", "q2_cs_wk"}, outFrac: 0.0044},
+		{name: "q2_yoy", parents: []string{"q2_wscs"}, outFrac: 0.0020},
+		{name: "q59_ss_wk", baseFrac: 0.080, outFrac: 0.0042},
+		{name: "q59_this_yr", parents: []string{"q59_ss_wk"}, outFrac: 0.0034},
+		{name: "q59_last_yr", parents: []string{"q59_ss_wk"}, outFrac: 0.0034},
+		{name: "q59_report", parents: []string{"q59_this_yr", "q59_last_yr"}, outFrac: 0.0008},
+		{name: "q74_ss_total", baseFrac: 0.080, outFrac: 0.0040},
+		{name: "q74_ws_total", baseFrac: 0.030, outFrac: 0.0028},
+		{name: "q74_year_sel", parents: []string{"q74_ss_total", "q74_ws_total"}, outFrac: 0.0040},
+		{name: "q74_report", parents: []string{"q74_year_sel"}, outFrac: 0.0005},
+		{name: "q75_cs_items", baseFrac: 0.050, outFrac: 0.0038},
+		{name: "q75_ss_items", parents: []string{"q59_ss_wk"}, outFrac: 0.0040},
+		{name: "q75_ws_items", parents: []string{"q2_ws_wk"}, outFrac: 0.0030},
+		{name: "q75_all_sales", parents: []string{"q75_cs_items", "q75_ss_items", "q75_ws_items"}, outFrac: 0.0034},
+		{name: "q75_prev", parents: []string{"q75_all_sales"}, outFrac: 0.0040},
+		{name: "q75_curr", parents: []string{"q75_all_sales"}, outFrac: 0.0040},
+		{name: "q75_report", parents: []string{"q75_prev", "q75_curr"}, outFrac: 0.0006},
+	},
+	// q44/q49: best/worst performing items and return ratios per channel.
+	IO3: {
+		{name: "q44_ss_base", baseFrac: 0.162, outFrac: 0.0040},
+		{name: "q44_avg_item", parents: []string{"q44_ss_base"}, outFrac: 0.0032},
+		{name: "q44_null_avg", parents: []string{"q44_ss_base"}, outFrac: 0.0004},
+		{name: "q44_best", parents: []string{"q44_avg_item", "q44_null_avg"}, outFrac: 0.0010},
+		{name: "q44_worst", parents: []string{"q44_avg_item", "q44_null_avg"}, outFrac: 0.0010},
+		{name: "q44_ranked", parents: []string{"q44_best", "q44_worst"}, outFrac: 0.0008},
+		{name: "q44_report", parents: []string{"q44_ranked"}, outFrac: 0.0002},
+		{name: "q49_ws_spj", baseFrac: 0.041, outFrac: 0.0038},
+		{name: "q49_wr_spj", baseFrac: 0.006, outFrac: 0.0007},
+		{name: "q49_web", parents: []string{"q49_ws_spj", "q49_wr_spj"}, outFrac: 0.0022},
+		{name: "q49_web_rank", parents: []string{"q49_web"}, outFrac: 0.0009},
+		{name: "q49_cs_spj", baseFrac: 0.081, outFrac: 0.0034},
+		{name: "q49_cr_spj", baseFrac: 0.010, outFrac: 0.0011},
+		{name: "q49_catalog", parents: []string{"q49_cs_spj", "q49_cr_spj"}, outFrac: 0.0040},
+		{name: "q49_cat_rank", parents: []string{"q49_catalog"}, outFrac: 0.0015},
+		{name: "q49_ss_spj", parents: []string{"q44_ss_base"}, outFrac: 0.0038},
+		{name: "q49_sr_spj", baseFrac: 0.020, outFrac: 0.0016},
+		{name: "q49_store", parents: []string{"q49_ss_spj", "q49_sr_spj"}, outFrac: 0.0034},
+		{name: "q49_st_rank", parents: []string{"q49_store"}, outFrac: 0.0016},
+		{name: "q49_union", parents: []string{"q49_web_rank", "q49_cat_rank", "q49_st_rank"}, outFrac: 0.0030},
+		{name: "q49_report", parents: []string{"q49_union"}, outFrac: 0.0003},
+		{name: "q44_asc_desc", parents: []string{"q44_ranked"}, outFrac: 0.0006},
+		{name: "q44_join_item", parents: []string{"q44_asc_desc"}, baseFrac: 0.0008, outFrac: 0.0005},
+		{name: "q49_prev_yr", parents: []string{"q49_union"}, outFrac: 0.0012},
+		{name: "q49_trend", parents: []string{"q49_prev_yr"}, outFrac: 0.0004},
+		{name: "q49_final", parents: []string{"q49_trend", "q44_join_item"}, outFrac: 0.0002},
+	},
+	// q33/q56/q60/q61: category-restricted manufacturer reports; tiny
+	// intermediates, join-heavy compute.
+	Compute1: {
+		{name: "c1_item_cat", baseFrac: 0.0008, outFrac: 1.125e-05},
+		{name: "c1_ss_33", baseFrac: 0.162, outFrac: 9.9e-05},
+		{name: "c1_cs_33", baseFrac: 0.081, outFrac: 6.75e-05},
+		{name: "c1_ws_33", baseFrac: 0.041, outFrac: 4.5e-05},
+		{name: "q33_ss", parents: []string{"c1_ss_33", "c1_item_cat"}, outFrac: 4.5e-05},
+		{name: "q33_cs", parents: []string{"c1_cs_33", "c1_item_cat"}, outFrac: 3.375e-05},
+		{name: "q33_ws", parents: []string{"c1_ws_33", "c1_item_cat"}, outFrac: 2.25e-05},
+		{name: "q33_union", parents: []string{"q33_ss", "q33_cs", "q33_ws"}, outFrac: 3.375e-05},
+		{name: "q33_report", parents: []string{"q33_union"}, outFrac: 1.125e-05},
+		{name: "q56_ss", parents: []string{"c1_ss_33", "c1_item_cat"}, outFrac: 4.5e-05},
+		{name: "q56_cs", parents: []string{"c1_cs_33", "c1_item_cat"}, outFrac: 3.375e-05},
+		{name: "q56_ws", parents: []string{"c1_ws_33", "c1_item_cat"}, outFrac: 2.25e-05},
+		{name: "q56_union", parents: []string{"q56_ss", "q56_cs", "q56_ws"}, outFrac: 3.375e-05},
+		{name: "q56_report", parents: []string{"q56_union"}, outFrac: 1.125e-05},
+		{name: "q60_union", parents: []string{"q33_ss", "q56_cs"}, outFrac: 3.375e-05},
+		{name: "q60_report", parents: []string{"q60_union"}, outFrac: 1.125e-05},
+		{name: "q61_promo", parents: []string{"c1_ss_33"}, baseFrac: 0.0004, outFrac: 2.25e-05},
+		{name: "q61_all", parents: []string{"c1_ss_33"}, outFrac: 2.25e-05},
+		{name: "q61_ratio", parents: []string{"q61_promo", "q61_all"}, outFrac: 1.125e-05},
+		{name: "q61_report", parents: []string{"q61_ratio"}, outFrac: 1.125e-05},
+		{name: "c1_dim_prep", baseFrac: 0.0006, outFrac: 1.125e-05},
+	},
+	// q14/q23: cross-channel frequent-item analysis with large shared
+	// intermediates and heavy aggregation.
+	Compute2: {
+		{name: "q14_ss_items", baseFrac: 0.162, outFrac: 0.0044},
+		{name: "q14_cs_items", baseFrac: 0.081, outFrac: 0.0034},
+		{name: "q14_ws_items", baseFrac: 0.041, outFrac: 0.0040},
+		{name: "q14_cross", parents: []string{"q14_ss_items", "q14_cs_items", "q14_ws_items"}, outFrac: 0.0038},
+		{name: "q14_avg_sales", parents: []string{"q14_cross"}, outFrac: 0.0004},
+		{name: "q14_ss_sales", parents: []string{"q14_cross"}, baseFrac: 0.010, outFrac: 0.0030},
+		{name: "q14_cs_sales", parents: []string{"q14_cross"}, baseFrac: 0.008, outFrac: 0.0020},
+		{name: "q14_ws_sales", parents: []string{"q14_cross"}, baseFrac: 0.006, outFrac: 0.0014},
+		{name: "q14_report", parents: []string{"q14_avg_sales", "q14_ss_sales", "q14_cs_sales", "q14_ws_sales"}, outFrac: 0.0004},
+		{name: "q23_freq_items", parents: []string{"q14_ss_items"}, outFrac: 0.0036},
+		{name: "q23_max_store", parents: []string{"q14_ss_items"}, outFrac: 0.0020},
+		{name: "q23_best_cust", parents: []string{"q23_max_store"}, outFrac: 0.0012},
+		{name: "q23_cs_sel", parents: []string{"q14_cs_items", "q23_freq_items", "q23_best_cust"}, outFrac: 0.0024},
+		{name: "q23_ws_sel", parents: []string{"q14_ws_items", "q23_freq_items", "q23_best_cust"}, outFrac: 0.0014},
+		{name: "q23_union", parents: []string{"q23_cs_sel", "q23_ws_sel"}, outFrac: 0.0016},
+		{name: "q23_report", parents: []string{"q23_union"}, outFrac: 0.0002},
+	},
+}
+
+// Build constructs the simulation workload and the matching optimization
+// problem for a workload at the given dataset scale and variant. memory is
+// the Memory Catalog size in bytes. Compute times are calibrated so the
+// unoptimized serial run spends the workload's Table III I/O ratio on I/O
+// under the given device profile.
+func Build(name WorkloadName, scaleBytes int64, v Variant, memory int64, d costmodel.DeviceProfile) (*sim.Workload, *core.Problem, error) {
+	info, err := infoFor(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := workloadSpecs[name]
+	if len(specs) != info.NumNodes {
+		return nil, nil, fmt.Errorf("tpcds: %s has %d specs, Table III says %d", name, len(specs), info.NumNodes)
+	}
+	g := dag.New()
+	index := make(map[string]dag.NodeID, len(specs))
+	for _, s := range specs {
+		index[s.name] = g.AddNode(s.name)
+	}
+	for _, s := range specs {
+		for _, p := range s.parents {
+			pid, ok := index[p]
+			if !ok {
+				return nil, nil, fmt.Errorf("tpcds: %s references unknown parent %q", s.name, p)
+			}
+			if err := g.AddEdge(pid, index[s.name]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	scale := float64(scaleBytes)
+	nodes := make([]sim.Node, len(specs))
+	for i, s := range specs {
+		nodes[i] = sim.Node{
+			Name:          s.name,
+			OutputBytes:   int64(s.outFrac * scale * v.InterFactor),
+			BaseReadBytes: int64(s.baseFrac * scale * columnPruning * v.BaseFactor),
+		}
+	}
+	// Calibrate compute so the Table III I/O ratio holds: the ratio is the
+	// share of the unoptimized runtime spent reading and writing
+	// *intermediate* tables (the traffic S/C can short-circuit), estimated
+	// in the paper by profiling the equivalent operations with Polars.
+	// With interIO/total = r:  compute = interIO·(1−r)/r − baseRead.
+	var interIO, baseIO, totalBytes float64
+	for i := range nodes {
+		baseIO += d.DiskRead(nodes[i].BaseReadBytes).Seconds()
+		for _, p := range g.Parents(dag.NodeID(i)) {
+			interIO += d.DiskRead(nodes[p].OutputBytes).Seconds()
+		}
+		interIO += d.DiskWrite(nodes[i].OutputBytes).Seconds()
+		totalBytes += float64(nodes[i].BaseReadBytes + nodes[i].OutputBytes)
+	}
+	r := info.IORatio
+	computeBudget := interIO*(1-r)/r - baseIO
+	if min := 0.05 * interIO; computeBudget < min {
+		computeBudget = min
+	}
+	computeBudget *= v.ComputeFactor
+	if totalBytes > 0 {
+		for i := range nodes {
+			share := float64(nodes[i].BaseReadBytes+nodes[i].OutputBytes) / totalBytes
+			nodes[i].ComputeSeconds = computeBudget * share
+		}
+	}
+	w := &sim.Workload{G: g, Nodes: nodes}
+	if err := w.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sizes := make([]int64, len(nodes))
+	for i := range nodes {
+		sizes[i] = nodes[i].OutputBytes
+	}
+	prob := &core.Problem{
+		G:      g,
+		Sizes:  sizes,
+		Scores: costmodel.Scores(d, g, sizes),
+		Memory: memory,
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return w, prob, nil
+}
+
+// MeasuredIORatio computes the intermediate-I/O share of an unoptimized
+// serial run (Table III's metric): time reading and writing intermediate
+// tables over total runtime including base scans and compute.
+func MeasuredIORatio(w *sim.Workload, d costmodel.DeviceProfile) float64 {
+	var interIO, baseIO, compute float64
+	for i := range w.Nodes {
+		baseIO += d.DiskRead(w.Nodes[i].BaseReadBytes).Seconds()
+		for _, p := range w.G.Parents(dag.NodeID(i)) {
+			interIO += d.DiskRead(w.Nodes[p].OutputBytes).Seconds()
+		}
+		interIO += d.DiskWrite(w.Nodes[i].OutputBytes).Seconds()
+		compute += w.Nodes[i].ComputeSeconds
+	}
+	total := interIO + baseIO + compute
+	if total == 0 {
+		return 0
+	}
+	return interIO / total
+}
+
+// GB is one gibibyte of dataset scale.
+const GB = int64(1) << 30
+
+// ScaleBytes converts a TPC-DS scale factor (GB) to bytes.
+func ScaleBytes(scaleGB int) int64 { return int64(scaleGB) * GB }
+
+// MemoryForFraction returns a Memory Catalog size as a fraction of the
+// dataset size, as the paper's sweeps specify (e.g. 0.016 for 1.6%).
+func MemoryForFraction(scaleBytes int64, frac float64) int64 {
+	return int64(math.Round(float64(scaleBytes) * frac))
+}

@@ -1,0 +1,289 @@
+// Package wlgen is the synthetic workload generator of §VI-H: it creates
+// realistic MV-refresh dependency graphs with 25–100 nodes for scalability
+// and sensitivity experiments. It has the paper's two components:
+//
+//   - a layered DAG generator in the style of Spark stage graphs,
+//     parameterized by size, height/width ratio, per-stage node-count
+//     standard deviation, and maximum out-degree;
+//   - a Markov chain over node operations (scan, join, aggregate, filter,
+//     project), fit to the operator-transition statistics of the TPC-DS and
+//     Spider query corpora, which derives node output sizes from inputs.
+package wlgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/sim"
+)
+
+// Op enumerates node operation types.
+type Op uint8
+
+// Operations.
+const (
+	OpScan Op = iota
+	OpJoin
+	OpAgg
+	OpFilter
+	OpProject
+	numOps
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "SCAN"
+	case OpJoin:
+		return "JOIN"
+	case OpAgg:
+		return "AGG"
+	case OpFilter:
+		return "FILTER"
+	default:
+		return "PROJECT"
+	}
+}
+
+// opTransitions is the Markov transition matrix P(next | current): the
+// probability that a consumer of a node with operation `current` performs
+// `next`. Rows are fit to operator-pair frequencies in TPC-DS and Spider
+// query plans: joins are commonly followed by aggregation, aggregates by
+// joins with other aggregates or projection, filters feed joins, and so on.
+var opTransitions = [numOps][numOps]float64{
+	//               SCAN  JOIN  AGG   FILTER PROJECT
+	OpScan:    {0.00, 0.55, 0.15, 0.20, 0.10},
+	OpJoin:    {0.00, 0.30, 0.45, 0.10, 0.15},
+	OpAgg:     {0.00, 0.40, 0.20, 0.15, 0.25},
+	OpFilter:  {0.00, 0.50, 0.25, 0.10, 0.15},
+	OpProject: {0.00, 0.35, 0.30, 0.10, 0.25},
+}
+
+// selectivity returns the output-size multiplier of an operation over its
+// combined input bytes.
+func selectivity(op Op, rng *rand.Rand) float64 {
+	switch op {
+	case OpJoin:
+		return 0.15 + 0.35*rng.Float64() // 0.15–0.50 of combined inputs
+	case OpAgg:
+		return 0.02 + 0.10*rng.Float64() // aggressive reduction
+	case OpFilter:
+		return 0.20 + 0.40*rng.Float64()
+	default: // PROJECT
+		return 0.40 + 0.40*rng.Float64()
+	}
+}
+
+// baseTableBytes are the base-table sizes scan nodes sample from, matching
+// the 100GB TPC-DS dataset's table-size distribution (§VI-H: "sizes of
+// nodes with no parents are randomly sampled from table sizes in the 100GB
+// TPC-DS dataset").
+var baseTableBytes = []int64{
+	40 << 30, // store_sales
+	20 << 30, // catalog_sales
+	10 << 30, // web_sales
+	5 << 30,  // inventory
+	2 << 30,  // store_returns
+	1 << 30,  // catalog_returns
+	512 << 20,
+	256 << 20,
+	64 << 20, // customer
+	8 << 20,  // item
+	1 << 20,  // date_dim
+}
+
+// Params configures generation; zero values take the paper's defaults
+// (marked black in Figure 13/14: 100 nodes, height/width 1, max out-degree
+// 4, stage-count stddev 1).
+type Params struct {
+	Nodes        int     // total node count (default 100)
+	HeightWidth  float64 // height/width ratio (default 1.0)
+	MaxOutdegree int     // per-node outgoing-edge cap (default 4)
+	StageStdDev  float64 // stddev of nodes per stage (default 1.0)
+	Seed         int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Nodes == 0 {
+		p.Nodes = 100
+	}
+	if p.HeightWidth == 0 {
+		p.HeightWidth = 1
+	}
+	if p.MaxOutdegree == 0 {
+		p.MaxOutdegree = 4
+	}
+	if p.StageStdDev == 0 {
+		p.StageStdDev = 1
+	}
+	return p
+}
+
+// Generated bundles the synthetic workload with its node operations.
+type Generated struct {
+	Workload *sim.Workload
+	Ops      []Op
+	Stages   [][]dag.NodeID
+}
+
+// Generate builds a random layered workload.
+func Generate(p Params) (*Generated, error) {
+	p = p.withDefaults()
+	if p.Nodes < 1 || p.MaxOutdegree < 1 || p.HeightWidth <= 0 || p.StageStdDev < 0 {
+		return nil, fmt.Errorf("wlgen: invalid params %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Stage layout: height/width = h/w with h*w ≈ Nodes.
+	height := int(math.Round(math.Sqrt(float64(p.Nodes) * p.HeightWidth)))
+	if height < 1 {
+		height = 1
+	}
+	if height > p.Nodes {
+		height = p.Nodes
+	}
+	meanWidth := float64(p.Nodes) / float64(height)
+
+	g := dag.New()
+	var stages [][]dag.NodeID
+	remaining := p.Nodes
+	for s := 0; s < height && remaining > 0; s++ {
+		want := int(math.Round(meanWidth + rng.NormFloat64()*p.StageStdDev))
+		if want < 1 {
+			want = 1
+		}
+		left := height - s - 1
+		if want > remaining-left {
+			want = remaining - left
+		}
+		if s == height-1 {
+			want = remaining
+		}
+		var stage []dag.NodeID
+		for i := 0; i < want; i++ {
+			stage = append(stage, g.AddNode(fmt.Sprintf("s%d_n%d", s, i)))
+		}
+		stages = append(stages, stage)
+		remaining -= want
+	}
+
+	// Edges: each node sends up to MaxOutdegree edges to later stages
+	// (mostly the next stage, as in Spark stage graphs); every non-source
+	// node gets at least one parent from the previous stage. Guaranteed
+	// parents pick the least-loaded candidate, so the out-degree cap is
+	// only exceeded when a stage is wider than its predecessor can serve.
+	for si := 1; si < len(stages); si++ {
+		prev := stages[si-1]
+		for _, id := range stages[si] {
+			start := rng.Intn(len(prev))
+			par := prev[start]
+			for k := 1; k < len(prev); k++ {
+				cand := prev[(start+k)%len(prev)]
+				if len(g.Children(cand)) < len(g.Children(par)) {
+					par = cand
+				}
+			}
+			g.MustAddEdge(par, id)
+		}
+	}
+	for si := 0; si < len(stages)-1; si++ {
+		for _, id := range stages[si] {
+			extra := rng.Intn(p.MaxOutdegree + 1)
+			for e := 0; e < extra; e++ {
+				if len(g.Children(id)) >= p.MaxOutdegree {
+					break
+				}
+				// Prefer the next stage; occasionally skip ahead.
+				ti := si + 1
+				if rng.Float64() < 0.2 && si+2 < len(stages) {
+					ti = si + 2 + rng.Intn(len(stages)-si-2)
+				}
+				targets := stages[ti]
+				g.MustAddEdge(id, targets[rng.Intn(len(targets))])
+			}
+		}
+	}
+
+	// Operations via the Markov chain, walking stages top-down; sizes
+	// derived from inputs by the op's selectivity.
+	ops := make([]Op, g.Len())
+	sizes := make([]int64, g.Len())
+	baseReads := make([]int64, g.Len())
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		parents := g.Parents(id)
+		if len(parents) == 0 {
+			ops[id] = OpScan
+			sizes[id] = baseTableBytes[rng.Intn(len(baseTableBytes))]
+			baseReads[id] = sizes[id] * 2 // scans read more than they keep
+			continue
+		}
+		// Next op sampled from the transition row of a random parent.
+		from := ops[parents[rng.Intn(len(parents))]]
+		ops[id] = sampleOp(opTransitions[from], rng)
+		// Output scales with the largest input: key joins and filters do
+		// not multiply cardinalities across inputs.
+		var in int64
+		for _, par := range parents {
+			if sizes[par] > in {
+				in = sizes[par]
+			}
+		}
+		sizes[id] = int64(float64(in) * selectivity(ops[id], rng))
+		if sizes[id] < 1<<20 {
+			sizes[id] = 1 << 20
+		}
+	}
+
+	nodes := make([]sim.Node, g.Len())
+	for i := range nodes {
+		nodes[i] = sim.Node{
+			Name:          g.Name(dag.NodeID(i)),
+			OutputBytes:   sizes[i],
+			BaseReadBytes: baseReads[i],
+			// Compute proportional to processed bytes at a rate that
+			// keeps synthetic workloads I/O-heavy, like the paper's.
+			ComputeSeconds: float64(sizes[i]+baseReads[i]) / 4e9,
+		}
+	}
+	w := &sim.Workload{G: g, Nodes: nodes}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generated{Workload: w, Ops: ops, Stages: stages}, nil
+}
+
+func sampleOp(row [numOps]float64, rng *rand.Rand) Op {
+	r := rng.Float64()
+	var acc float64
+	for op := Op(0); op < numOps; op++ {
+		acc += row[op]
+		if r < acc {
+			return op
+		}
+	}
+	return OpProject
+}
+
+// Problem derives the optimization problem for a generated workload.
+func (gen *Generated) Problem(memory int64, d costmodel.DeviceProfile) *core.Problem {
+	g := gen.Workload.G
+	sizes := make([]int64, g.Len())
+	for i := range sizes {
+		sizes[i] = gen.Workload.Nodes[i].OutputBytes
+	}
+	return &core.Problem{
+		G:      g,
+		Sizes:  sizes,
+		Scores: costmodel.Scores(d, g, sizes),
+		Memory: memory,
+	}
+}

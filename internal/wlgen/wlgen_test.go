@@ -1,0 +1,212 @@
+package wlgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/opt"
+	"github.com/shortcircuit-db/sc/internal/sim"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	gen, err := Generate(Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Workload.G.Len() != 100 {
+		t.Fatalf("nodes = %d, want 100", gen.Workload.G.Len())
+	}
+	if !gen.Workload.G.IsAcyclic() {
+		t.Fatal("cyclic graph")
+	}
+}
+
+func TestGenerateExactNodeCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(seed%91+91)%91 // 10..100
+		gen, err := Generate(Params{Nodes: n, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return gen.Workload.G.Len() == n && gen.Workload.G.IsAcyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	a, err := Generate(Params{Nodes: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{Nodes: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workload.G.NumEdges() != b.Workload.G.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Workload.Nodes {
+		if a.Workload.Nodes[i].OutputBytes != b.Workload.Nodes[i].OutputBytes {
+			t.Fatal("sizes differ")
+		}
+	}
+}
+
+func TestHeightWidthShapesTheDAG(t *testing.T) {
+	tall, err := Generate(Params{Nodes: 64, HeightWidth: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Generate(Params{Nodes: 64, HeightWidth: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tall.Stages) <= len(wide.Stages) {
+		t.Fatalf("tall stages %d, wide stages %d", len(tall.Stages), len(wide.Stages))
+	}
+}
+
+func TestMaxOutdegreeRespected(t *testing.T) {
+	gen, err := Generate(Params{Nodes: 80, MaxOutdegree: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Workload.G
+	// The cap may only be exceeded when a stage is wider than its
+	// predecessor can serve at the cap (every node needs a parent).
+	for si := 0; si < len(gen.Stages)-1; si++ {
+		bound := 2
+		need := (len(gen.Stages[si+1]) + len(gen.Stages[si]) - 1) / len(gen.Stages[si])
+		if need > bound {
+			bound = need
+		}
+		for _, id := range gen.Stages[si] {
+			if len(g.Children(id)) > bound {
+				t.Fatalf("stage %d node %d outdegree %d exceeds bound %d",
+					si, id, len(g.Children(id)), bound)
+			}
+		}
+	}
+}
+
+func TestSourcesAreScansAndDerivedSizesShrink(t *testing.T) {
+	gen, err := Generate(Params{Nodes: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Workload.G
+	for i := 0; i < g.Len(); i++ {
+		id := dag.NodeID(i)
+		if len(g.Parents(id)) == 0 {
+			if gen.Ops[i] != OpScan {
+				t.Fatalf("source node %d has op %s", i, gen.Ops[i])
+			}
+		} else if gen.Ops[i] == OpScan {
+			t.Fatalf("derived node %d is a scan", i)
+		}
+		if gen.Workload.Nodes[i].OutputBytes <= 0 {
+			t.Fatalf("node %d non-positive size", i)
+		}
+	}
+}
+
+func TestNonSourceNodesHaveParents(t *testing.T) {
+	gen, err := Generate(Params{Nodes: 40, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Workload.G
+	for si := 1; si < len(gen.Stages); si++ {
+		for _, id := range gen.Stages[si] {
+			if len(g.Parents(id)) == 0 {
+				t.Fatalf("stage %d node %d has no parents", si, id)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{Nodes: -1},
+		{MaxOutdegree: -2},
+		{HeightWidth: -1},
+		{StageStdDev: -0.5},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeneratedWorkloadOptimizesAndSimulates(t *testing.T) {
+	gen, err := Generate(Params{Nodes: 50, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := costmodel.PaperProfile()
+	p := gen.Problem(2<<30, d)
+	pl, st, err := opt.Solve(p, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Feasible(p, pl) {
+		t.Fatal("infeasible plan")
+	}
+	cfg := sim.Config{Device: d, Memory: p.Memory}
+	base, err := sim.Run(gen.Workload, core.NewPlan(pl.Order), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := sim.Run(gen.Workload, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score > 0 && optRes.Total >= base.Total {
+		t.Fatalf("optimized run (%v) not faster than baseline (%v) despite score %v",
+			optRes.Total, base.Total, st.Score)
+	}
+}
+
+func TestSampleOpDistribution(t *testing.T) {
+	// sampleOp must respect the row: a row with all mass on AGG always
+	// returns AGG.
+	row := [numOps]float64{OpAgg: 1}
+	for i := 0; i < 50; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if got := sampleOp(row, rng); got != OpAgg {
+			t.Fatalf("sampleOp = %s", got)
+		}
+	}
+}
+
+func TestTransitionRowsSumToOne(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		var sum float64
+		for _, v := range opTransitions[op] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %s sums to %v", op, sum)
+		}
+		if opTransitions[op][OpScan] != 0 {
+			t.Errorf("row %s allows transition to SCAN", op)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{OpScan: "SCAN", OpJoin: "JOIN", OpAgg: "AGG", OpFilter: "FILTER", OpProject: "PROJECT"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %s", op, op.String())
+		}
+	}
+}

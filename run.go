@@ -1,0 +1,129 @@
+package sc
+
+import (
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/sim"
+	"github.com/shortcircuit-db/sc/internal/storage"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// MV declares one materialized view: a SQL statement whose result is
+// materialized under Name. Supported SQL: SELECT-PROJECT-JOIN with
+// GROUP BY/ORDER BY/LIMIT; inputs are other MVs (by name) or base tables
+// on storage.
+type MV struct {
+	Name string
+	SQL  string
+}
+
+// Store is the external-storage abstraction MVs materialize to.
+type Store = storage.Store
+
+// NewMemStore returns an in-process store for tests and examples.
+func NewMemStore() *storage.MemStore { return storage.NewMemStore() }
+
+// NewFSStore returns a filesystem-backed store rooted at dir.
+func NewFSStore(dir string) (*storage.FSStore, error) { return storage.NewFSStore(dir) }
+
+// NewThrottledStore wraps a store with a bandwidth/latency model so fast
+// local disks reproduce storage-bound behaviour.
+func NewThrottledStore(inner Store, readBW, writeBW float64, latency time.Duration) Store {
+	return &storage.Throttled{Inner: inner, ReadBWBps: readBW, WriteBWBps: writeBW, Latency: latency}
+}
+
+// SaveTable writes a table to a store in S/C's columnar format.
+func SaveTable(st Store, name string, t *table.Table) error {
+	return exec.SaveTable(st, name, t)
+}
+
+// LoadTable reads a table written by SaveTable (or by a refresh run).
+func LoadTable(st Store, name string) (*table.Table, error) {
+	return exec.LoadTable(st, name)
+}
+
+// Runner executes MV refresh runs on the real engine.
+type Runner struct {
+	workload *exec.Workload
+	graph    *dag.Graph
+	store    Store
+	memory   int64
+}
+
+// NewRunner builds a runner for the given MVs over a store holding the
+// base tables. memory is the Memory Catalog budget in bytes. Dependencies
+// are extracted from the SQL statements.
+func NewRunner(mvs []MV, store Store, memory int64) (*Runner, error) {
+	w := &exec.Workload{}
+	for _, mv := range mvs {
+		w.Nodes = append(w.Nodes, exec.NodeSpec{Name: mv.Name, SQL: mv.SQL})
+	}
+	g, _, err := w.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{workload: w, graph: g, store: store, memory: memory}, nil
+}
+
+// Graph exposes the extracted dependency graph.
+func (r *Runner) Graph() *dag.Graph { return r.graph }
+
+// NodeMetrics is the per-node execution metadata of a run (§III-A).
+type NodeMetrics = exec.NodeMetrics
+
+// RunResult aggregates a refresh run.
+type RunResult = exec.RunResult
+
+// Run refreshes every MV following the plan, returning per-node metrics.
+// A nil plan means the unoptimized baseline: topological order, nothing
+// kept in memory.
+func (r *Runner) Run(plan *Plan) (*RunResult, error) {
+	if plan == nil {
+		topo, err := r.graph.TopoSort()
+		if err != nil {
+			return nil, err
+		}
+		plan = core.NewPlan(topo)
+	}
+	ctl := &exec.Controller{Store: r.store, Mem: memcat.New(r.memory)}
+	return ctl.Run(r.workload, r.graph, plan)
+}
+
+// ProblemFromMetrics derives an optimization problem from observed run
+// metrics: sizes are observed output sizes and scores follow the §IV model
+// under the device profile.
+func (r *Runner) ProblemFromMetrics(res *RunResult, d DeviceProfile) *Problem {
+	sizes := make([]int64, r.graph.Len())
+	for _, nm := range res.Nodes {
+		if id := r.graph.Lookup(nm.Name); id != dag.Invalid {
+			sizes[id] = nm.OutputBytes
+		}
+	}
+	p := &Problem{G: r.graph, Sizes: sizes, Memory: r.memory}
+	EstimateScores(p, d)
+	return p
+}
+
+// SimNode parameterizes one MV update for simulation.
+type SimNode = sim.Node
+
+// SimWorkload pairs a graph with simulation parameters.
+type SimWorkload = sim.Workload
+
+// SimConfig controls a simulated run.
+type SimConfig = sim.Config
+
+// SimResult is a simulated run outcome.
+type SimResult = sim.Result
+
+// Simulate runs the calibrated discrete-event simulator: serial node
+// execution, background materialization sharing the write channel, Memory
+// Catalog accounting. It reproduces the paper's large-scale experiments
+// without moving real bytes.
+func Simulate(w *SimWorkload, plan *Plan, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(w, plan, cfg)
+}

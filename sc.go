@@ -1,0 +1,162 @@
+// Package sc is Short-Circuit (S/C): a system that speeds up the refresh of
+// a DAG of materialized views under a bounded Memory Catalog, reproducing
+// "S/C: Speeding up Data Materialization with Bounded Memory" (ICDE 2023).
+//
+// Given MV definitions with acyclic dependencies, S/C jointly optimizes
+// (1) the MV refresh order and (2) which intermediate results to keep
+// temporarily in memory, so downstream updates read hot inputs at memory
+// speed while materialization to external storage proceeds in the
+// background. All MVs are still fully materialized, so SLAs are unaffected.
+//
+// Typical use:
+//
+//	g := sc.NewGraphBuilder()
+//	a := g.Node("mv_a", sizeA, scoreA)
+//	b := g.Node("mv_b", sizeB, scoreB)
+//	g.Edge(a, b) // mv_b reads mv_a
+//	plan, stats, err := sc.Optimize(g.Problem(memoryBudget), sc.Options{})
+//
+// The plan's Order and FlaggedIDs drive either the real SQL controller
+// (sc.Runner) or the calibrated simulator (sc.Simulate).
+package sc
+
+import (
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/flagsel"
+	"github.com/shortcircuit-db/sc/internal/opt"
+	"github.com/shortcircuit-db/sc/internal/order"
+)
+
+// NodeID identifies a node in a workload graph.
+type NodeID = dag.NodeID
+
+// Problem is an S/C Opt instance: dependency graph, per-node output sizes,
+// per-node speedup scores, and the Memory Catalog budget.
+type Problem = core.Problem
+
+// Plan is an optimized refresh plan: an execution order plus the flagged
+// set kept in the Memory Catalog.
+type Plan = core.Plan
+
+// DeviceProfile describes storage and memory performance for score
+// estimation and simulation.
+type DeviceProfile = costmodel.DeviceProfile
+
+// PaperProfile returns the device profile of the paper's evaluation
+// environment (§VI-A), with bandwidths expressed as effective table-I/O
+// throughput.
+func PaperProfile() DeviceProfile { return costmodel.PaperProfile() }
+
+// GraphBuilder assembles a Problem incrementally.
+type GraphBuilder struct {
+	g      *dag.Graph
+	sizes  []int64
+	scores []float64
+}
+
+// NewGraphBuilder returns an empty builder.
+func NewGraphBuilder() *GraphBuilder {
+	return &GraphBuilder{g: dag.New()}
+}
+
+// Node adds an MV update with its intermediate-table size in bytes and its
+// speedup score in seconds (use EstimateScores to derive scores from sizes
+// and a device profile).
+func (b *GraphBuilder) Node(name string, sizeBytes int64, score float64) NodeID {
+	id := b.g.AddNode(name)
+	b.sizes = append(b.sizes, sizeBytes)
+	b.scores = append(b.scores, score)
+	return id
+}
+
+// Edge declares that child consumes parent's output.
+func (b *GraphBuilder) Edge(parent, child NodeID) error {
+	return b.g.AddEdge(parent, child)
+}
+
+// Problem finalizes the builder with the given Memory Catalog size.
+func (b *GraphBuilder) Problem(memory int64) *Problem {
+	return &Problem{
+		G:      b.g,
+		Sizes:  append([]int64(nil), b.sizes...),
+		Scores: append([]float64(nil), b.scores...),
+		Memory: memory,
+	}
+}
+
+// EstimateScores fills the problem's scores from its sizes and a device
+// profile using the paper's §IV formula: per-child read savings plus the
+// overlapped write saving.
+func EstimateScores(p *Problem, d DeviceProfile) {
+	p.Scores = costmodel.Scores(d, p.G, p.Sizes)
+}
+
+// Options configures Optimize. The zero value runs the paper's algorithm:
+// SimplifiedMKP flagging + MA-DFS ordering under alternating optimization.
+type Options struct {
+	// FlagAlgorithm: "mkp" (default), "greedy", "random", "ratio".
+	FlagAlgorithm string
+	// OrderAlgorithm: "ma-dfs" (default), "dfs", "kahn", "sa", "separator".
+	OrderAlgorithm string
+	// Seed feeds the randomized algorithms.
+	Seed int64
+	// MaxIterations caps alternating optimization (0 = default).
+	MaxIterations int
+}
+
+// Stats reports optimizer behaviour.
+type Stats struct {
+	Iterations int
+	Score      float64       // total speedup score of flagged nodes (seconds)
+	PeakMemory int64         // peak Memory Catalog bytes of the plan
+	Elapsed    time.Duration // optimization wall-clock
+	StopReason string
+}
+
+// Optimize solves S/C Opt (Problem 1 of the paper) and returns a feasible
+// plan: a topological execution order and a flagged set whose peak resident
+// size never exceeds the Memory Catalog budget.
+func Optimize(p *Problem, o Options) (*Plan, *Stats, error) {
+	var sel flagsel.Selector
+	var ord order.Orderer
+	var err error
+	if o.FlagAlgorithm != "" {
+		sel, err = flagsel.ByName(o.FlagAlgorithm, o.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if o.OrderAlgorithm != "" {
+		ord, err = order.ByName(o.OrderAlgorithm, o.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	pl, st, err := opt.Solve(p, opt.Options{
+		Selector:      sel,
+		Orderer:       ord,
+		MaxIterations: o.MaxIterations,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, &Stats{
+		Iterations: st.Iterations,
+		Score:      st.Score,
+		PeakMemory: st.PeakMemory,
+		Elapsed:    st.Elapsed,
+		StopReason: st.StopReason,
+	}, nil
+}
+
+// Feasible reports whether the plan's flagged set fits in the problem's
+// Memory Catalog at every step of its order.
+func Feasible(p *Problem, pl *Plan) bool { return core.Feasible(p, pl) }
+
+// PeakMemory returns the plan's peak Memory Catalog usage in bytes under
+// the unit-time model of §IV.
+func PeakMemory(p *Problem, pl *Plan) int64 { return core.PeakMemoryUsage(p, pl) }
