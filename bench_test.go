@@ -7,6 +7,7 @@
 package sc_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -121,7 +122,7 @@ func BenchmarkRealEngine(b *testing.B) {
 	cfg := bench.DefaultRealConfig()
 	cfg.ScaleFactor = 0.5
 	for i := 0; i < b.N; i++ {
-		if err := bench.Real(io.Discard, cfg); err != nil {
+		if err := bench.Real(context.Background(), io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,7 +163,7 @@ func BenchmarkSimulateWorkload(b *testing.B) {
 	cfg := sim.Config{Device: d, Memory: p.Memory}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(w, plan, cfg); err != nil {
+		if _, err := sim.Run(context.Background(), w, plan, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

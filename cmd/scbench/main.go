@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/bench"
@@ -26,12 +28,25 @@ func main() {
 	sf := flag.Float64("sf", 1.0, "dataset scale factor for the real-engine run")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// A second interrupt terminates immediately: unregister the handler as
+	// soon as the first one cancels the context.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
 		experiments = []string{"fig3", "table3", "fig9", "fig10", "fig11", "table4", "fig12", "table5", "fig13", "fig14", "ablate", "real"}
 	}
 	out := os.Stdout
 	for _, exp := range experiments {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "scbench: interrupted")
+			os.Exit(130)
+		}
 		start := time.Now()
 		var err error
 		switch exp {
@@ -60,7 +75,7 @@ func main() {
 		case "real":
 			cfg := bench.DefaultRealConfig()
 			cfg.ScaleFactor = *sf
-			err = bench.Real(out, cfg)
+			err = bench.Real(ctx, out, cfg)
 		default:
 			err = fmt.Errorf("unknown experiment %q", exp)
 		}

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/signal"
 
 	sc "github.com/shortcircuit-db/sc"
 )
@@ -80,11 +82,26 @@ func main() {
 	if in.EstimateScores {
 		sc.EstimateScores(p, sc.PaperProfile())
 	}
-	plan, stats, err := sc.Optimize(p, sc.Options{
-		FlagAlgorithm:  in.FlagAlgorithm,
-		OrderAlgorithm: in.OrderAlgorithm,
-		Seed:           in.Seed,
-	})
+	// The JSON algorithm names resolve through the public registries, so
+	// strategies registered by embedding programs are reachable here too.
+	opts := []sc.Option{sc.WithSeed(in.Seed)}
+	if in.FlagAlgorithm != "" {
+		sel, err := sc.SelectorByName(in.FlagAlgorithm, in.Seed)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts = append(opts, sc.WithFlagSelector(sel))
+	}
+	if in.OrderAlgorithm != "" {
+		ord, err := sc.OrdererByName(in.OrderAlgorithm, in.Seed)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts = append(opts, sc.WithOrderer(ord))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	plan, stats, err := sc.Solve(ctx, p, opts...)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -5,17 +5,22 @@
 //
 //	scrun -workload "I/O 1" -scale 100 -variant tpcds -mem 0.016 -method sc
 //
-// Methods: noopt, lru, random, greedy, ratio, sc.
+// Methods: noopt, lru, random, greedy, ratio, sc. With -progress, the
+// run's event stream (node starts/completions, materialization, Memory
+// Catalog evictions and high-water marks) is printed live to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/shortcircuit-db/sc/internal/bench"
 	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/sim"
 	"github.com/shortcircuit-db/sc/internal/tpcds"
 )
@@ -27,7 +32,11 @@ func main() {
 	memFrac := flag.Float64("mem", 0.016, "Memory Catalog as a fraction of data size")
 	method := flag.String("method", "sc", "method: noopt, lru, random, greedy, ratio, sc")
 	workers := flag.Int("workers", 1, "cluster worker count")
+	progress := flag.Bool("progress", false, "stream refresh events to stderr as the run advances")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	v := tpcds.Regular()
 	if strings.EqualFold(*variant, "tpcdsp") {
@@ -60,7 +69,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scrun:", err)
 		os.Exit(1)
 	}
-	res, err := sim.Run(w, plan, sim.Config{Device: d, Memory: mem, Workers: *workers, LRU: m.LRU})
+	cfg := sim.Config{Device: d, Memory: mem, Workers: *workers, LRU: m.LRU}
+	if *progress {
+		cfg.Observer = progressPrinter(os.Stderr)
+	}
+	res, err := sim.Run(ctx, w, plan, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scrun:", err)
 		os.Exit(1)
@@ -79,4 +92,29 @@ func main() {
 	}
 	fmt.Printf("\nend-to-end %.1fs  (read %.1fs, compute %.1fs, blocking write %.1fs, peak memory %.1f MB)\n",
 		res.Total, res.ReadSeconds, res.ComputeSeconds, res.WriteSeconds, float64(res.PeakMemory)/1e6)
+}
+
+// progressPrinter renders the refresh event stream as one line per event,
+// stamped with the virtual clock.
+func progressPrinter(out *os.File) obs.Observer {
+	return obs.Func(func(e obs.Event) {
+		at := e.Elapsed.Seconds()
+		switch e.Kind {
+		case obs.NodeStart:
+			fmt.Fprintf(out, "[%8.1fs] start  %-16s (step %d)\n", at, e.Node, e.Step)
+		case obs.NodeDone:
+			state := "written"
+			if e.Flagged {
+				state = "in-memory"
+			}
+			fmt.Fprintf(out, "[%8.1fs] done   %-16s %s (%.1f MB, read %.2fs, write %.2fs)\n",
+				at, e.Node, state, float64(e.Bytes)/1e6, e.Read.Seconds(), e.Write.Seconds())
+		case obs.Materialized:
+			fmt.Fprintf(out, "[%8.1fs] stored %-16s (%.1f MB on external storage)\n", at, e.Node, float64(e.Bytes)/1e6)
+		case obs.Evicted:
+			fmt.Fprintf(out, "[%8.1fs] evict  %-16s (%.1f MB released)\n", at, e.Node, float64(e.Bytes)/1e6)
+		case obs.MemoryHighWater:
+			fmt.Fprintf(out, "[%8.1fs] memory high-water %.1f MB\n", at, float64(e.Bytes)/1e6)
+		}
+	})
 }

@@ -1,0 +1,35 @@
+package sc
+
+import "github.com/shortcircuit-db/sc/internal/obs"
+
+// Event is one observation from a refresh, simulation or optimization run.
+type Event = obs.Event
+
+// EventKind enumerates event types.
+type EventKind = obs.Kind
+
+// Event kinds emitted by the Controller, the simulator and the optimizer.
+const (
+	// NodeStart: a node's refresh began.
+	NodeStart = obs.NodeStart
+	// NodeDone: a node's refresh finished (output produced).
+	NodeDone = obs.NodeDone
+	// Materialized: a node's output finished writing to external storage.
+	Materialized = obs.Materialized
+	// Evicted: a flagged output left the Memory Catalog.
+	Evicted = obs.Evicted
+	// IterationDone: one alternating-optimization iteration completed.
+	IterationDone = obs.IterationDone
+	// MemoryHighWater: the Memory Catalog reached a new peak.
+	MemoryHighWater = obs.MemoryHighWater
+)
+
+// Observer receives the event stream of a refresh. Implementations must be
+// safe for concurrent use when running with WithConcurrency(k > 1).
+type Observer = obs.Observer
+
+// ObserverFunc adapts a function to Observer.
+type ObserverFunc = obs.Func
+
+// MultiObserver fans events out to every non-nil observer, in order.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }

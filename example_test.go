@@ -1,15 +1,16 @@
 package sc_test
 
 import (
+	"context"
 	"fmt"
 
 	sc "github.com/shortcircuit-db/sc"
 )
 
-// ExampleOptimize reproduces the paper's Figure 7: under a 100GB Memory
+// ExampleSolve reproduces the paper's Figure 7: under a 100GB Memory
 // Catalog, reordering lets both 100GB intermediates be kept in memory at
 // different times.
-func ExampleOptimize() {
+func ExampleSolve() {
 	const gb = int64(1) << 30
 	b := sc.NewGraphBuilder()
 	v1 := b.Node("v1", 100*gb, 100)
@@ -24,13 +25,37 @@ func ExampleOptimize() {
 	_ = b.Edge(v3, v5)
 
 	p := b.Problem(100 * gb)
-	plan, stats, err := sc.Optimize(p, sc.Options{})
+	plan, stats, err := sc.Solve(context.Background(), p)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("flagged %d nodes, score %.0f, feasible %v\n",
 		len(plan.FlaggedIDs()), stats.Score, sc.Feasible(p, plan))
 	// Output: flagged 3 nodes, score 120, feasible true
+}
+
+// ExampleSolve_options picks registered algorithms and caps the
+// alternating optimization.
+func ExampleSolve_options() {
+	const gb = int64(1) << 30
+	b := sc.NewGraphBuilder()
+	v1 := b.Node("staging", 2*gb, 20)
+	v2 := b.Node("report", 1*gb, 10)
+	_ = b.Edge(v1, v2)
+
+	sel, err := sc.SelectorByName("greedy", 0)
+	if err != nil {
+		panic(err)
+	}
+	plan, _, err := sc.Solve(context.Background(), b.Problem(4*gb),
+		sc.WithFlagSelector(sel),
+		sc.WithMaxIterations(5),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("flagged %d nodes with %s\n", len(plan.FlaggedIDs()), sel.Name())
+	// Output: flagged 2 nodes with Greedy
 }
 
 // ExampleGraphBuilder shows score estimation from sizes and a device

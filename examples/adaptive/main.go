@@ -2,80 +2,72 @@
 //
 // Recurring pipelines drift: tables grow, selectivities change. This
 // example runs the same MV pipeline across three simulated "days" of data
-// growth. Each day it re-optimizes using the metadata observed on the
-// previous run (sizes from the metrics store), showing the plan adapting —
-// nodes leave the flagged set as their outputs outgrow the Memory Catalog.
+// growth with a single long-lived Refresher session. Each Refresh call
+// executes the current plan, records the observed metadata, and
+// re-optimizes for the next day — showing the plan adapting as nodes leave
+// the flagged set when their outputs outgrow the Memory Catalog.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	sc "github.com/shortcircuit-db/sc"
 	"github.com/shortcircuit-db/sc/internal/exec"
-	"github.com/shortcircuit-db/sc/internal/metrics"
 	"github.com/shortcircuit-db/sc/internal/tpcds"
 )
 
 func main() {
-	mvsSpec := tpcds.RealWorkload()
 	var mvs []sc.MV
-	for _, n := range mvsSpec.Nodes {
+	for _, n := range tpcds.RealWorkload().Nodes {
 		mvs = append(mvs, sc.MV{Name: n.Name, SQL: n.SQL})
 	}
 	device := sc.DeviceProfile{
 		DiskReadBW: 50e6, DiskWriteBW: 30e6, DiskLatency: 2 * time.Millisecond,
 		MemReadBW: 10e9, MemWriteBW: 10e9, ComputeScale: 1,
 	}
-	md := metrics.NewStore()
-	const memory = int64(384) << 10 // fixed 384KB Memory Catalog across days
 
-	var plan *sc.Plan
+	// One store, one session: ingestion rewrites the base tables in place
+	// each day, the NFS-like throttle shapes the refresh traffic.
+	inner := sc.NewMemStore()
+	store := sc.NewThrottledStore(inner, 50e6, 30e6, 2*time.Millisecond)
+	ref, err := sc.New(mvs, store,
+		sc.WithMemory(384<<10),   // fixed 384KB Memory Catalog across days
+		sc.WithDevice(device),    // score model matching the throttled store
+		sc.WithSizeGuess(32<<10), // optimistic 32KB guess before any observation
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Day 0 has no observations: the first plan flags from size guesses.
+	if _, _, err := ref.Optimize(ctx); err != nil {
+		log.Fatal(err)
+	}
+
 	for day, sf := range []float64{0.5, 1.0, 2.0} {
 		// Fresh ingestion at today's data volume.
 		ds, err := tpcds.Generate(tpcds.GenConfig{ScaleFactor: sf, Seed: int64(100 + day)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		inner := sc.NewMemStore()
 		if err := ds.Save(inner, exec.SaveTable); err != nil {
 			log.Fatal(err)
 		}
-		store := sc.NewThrottledStore(inner, 50e6, 30e6, 2*time.Millisecond)
-		runner, err := sc.NewRunner(mvs, store, memory)
-		if err != nil {
-			log.Fatal(err)
-		}
-		g := runner.Graph()
 
-		// Optimize with yesterday's observations (day 0 has none: the
-		// optimizer sees fallback sizes and flags conservatively).
-		sizes := md.Sizes(g, 32<<10) // optimistic 32KB guess before any observation
-		p := &sc.Problem{G: g, Sizes: sizes, Memory: memory}
-		sc.EstimateScores(p, device)
-		plan, _, err = sc.Optimize(p, sc.Options{})
+		planned := len(ref.Plan().FlaggedIDs())
+		res, err := ref.Refresh(ctx) // run today's plan, observe, re-optimize
 		if err != nil {
 			log.Fatal(err)
-		}
-
-		res, err := runner.Run(plan)
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Record today's observations for tomorrow.
-		for _, n := range res.Nodes {
-			md.Record(metrics.Observation{
-				Name: n.Name, OutputBytes: n.OutputBytes,
-				ReadTime: n.ReadTime, WriteTime: n.WriteTime, ComputeTime: n.ComputeTime,
-				When: time.Now(),
-			})
 		}
 		fmt.Printf("day %d (scale %.1f, %.1f MB data): %2d/%d MVs flagged, refresh %v, peak memory %.1f MB, fallbacks %d\n",
 			day+1, sf, float64(ds.TotalBytes())/1e6,
-			len(plan.FlaggedIDs()), g.Len(),
+			planned, ref.Graph().Len(),
 			res.Total.Round(time.Millisecond), float64(res.PeakMemory)/1e6, res.FallbackWrites)
 	}
 	fmt.Println("\nDay 1 plans from default size estimates; later days plan from observed")

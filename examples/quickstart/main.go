@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	_ = v6 // isolated MV: no dependencies
 
 	p := b.Problem(100 * gb)
-	plan, stats, err := sc.Optimize(p, sc.Options{})
+	plan, stats, err := sc.Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func main() {
 		log.Fatal(err)
 	}
 	basePlan := &sc.Plan{Order: topo, Flagged: make([]bool, p.G.Len())}
-	base, err := sc.Simulate(w, basePlan, cfg)
+	base, err := sc.SimulatePlan(context.Background(), w, basePlan, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ours, err := sc.Simulate(w, plan, cfg)
+	ours, err := sc.SimulatePlan(context.Background(), w, plan, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,17 +1,20 @@
 // Salespipeline: a dbt-style retail MV pipeline on the real engine.
 //
 // Generates a TPC-DS-like dataset, declares twelve dependent materialized
-// views in SQL, runs the pipeline unoptimized over NFS-like throttled
-// storage, feeds the observed execution metadata back into the optimizer
-// (§III-A), and re-runs with S/C's plan — reporting measured wall-clock
-// speedup and verifying the MVs are identical.
+// views in SQL, and drives one Refresher session through the §III-A loop:
+// an unoptimized run over NFS-like throttled storage collects execution
+// metadata, Optimize plans from what was observed, and the S/C run measures
+// the wall-clock speedup — while an Observer watches the event stream
+// (materializations, Memory Catalog evictions, the high-water mark).
 //
 //	go run ./examples/salespipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	sc "github.com/shortcircuit-db/sc"
@@ -20,35 +23,53 @@ import (
 )
 
 func main() {
-	// 1. Generate base tables and store them on a throttled (NFS-like)
-	//    store: 50 MB/s reads, 30 MB/s writes, 2ms access latency.
+	ctx := context.Background()
+
+	// 1. Generate base tables on a throttled (NFS-like) store: 50 MB/s
+	//    reads, 30 MB/s writes, 2ms access latency.
 	ds, err := tpcds.Generate(tpcds.GenConfig{ScaleFactor: 1.0, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	newStore := func() sc.Store {
-		inner := sc.NewMemStore()
-		if err := ds.Save(inner, exec.SaveTable); err != nil {
-			log.Fatal(err)
-		}
-		return sc.NewThrottledStore(inner, 50e6, 30e6, 2*time.Millisecond)
+	inner := sc.NewMemStore()
+	if err := ds.Save(inner, exec.SaveTable); err != nil {
+		log.Fatal(err)
 	}
+	store := sc.NewThrottledStore(inner, 50e6, 30e6, 2*time.Millisecond)
 	fmt.Printf("generated %d base tables, %.1f MB\n", len(ds.Tables), float64(ds.TotalBytes())/1e6)
 
 	// 2. Declare the MV pipeline (profit report in the style of the
-	//    paper's I/O 1 workload).
+	//    paper's I/O 1 workload) and open a refresh session.
 	var mvs []sc.MV
 	for _, n := range tpcds.RealWorkload().Nodes {
 		mvs = append(mvs, sc.MV{Name: n.Name, SQL: n.SQL})
 	}
-	memory := ds.TotalBytes() / 3 // Memory Catalog: a third of the dataset
-
-	// 3. Baseline run: topological order, nothing kept in memory.
-	baseRunner, err := sc.NewRunner(mvs, newStore(), 0)
+	device := sc.DeviceProfile{
+		DiskReadBW: 50e6, DiskWriteBW: 30e6, DiskLatency: 2 * time.Millisecond,
+		MemReadBW: 10e9, MemWriteBW: 10e9, ComputeScale: 1,
+	}
+	var evictions atomic.Int64
+	var highWater atomic.Int64
+	watch := sc.ObserverFunc(func(e sc.Event) {
+		switch e.Kind {
+		case sc.Evicted:
+			evictions.Add(1)
+		case sc.MemoryHighWater:
+			highWater.Store(e.Bytes)
+		}
+	})
+	ref, err := sc.New(mvs, store,
+		sc.WithMemory(ds.TotalBytes()/3), // Memory Catalog: a third of the dataset
+		sc.WithDevice(device),
+		sc.WithObserver(watch),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseline, err := baseRunner.Run(nil)
+
+	// 3. Baseline run: no plan yet, so topological order, nothing kept in
+	//    memory — and the session records every node's execution metadata.
+	baseline, err := ref.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,36 +77,27 @@ func main() {
 		baseline.Total.Round(time.Millisecond), baseline.TotalRead().Round(time.Millisecond),
 		baseline.TotalCompute().Round(time.Millisecond))
 
-	// 4. Optimize with the observed metadata and a device profile that
-	//    matches the throttled store.
-	device := sc.DeviceProfile{
-		DiskReadBW: 50e6, DiskWriteBW: 30e6, DiskLatency: 2 * time.Millisecond,
-		MemReadBW: 10e9, MemWriteBW: 10e9, ComputeScale: 1,
-	}
-	runner, err := sc.NewRunner(mvs, newStore(), memory)
-	if err != nil {
-		log.Fatal(err)
-	}
-	problem := runner.ProblemFromMetrics(baseline, device)
-	plan, stats, err := sc.Optimize(problem, sc.Options{})
+	// 4. Optimize from the observed metadata.
+	plan, stats, err := ref.Optimize(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("optimizer: flagged %d of %d MVs (score %.2fs) in %v\n",
 		len(plan.FlaggedIDs()), len(mvs), stats.Score, stats.Elapsed.Round(time.Microsecond))
 	for _, id := range plan.FlaggedIDs() {
-		fmt.Printf("  keep in memory: %s\n", problem.G.Name(id))
+		fmt.Printf("  keep in memory: %s\n", ref.Graph().Name(id))
 	}
 
-	// 5. S/C run.
-	ours, err := runner.Run(plan)
+	// 5. S/C run with the optimized plan.
+	ours, err := ref.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("S/C:       %v end-to-end (%v reading inputs, %d inputs served from memory)\n",
 		ours.Total.Round(time.Millisecond), ours.TotalRead().Round(time.Millisecond), memReads(ours))
-	fmt.Printf("\nmeasured speedup: %.2fx  (peak Memory Catalog %.1f MB)\n",
-		float64(baseline.Total)/float64(ours.Total), float64(ours.PeakMemory)/1e6)
+	fmt.Printf("\nmeasured speedup: %.2fx  (peak Memory Catalog %.1f MB, %d evictions observed, high water %.1f MB)\n",
+		float64(baseline.Total)/float64(ours.Total), float64(ours.PeakMemory)/1e6,
+		evictions.Load(), float64(highWater.Load())/1e6)
 }
 
 func memReads(r *sc.RunResult) int {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -34,7 +35,7 @@ func main() {
 	device := sc.PaperProfile()
 	p := gen.Problem(memory, device)
 
-	plan, stats, err := sc.Optimize(p, sc.Options{})
+	plan, stats, err := sc.Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := sc.Simulate(gen.Workload, &sc.Plan{Order: topo, Flagged: make([]bool, p.G.Len())}, cfg)
+	base, err := sc.SimulatePlan(context.Background(), gen.Workload, &sc.Plan{Order: topo, Flagged: make([]bool, p.G.Len())}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ours, err := sc.Simulate(gen.Workload, plan, cfg)
+	ours, err := sc.SimulatePlan(context.Background(), gen.Workload, plan, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

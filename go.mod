@@ -1,0 +1,3 @@
+module github.com/shortcircuit-db/sc
+
+go 1.24

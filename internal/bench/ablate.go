@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 
 	"github.com/shortcircuit-db/sc/internal/core"
@@ -48,11 +49,11 @@ func Ablate(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			b, err := sim.Run(wl, planWithOrder(pl, topo, false), cfg)
+			b, err := sim.Run(context.Background(), wl, planWithOrder(pl, topo, false), cfg)
 			if err != nil {
 				return err
 			}
-			o, err := sim.Run(wl, pl, cfg)
+			o, err := sim.Run(context.Background(), wl, pl, cfg)
 			if err != nil {
 				return err
 			}
@@ -75,7 +76,7 @@ func Ablate(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			_, st, err := opt.Solve(p, opt.Options{TerminateOnSize: bySize})
+			_, st, err := opt.Solve(context.Background(), p, opt.Options{TerminateOnSize: bySize})
 			if err != nil {
 				return err
 			}
@@ -101,7 +102,7 @@ func Ablate(w io.Writer) error {
 			return err
 		}
 		cfg := sim.Config{Device: d, Memory: mem}
-		a, err := sim.Run(wl, pl, cfg)
+		a, err := sim.Run(context.Background(), wl, pl, cfg)
 		if err != nil {
 			return err
 		}
@@ -115,7 +116,7 @@ func Ablate(w io.Writer) error {
 		// the initial order remain executable even when MA-DFS reordered
 		// precisely to make them coexist.
 		alt := planWithOrder(pl, topo, true)
-		b, err := sim.Run(wl, alt, cfg)
+		b, err := sim.Run(context.Background(), wl, alt, cfg)
 		if err != nil {
 			return err
 		}

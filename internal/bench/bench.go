@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -69,7 +70,7 @@ func PlanFor(m Method, p *core.Problem) (*core.Plan, time.Duration, error) {
 	case m.NoOpt, m.LRU:
 		return core.NewPlan(topo), time.Since(start), nil
 	case m.Alternate:
-		pl, st, err := opt.Solve(p, opt.Options{Selector: m.Selector, Orderer: m.Orderer})
+		pl, st, err := opt.Solve(context.Background(), p, opt.Options{Selector: m.Selector, Orderer: m.Orderer})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -97,7 +98,7 @@ func SimWorkload(m Method, name tpcds.WorkloadName, scaleGB int, v tpcds.Variant
 		return nil, err
 	}
 	cfg := sim.Config{Device: d, Memory: mem, Workers: workers, LRU: m.LRU}
-	return sim.Run(w, pl, cfg)
+	return sim.Run(context.Background(), w, pl, cfg)
 }
 
 // SimSuite simulates all five workloads and returns the summed totals.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -131,7 +132,7 @@ func TestRealRunSmall(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := DefaultRealConfig()
 	cfg.ScaleFactor = 0.25
-	if err := Real(&buf, cfg); err != nil {
+	if err := Real(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -366,11 +367,11 @@ func Fig14(w io.Writer, dagsPerSetting int) error {
 			if err != nil {
 				return 0, err
 			}
-			base, err := sim.Run(gen.Workload, core.NewPlan(topo), cfg)
+			base, err := sim.Run(context.Background(), gen.Workload, core.NewPlan(topo), cfg)
 			if err != nil {
 				return 0, err
 			}
-			ours, err := sim.Run(gen.Workload, scPlan, cfg)
+			ours, err := sim.Run(context.Background(), gen.Workload, scPlan, cfg)
 			if err != nil {
 				return 0, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -44,8 +45,9 @@ func DefaultRealConfig() RealConfig {
 // Real runs the paper's mechanism end to end on the real engine: generate
 // data, execute the I/O 1-style SQL workload unoptimized to collect
 // execution metadata (§III-A), optimize with the observed sizes, re-run
-// with S/C's plan, and report measured wall-clock speedup.
-func Real(w io.Writer, cfg RealConfig) error {
+// with S/C's plan, and report measured wall-clock speedup. Cancelling ctx
+// aborts the run between nodes.
+func Real(ctx context.Context, w io.Writer, cfg RealConfig) error {
 	t := &tw{w: w}
 	ds, err := tpcds.Generate(tpcds.GenConfig{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
 	if err != nil {
@@ -83,7 +85,7 @@ func Real(w io.Writer, cfg RealConfig) error {
 		return err
 	}
 	ctl1 := &exec.Controller{Store: store1, Mem: memcat.New(0)}
-	base, err := ctl1.Run(wl, g, core.NewPlan(topo))
+	base, err := ctl1.Run(ctx, wl, g, core.NewPlan(topo))
 	if err != nil {
 		return err
 	}
@@ -107,7 +109,7 @@ func Real(w io.Writer, cfg RealConfig) error {
 	}
 	sizes := md.Sizes(g, 1<<20)
 	prob := &core.Problem{G: g, Sizes: sizes, Scores: md.Scores(g, sizes, device), Memory: memory}
-	plan, st, err := opt.Solve(prob, opt.Options{})
+	plan, st, err := opt.Solve(ctx, prob, opt.Options{})
 	if err != nil {
 		return err
 	}
@@ -121,7 +123,7 @@ func Real(w io.Writer, cfg RealConfig) error {
 		return err
 	}
 	ctl2 := &exec.Controller{Store: store2, Mem: memcat.New(memory)}
-	ours, err := ctl2.Run(wl, g, plan)
+	ours, err := ctl2.Run(ctx, wl, g, plan)
 	if err != nil {
 		return err
 	}

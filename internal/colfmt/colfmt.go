@@ -256,10 +256,23 @@ func encodeIntsRLE(vals []int64) []byte {
 	return buf
 }
 
+// allocHint bounds decode preallocation: the header's row count is not
+// checksummed, so a corrupted count must not translate into a gigabyte
+// make() before the length check fails. Plain encodings spend ≥1 byte per
+// value, so the payload length is a safe upper bound; run-length encodings
+// can legitimately expand far beyond it, so they start from a modest
+// capacity and let append grow.
+func allocHint(nRows, bound int) int {
+	if nRows < bound {
+		return nRows
+	}
+	return bound
+}
+
 func decodeInts(payload []byte, enc Encoding, nRows int) ([]int64, error) {
 	switch enc {
 	case EncPlain:
-		out := make([]int64, 0, nRows)
+		out := make([]int64, 0, allocHint(nRows, len(payload)))
 		var prev int64
 		for off := 0; off < len(payload); {
 			d, n := binary.Varint(payload[off:])
@@ -275,7 +288,7 @@ func decodeInts(payload []byte, enc Encoding, nRows int) ([]int64, error) {
 		}
 		return out, nil
 	case EncRLE:
-		out := make([]int64, 0, nRows)
+		out := make([]int64, 0, allocHint(nRows, 1<<16))
 		for off := 0; off < len(payload); {
 			runLen, n := binary.Uvarint(payload[off:])
 			if n <= 0 {
@@ -376,7 +389,7 @@ func encodeStringsDict(vals []string, dict map[string]int) []byte {
 func decodeStrings(payload []byte, enc Encoding, nRows int) ([]string, error) {
 	switch enc {
 	case EncPlain:
-		out := make([]string, 0, nRows)
+		out := make([]string, 0, allocHint(nRows, len(payload)))
 		for off := 0; off < len(payload); {
 			l, n := binary.Uvarint(payload[off:])
 			if n <= 0 {
@@ -416,7 +429,7 @@ func decodeStrings(payload []byte, enc Encoding, nRows int) ([]string, error) {
 			dict = append(dict, string(payload[off:off+int(l)]))
 			off += int(l)
 		}
-		out := make([]string, 0, nRows)
+		out := make([]string, 0, allocHint(nRows, len(payload)))
 		for off < len(payload) {
 			idx, n := binary.Uvarint(payload[off:])
 			if n <= 0 {

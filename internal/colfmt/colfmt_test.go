@@ -233,14 +233,23 @@ func TestRoundTripRandomProperty(t *testing.T) {
 		}
 		return tablesEqual(tb, got) == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: propertyCases(t, 100)}); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// propertyCases shrinks exhaustive property sweeps under -short.
+func propertyCases(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
 func TestEncodeCompressesSortedKeys(t *testing.T) {
 	tb := table.New(table.NewSchema(table.Column{Name: "k", Type: table.Int}))
-	for i := 0; i < 10000; i++ {
+	for i := 0; i < 4000; i++ {
 		if err := tb.AppendRow(table.IntValue(int64(1000000 + i))); err != nil {
 			t.Fatal(err)
 		}
@@ -293,7 +302,7 @@ func TestDecodeNeverPanicsOnCorruptionProperty(t *testing.T) {
 		}
 		return got.Validate() == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: propertyCases(t, 400)}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,11 +4,19 @@
 // to external storage in the background overlapped with downstream compute,
 // and frees each flagged output once every dependent has executed and its
 // materialization has completed.
+//
+// The Controller is context-aware (cancellation is honored between nodes
+// and at every input-read and write boundary within a node), emits obs
+// events as it works, and can execute independent DAG nodes on a bounded
+// worker pool (Concurrency > 1) while the Memory Catalog keeps enforcing
+// the byte budget.
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/colfmt"
@@ -16,6 +24,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/engine"
 	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/sql"
 	"github.com/shortcircuit-db/sc/internal/storage"
 	"github.com/shortcircuit-db/sc/internal/table"
@@ -86,7 +95,7 @@ type NodeMetrics struct {
 // RunResult aggregates a refresh run.
 type RunResult struct {
 	Total          time.Duration // end-to-end: start → all MVs materialized
-	Nodes          []NodeMetrics // in execution order
+	Nodes          []NodeMetrics // in plan order (completed nodes only, on error)
 	FallbackWrites int           // flagged outputs that did not fit in memory
 	PeakMemory     int64         // Memory Catalog high-water mark
 }
@@ -113,12 +122,62 @@ func (r *RunResult) TotalCompute() time.Duration {
 type Controller struct {
 	Store storage.Store   // external storage holding base tables and MVs
 	Mem   *memcat.Catalog // bounded Memory Catalog (nil disables flagging)
+	Obs   obs.Observer    // optional event stream (must be concurrency-safe)
+	// Concurrency is the worker-pool size for executing independent DAG
+	// nodes. Values <= 1 run nodes serially in exact plan order. With k > 1
+	// a node starts as soon as all its parents have finished, preferring
+	// nodes earliest in the plan order; the Memory Catalog budget is still
+	// enforced byte-for-byte (an output that no longer fits falls back to a
+	// blocking write, exactly as in the serial path).
+	Concurrency int
+}
+
+// flaggedState tracks the two release conditions of a flagged output
+// (§III-C): all dependents executed, and background materialization done.
+type flaggedState struct {
+	mu       sync.Mutex
+	children int
+	written  bool
+	released bool
+}
+
+// runState is the shared state of one Run invocation.
+type runState struct {
+	c       *Controller
+	w       *Workload
+	g       *dag.Graph
+	pos     []int // plan position per node
+	schemas *schemaCache
+
+	states []*flaggedState // per node; non-nil once the node's output was Put
+
+	wgBG     sync.WaitGroup // outstanding background materializations
+	bgMu     sync.Mutex
+	bgErr    error
+	peakSeen atomic.Int64 // last high-water mark reported via MemoryHighWater
+
+	fallbacks atomic.Int64
+}
+
+// completion is what a worker reports back to the dispatcher.
+type completion struct {
+	id  dag.NodeID
+	m   NodeMetrics
+	err error
 }
 
 // Run executes the workload following the plan. The plan's order indexes
 // into w.Nodes via the graph built by BuildGraph; Flagged marks nodes whose
 // outputs live in the Memory Catalog until their dependents finish.
-func (c *Controller) Run(w *Workload, g *dag.Graph, plan *core.Plan) (*RunResult, error) {
+//
+// Cancellation: when ctx is cancelled or expires, no new node starts and
+// in-flight node execution stops at its next input-read or write boundary;
+// Run returns the partial RunResult of the nodes that completed together
+// with ctx.Err(). Background materializations already handed to the store
+// are awaited before returning (Store.Write is not context-aware), so no
+// goroutine outlives Run. On other errors the partial result is returned
+// as well.
+func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *core.Plan) (*RunResult, error) {
 	if len(plan.Order) != len(w.Nodes) {
 		return nil, fmt.Errorf("exec: plan has %d steps for %d nodes", len(plan.Order), len(w.Nodes))
 	}
@@ -126,151 +185,346 @@ func (c *Controller) Run(w *Workload, g *dag.Graph, plan *core.Plan) (*RunResult
 		return nil, fmt.Errorf("exec: plan order is not topological")
 	}
 	start := time.Now()
-	res := &RunResult{}
+	n := g.Len()
 
-	// Remaining-children refcounts control release of flagged outputs.
-	remaining := make([]int, g.Len())
-	for i := 0; i < g.Len(); i++ {
-		remaining[i] = len(g.Children(dag.NodeID(i)))
-	}
-	type flaggedState struct {
-		mu       sync.Mutex
-		children int
-		written  bool
-		released bool
-	}
-	states := make([]*flaggedState, g.Len())
-	var wg sync.WaitGroup
-	var bgErr error
-	var bgMu sync.Mutex
-
-	release := func(id dag.NodeID, st *flaggedState) {
-		// Free when both conditions hold (§III-C): all dependents done
-		// and the background materialization finished.
-		if st.children == 0 && st.written && !st.released {
-			st.released = true
-			_ = c.Mem.Delete(g.Name(id))
-		}
+	rs := &runState{
+		c:       c,
+		w:       w,
+		g:       g,
+		pos:     core.Positions(plan.Order),
+		schemas: newSchemaCache(c.Store, c.Mem),
+		states:  make([]*flaggedState, n),
 	}
 
-	schemas := newSchemaCache(c.Store, c.Mem)
+	workers := c.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
 
-	for _, id := range plan.Order {
-		spec := w.Nodes[id]
-		var m NodeMetrics
-		m.Name = spec.Name
-		m.Flagged = plan.Flagged[id] && c.Mem != nil
-
-		// Plan the statement against current schemas.
-		stmt, err := sql.Parse(spec.SQL)
-		if err != nil {
-			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
-		}
-		planNode, _, err := sql.Plan(stmt, schemas)
-		if err != nil {
-			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
-		}
-
-		// Execute with a resolver that tracks where inputs came from.
-		var readTime time.Duration
-		ctx := &engine.Context{Resolve: func(name string) (*table.Table, error) {
-			t0 := time.Now()
-			defer func() { readTime += time.Since(t0) }()
-			if c.Mem != nil {
-				if t, ok := c.Mem.Get(name); ok {
-					m.MemReads++
-					return t, nil
-				}
+	taskCh := make(chan dag.NodeID)
+	doneCh := make(chan completion)
+	var wgWorkers sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wgWorkers.Add(1)
+		go func() {
+			defer wgWorkers.Done()
+			for id := range taskCh {
+				m, err := rs.execNode(ctx, id, plan.Flagged[id])
+				doneCh <- completion{id: id, m: m, err: err}
 			}
-			data, err := c.Store.Read(tableObject(name))
-			if err != nil {
-				return nil, err
-			}
-			t, err := colfmt.Decode(data)
-			if err != nil {
-				return nil, fmt.Errorf("decode %q: %w", name, err)
-			}
-			m.DiskReads++
-			return t, nil
-		}}
+		}()
+	}
 
-		t0 := time.Now()
-		out, err := planNode.Run(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+	// Dispatcher: hand the earliest-in-plan ready node to an idle worker,
+	// fold completions back into the schedule.
+	indeg := make([]int, n)
+	ready := &posHeap{pos: rs.pos}
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Parents(dag.NodeID(i)))
+		if indeg[i] == 0 {
+			ready.push(dag.NodeID(i))
 		}
-		m.ComputeTime = time.Since(t0) - readTime
-		m.ReadTime = readTime
-		m.OutputBytes = out.ByteSize()
-		m.Rows = out.NumRows()
-		schemas.learn(spec.Name, out.Schema)
+	}
+	metricsAt := make([]*NodeMetrics, n) // indexed by plan position
+	inflight, executed := 0, 0
+	var runErr error
 
-		encoded, err := colfmt.Encode(out)
-		if err != nil {
-			return nil, fmt.Errorf("exec: node %q: %w", spec.Name, err)
-		}
-		m.EncodedSize = int64(len(encoded))
-
-		if m.Flagged {
-			if err := c.Mem.Put(spec.Name, out); err != nil {
-				// Does not fit: fall back to the unflagged path.
-				m.Flagged = false
-				res.FallbackWrites++
+	handle := func(comp completion) {
+		inflight--
+		if comp.err != nil {
+			if runErr == nil {
+				runErr = comp.err
 			}
+			return
 		}
-		if m.Flagged {
-			st := &flaggedState{children: remaining[id]}
-			states[id] = st
-			wg.Add(1)
-			go func(name string, data []byte, st *flaggedState, id dag.NodeID) {
-				defer wg.Done()
-				err := c.Store.Write(tableObject(name), data)
+		executed++
+		m := comp.m
+		metricsAt[rs.pos[comp.id]] = &m
+		// This node consumed its parents: drop their dependent counts.
+		for _, par := range g.Parents(comp.id) {
+			if st := rs.states[par]; st != nil {
 				st.mu.Lock()
-				defer st.mu.Unlock()
-				if err != nil {
-					bgMu.Lock()
-					if bgErr == nil {
-						bgErr = fmt.Errorf("exec: materialize %q: %w", name, err)
-					}
-					bgMu.Unlock()
-				}
-				st.written = true
-				release(id, st)
-			}(spec.Name, encoded, st, id)
-		} else {
-			tw := time.Now()
-			if err := c.Store.Write(tableObject(spec.Name), encoded); err != nil {
-				return nil, fmt.Errorf("exec: write %q: %w", spec.Name, err)
-			}
-			m.WriteTime = time.Since(tw)
-		}
-
-		// This node consumed its parents: drop refcounts, maybe release.
-		for _, par := range g.Parents(id) {
-			remaining[par]--
-			if st := states[par]; st != nil {
-				st.mu.Lock()
-				st.children = remaining[par]
-				release(par, st)
+				st.children--
+				rs.release(par, st)
 				st.mu.Unlock()
 			}
 		}
-		res.Nodes = append(res.Nodes, m)
+		for _, child := range g.Children(comp.id) {
+			indeg[child]--
+			if indeg[child] == 0 {
+				ready.push(child)
+			}
+		}
 	}
 
-	wg.Wait() // all MVs materialized: the end-to-end point the paper measures
-	if bgErr != nil {
-		return nil, bgErr
+	for executed < n && runErr == nil {
+		var sendCh chan dag.NodeID
+		var next dag.NodeID
+		if ready.len() > 0 && inflight < workers {
+			sendCh = taskCh
+			next = ready.peek()
+		}
+		if sendCh == nil && inflight == 0 {
+			// Nothing runnable and nothing in flight: the only way out is a
+			// bug (the order was validated topological above).
+			runErr = fmt.Errorf("exec: scheduler stalled with %d/%d nodes executed", executed, n)
+			break
+		}
+		select {
+		case sendCh <- next:
+			ready.pop()
+			inflight++
+		case comp := <-doneCh:
+			handle(comp)
+		case <-ctx.Done():
+			if runErr == nil {
+				runErr = ctx.Err()
+			}
+		}
+	}
+	close(taskCh)
+	for inflight > 0 {
+		handle(<-doneCh)
+	}
+	wgWorkers.Wait()
+
+	// All MVs materialized: the end-to-end point the paper measures.
+	rs.wgBG.Wait()
+	if runErr == nil {
+		rs.bgMu.Lock()
+		runErr = rs.bgErr
+		rs.bgMu.Unlock()
+	}
+
+	res := &RunResult{FallbackWrites: int(rs.fallbacks.Load())}
+	for _, m := range metricsAt {
+		if m != nil {
+			res.Nodes = append(res.Nodes, *m)
+		}
 	}
 	res.Total = time.Since(start)
 	if c.Mem != nil {
 		res.PeakMemory = c.Mem.Peak()
 	}
-	return res, nil
+	return res, runErr
+}
+
+// execNode runs one node end to end: plan the SQL, execute it, then either
+// Put the output in the Memory Catalog (flagged, materialized in the
+// background) or write it synchronously to storage.
+func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (m NodeMetrics, err error) {
+	c := rs.c
+	spec := rs.w.Nodes[id]
+	step := rs.pos[id]
+	m.Name = spec.Name
+	m.Flagged = flagged && c.Mem != nil
+
+	if err := ctx.Err(); err != nil {
+		return m, err
+	}
+	obs.Emit(c.Obs, obs.Event{Kind: obs.NodeStart, Node: spec.Name, Step: step})
+	nodeStart := time.Now()
+	defer func() {
+		if err != nil {
+			obs.Emit(c.Obs, obs.Event{Kind: obs.NodeDone, Node: spec.Name, Step: step, Err: err, Elapsed: time.Since(nodeStart)})
+		}
+	}()
+
+	// Plan the statement against current schemas.
+	stmt, err := sql.Parse(spec.SQL)
+	if err != nil {
+		return m, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+	}
+	planNode, _, err := sql.Plan(stmt, rs.schemas)
+	if err != nil {
+		return m, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+	}
+
+	// Execute with a resolver that tracks where inputs came from and
+	// honors cancellation between input reads.
+	var readTime time.Duration
+	ectx := &engine.Context{Resolve: func(name string) (*table.Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		defer func() { readTime += time.Since(t0) }()
+		if c.Mem != nil {
+			if t, ok := c.Mem.Get(name); ok {
+				m.MemReads++
+				return t, nil
+			}
+		}
+		data, err := c.Store.Read(tableObject(name))
+		if err != nil {
+			return nil, err
+		}
+		t, err := colfmt.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("decode %q: %w", name, err)
+		}
+		m.DiskReads++
+		return t, nil
+	}}
+
+	t0 := time.Now()
+	out, err := planNode.Run(ectx)
+	if err != nil {
+		return m, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+	}
+	m.ComputeTime = time.Since(t0) - readTime
+	m.ReadTime = readTime
+	m.OutputBytes = out.ByteSize()
+	m.Rows = out.NumRows()
+	rs.schemas.learn(spec.Name, out.Schema)
+
+	if err := ctx.Err(); err != nil {
+		return m, err
+	}
+	encoded, err := colfmt.Encode(out)
+	if err != nil {
+		return m, fmt.Errorf("exec: node %q: %w", spec.Name, err)
+	}
+	m.EncodedSize = int64(len(encoded))
+
+	if m.Flagged {
+		if err := c.Mem.Put(spec.Name, out); err != nil {
+			// Does not fit: fall back to the unflagged path.
+			m.Flagged = false
+			rs.fallbacks.Add(1)
+		} else {
+			rs.noteHighWater()
+		}
+	}
+	if m.Flagged {
+		st := &flaggedState{children: len(rs.g.Children(id))}
+		rs.states[id] = st
+		rs.wgBG.Add(1)
+		go func(name string, data []byte) {
+			defer rs.wgBG.Done()
+			err := c.Store.Write(tableObject(name), data)
+			if err != nil {
+				rs.bgMu.Lock()
+				if rs.bgErr == nil {
+					rs.bgErr = fmt.Errorf("exec: materialize %q: %w", name, err)
+				}
+				rs.bgMu.Unlock()
+			} else {
+				obs.Emit(c.Obs, obs.Event{Kind: obs.Materialized, Node: name, Step: step, Bytes: int64(len(data))})
+			}
+			st.mu.Lock()
+			st.written = true
+			rs.release(id, st)
+			st.mu.Unlock()
+		}(spec.Name, encoded)
+	} else {
+		tw := time.Now()
+		if err := c.Store.Write(tableObject(spec.Name), encoded); err != nil {
+			return m, fmt.Errorf("exec: write %q: %w", spec.Name, err)
+		}
+		m.WriteTime = time.Since(tw)
+		obs.Emit(c.Obs, obs.Event{Kind: obs.Materialized, Node: spec.Name, Step: step, Bytes: m.EncodedSize})
+	}
+
+	obs.Emit(c.Obs, obs.Event{
+		Kind: obs.NodeDone, Node: spec.Name, Step: step,
+		Bytes: m.OutputBytes, Elapsed: time.Since(nodeStart),
+		Read: m.ReadTime, Write: m.WriteTime, Compute: m.ComputeTime,
+		Flagged: m.Flagged,
+	})
+	return m, nil
+}
+
+// release frees a flagged output when both §III-C conditions hold: all
+// dependents done and the background materialization finished. Callers hold
+// st.mu.
+func (rs *runState) release(id dag.NodeID, st *flaggedState) {
+	if st.children == 0 && st.written && !st.released {
+		st.released = true
+		name := rs.g.Name(id)
+		size := int64(0)
+		if t, ok := rs.c.Mem.Get(name); ok {
+			size = t.ByteSize()
+		}
+		_ = rs.c.Mem.Delete(name)
+		obs.Emit(rs.c.Obs, obs.Event{Kind: obs.Evicted, Node: name, Step: rs.pos[id], Bytes: size})
+	}
+}
+
+// noteHighWater emits MemoryHighWater when the catalog peak grows.
+func (rs *runState) noteHighWater() {
+	peak := rs.c.Mem.Peak()
+	for {
+		seen := rs.peakSeen.Load()
+		if peak <= seen {
+			return
+		}
+		if rs.peakSeen.CompareAndSwap(seen, peak) {
+			obs.Emit(rs.c.Obs, obs.Event{Kind: obs.MemoryHighWater, Step: -1, Bytes: peak})
+			return
+		}
+	}
+}
+
+// posHeap is a min-heap of node IDs keyed by plan position, so the
+// dispatcher always hands out the ready node the optimizer wanted first.
+type posHeap struct {
+	pos []int
+	a   []dag.NodeID
+}
+
+func (h *posHeap) len() int           { return len(h.a) }
+func (h *posHeap) peek() dag.NodeID   { return h.a[0] }
+func (h *posHeap) less(i, j int) bool { return h.pos[h.a[i]] < h.pos[h.a[j]] }
+
+func (h *posHeap) push(x dag.NodeID) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *posHeap) pop() dag.NodeID {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(l, small) {
+			small = l
+		}
+		if r < last && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
 }
 
 // tableObject maps a table name to its storage object name.
 func tableObject(name string) string { return name + ".sct" }
+
+// TableSize returns the encoded size of a stored table — the bytes a
+// refresh actually moves when reading it from external storage.
+func TableSize(st storage.Store, name string) (int64, error) {
+	return st.Size(tableObject(name))
+}
 
 // LoadTable reads and decodes a table from storage.
 func LoadTable(st storage.Store, name string) (*table.Table, error) {
@@ -292,9 +546,11 @@ func SaveTable(st storage.Store, name string, t *table.Table) error {
 
 // schemaCache resolves table schemas for the SQL planner: first from
 // schemas learned this run, then the Memory Catalog, then storage headers.
+// It is safe for concurrent use by the worker pool.
 type schemaCache struct {
 	store storage.Store
 	mem   *memcat.Catalog
+	mu    sync.RWMutex
 	known map[string]table.Schema
 }
 
@@ -302,16 +558,23 @@ func newSchemaCache(st storage.Store, mem *memcat.Catalog) *schemaCache {
 	return &schemaCache{store: st, mem: mem, known: make(map[string]table.Schema)}
 }
 
-func (s *schemaCache) learn(name string, sch table.Schema) { s.known[name] = sch }
+func (s *schemaCache) learn(name string, sch table.Schema) {
+	s.mu.Lock()
+	s.known[name] = sch
+	s.mu.Unlock()
+}
 
 // TableSchema implements sql.Catalog.
 func (s *schemaCache) TableSchema(name string) (table.Schema, error) {
-	if sch, ok := s.known[name]; ok {
+	s.mu.RLock()
+	sch, ok := s.known[name]
+	s.mu.RUnlock()
+	if ok {
 		return sch, nil
 	}
 	if s.mem != nil {
 		if t, ok := s.mem.Get(name); ok {
-			s.known[name] = t.Schema
+			s.learn(name, t.Schema)
 			return t.Schema, nil
 		}
 	}
@@ -319,10 +582,10 @@ func (s *schemaCache) TableSchema(name string) (table.Schema, error) {
 	if err != nil {
 		return table.Schema{}, err
 	}
-	sch, _, err := colfmt.DecodeSchema(data)
+	sch, _, err = colfmt.DecodeSchema(data)
 	if err != nil {
 		return table.Schema{}, err
 	}
-	s.known[name] = sch
+	s.learn(name, sch)
 	return sch, nil
 }

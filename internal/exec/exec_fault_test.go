@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestRunSurfacesBaseTableReadFault(t *testing.T) {
 	}
 	order, _ := g.TopoSort()
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
-	_, err = ctl.Run(w, g, core.NewPlan(order))
+	_, err = ctl.Run(context.Background(), w, g, core.NewPlan(order))
 	if !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("err = %v, want injected read fault", err)
 	}
@@ -40,7 +41,7 @@ func TestRunSurfacesSynchronousWriteFault(t *testing.T) {
 	}
 	order, _ := g.TopoSort()
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
-	_, err = ctl.Run(w, g, core.NewPlan(order))
+	_, err = ctl.Run(context.Background(), w, g, core.NewPlan(order))
 	if !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("err = %v, want injected write fault", err)
 	}
@@ -57,7 +58,7 @@ func TestRunSurfacesBackgroundMaterializationFault(t *testing.T) {
 	plan := core.NewPlan(order)
 	plan.Flagged[0] = true // mv_daily
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
-	_, err = ctl.Run(w, g, plan)
+	_, err = ctl.Run(context.Background(), w, g, plan)
 	if !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("err = %v, want injected background-write fault", err)
 	}
@@ -77,7 +78,7 @@ func TestDownstreamStillServedFromMemoryWhenMaterializationFails(t *testing.T) {
 	plan := core.NewPlan(order)
 	plan.Flagged[0] = true
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
-	_, err = ctl.Run(w, g, plan)
+	_, err = ctl.Run(context.Background(), w, g, plan)
 	if err == nil {
 		t.Fatal("background fault swallowed")
 	}
@@ -98,7 +99,7 @@ func TestRunStopsAtFirstFailureAfterN(t *testing.T) {
 	}
 	order, _ := g.TopoSort()
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
-	_, err = ctl.Run(w, g, core.NewPlan(order))
+	_, err = ctl.Run(context.Background(), w, g, core.NewPlan(order))
 	if !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("err = %v", err)
 	}

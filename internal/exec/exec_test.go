@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -99,7 +100,7 @@ func runPipeline(t *testing.T, flagDaily bool) (*RunResult, storage.Store) {
 		plan.Flagged[0] = true
 	}
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
-	res, err := ctl.Run(w, g, plan)
+	res, err := ctl.Run(context.Background(), w, g, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestFlaggedOutputsReleasedAfterRun(t *testing.T) {
 	plan.Flagged[1] = true // childless: released once materialized
 	mem := memcat.New(1 << 20)
 	ctl := &Controller{Store: store, Mem: mem}
-	if _, err := ctl.Run(w, g, plan); err != nil {
+	if _, err := ctl.Run(context.Background(), w, g, plan); err != nil {
 		t.Fatal(err)
 	}
 	if names := mem.Names(); len(names) != 0 {
@@ -200,7 +201,7 @@ func TestOversizedFlaggedFallsBackToDisk(t *testing.T) {
 	plan := core.NewPlan(order)
 	plan.Flagged[0] = true
 	ctl := &Controller{Store: store, Mem: memcat.New(1)} // absurdly small
-	res, err := ctl.Run(w, g, plan)
+	res, err := ctl.Run(context.Background(), w, g, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,11 +222,11 @@ func TestRunRejectsBadPlans(t *testing.T) {
 	}
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
 	short := &core.Plan{Order: []dag.NodeID{0}, Flagged: make([]bool, 3)}
-	if _, err := ctl.Run(w, g, short); err == nil {
+	if _, err := ctl.Run(context.Background(), w, g, short); err == nil {
 		t.Fatal("short plan accepted")
 	}
 	bad := &core.Plan{Order: []dag.NodeID{1, 0, 2}, Flagged: make([]bool, 3)}
-	if _, err := ctl.Run(w, g, bad); err == nil {
+	if _, err := ctl.Run(context.Background(), w, g, bad); err == nil {
 		t.Fatal("non-topological plan accepted")
 	}
 }
@@ -238,7 +239,7 @@ func TestRunSurfacesSQLErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctl := &Controller{Store: store, Mem: memcat.New(1 << 20)}
-	_, err = ctl.Run(w, g, core.NewPlan([]dag.NodeID{0}))
+	_, err = ctl.Run(context.Background(), w, g, core.NewPlan([]dag.NodeID{0}))
 	if err == nil || !strings.Contains(err.Error(), "bad") {
 		t.Fatalf("err = %v", err)
 	}

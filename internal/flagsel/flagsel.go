@@ -164,18 +164,3 @@ func flagIfFits(p *core.Problem, pl *core.Plan, visit []dag.NodeID) {
 		}
 	}
 }
-
-// ByName returns the named selector, for CLI and benchmark wiring.
-func ByName(name string, seed int64) (Selector, error) {
-	switch name {
-	case "mkp", "MKP":
-		return MKP{}, nil
-	case "greedy", "Greedy":
-		return Greedy{}, nil
-	case "random", "Random":
-		return Random{Seed: seed}, nil
-	case "ratio", "Ratio":
-		return Ratio{}, nil
-	}
-	return nil, fmt.Errorf("flagsel: unknown selector %q", name)
-}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/shortcircuit-db/sc/internal/costmodel"
 	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/obs"
 )
 
 // Observation records one node execution.
@@ -106,6 +107,37 @@ func (s *Store) Scores(g *dag.Graph, sizes []int64, d costmodel.DeviceProfile) [
 		out[i] = saved.Seconds()
 	}
 	return out
+}
+
+// Recorder adapts a Store to the obs event stream: every successful
+// NodeDone event becomes an Observation, so recurring pipelines feed the
+// optimizer without wiring metrics collection by hand.
+type Recorder struct {
+	Store *Store
+	// Clock stamps observations; nil means time.Now.
+	Clock func() time.Time
+}
+
+// NewRecorder returns a Recorder appending to s.
+func NewRecorder(s *Store) *Recorder { return &Recorder{Store: s} }
+
+// OnEvent implements obs.Observer.
+func (r *Recorder) OnEvent(e obs.Event) {
+	if e.Kind != obs.NodeDone || e.Err != nil {
+		return
+	}
+	now := time.Now
+	if r.Clock != nil {
+		now = r.Clock
+	}
+	r.Store.Record(Observation{
+		Name:        e.Node,
+		OutputBytes: e.Bytes,
+		ReadTime:    e.Read,
+		WriteTime:   e.Write,
+		ComputeTime: e.Compute,
+		When:        now(),
+	})
 }
 
 // Save writes the store as JSON.

@@ -1,0 +1,118 @@
+// Package obs defines the observer event stream S/C components emit while
+// they work: the optimizer reports alternating-optimization iterations, the
+// Controller and the simulator report node execution, background
+// materialization, Memory Catalog evictions and high-water marks. Consumers
+// (progress printers, metrics recorders, dashboards) implement Observer and
+// subscribe via the public sc.WithObserver option.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+// Event kinds.
+const (
+	// NodeStart: a node's refresh began. Fields: Node, Step.
+	NodeStart Kind = iota
+	// NodeDone: a node's refresh finished (output produced, not necessarily
+	// materialized). Fields: Node, Step, Bytes (output size), Elapsed,
+	// Read/Write/Compute, Flagged, Err on failure.
+	NodeDone
+	// Materialized: a node's output finished writing to external storage
+	// (foreground or background). Fields: Node, Bytes (encoded size).
+	Materialized
+	// Evicted: a flagged output left the Memory Catalog after its last
+	// dependent executed and materialization completed. Fields: Node, Bytes.
+	Evicted
+	// IterationDone: one alternating-optimization iteration completed.
+	// Fields: Iteration, Score, Bytes (flagged bytes), Elapsed.
+	IterationDone
+	// MemoryHighWater: the Memory Catalog reached a new peak. Fields: Bytes.
+	MemoryHighWater
+)
+
+// String returns the kind's canonical name.
+func (k Kind) String() string {
+	switch k {
+	case NodeStart:
+		return "NodeStart"
+	case NodeDone:
+		return "NodeDone"
+	case Materialized:
+		return "Materialized"
+	case Evicted:
+		return "Evicted"
+	case IterationDone:
+		return "IterationDone"
+	case MemoryHighWater:
+		return "MemoryHighWater"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one observation from a refresh, simulation or optimization.
+// Unused fields are zero; see the Kind constants for which fields each kind
+// fills.
+type Event struct {
+	Kind      Kind
+	Node      string        // node (MV) name
+	Step      int           // plan position of the node, -1 when not applicable
+	Bytes     int64         // payload bytes (output, materialized, evicted, high water)
+	Elapsed   time.Duration // wall clock (real runs) or virtual clock (simulation)
+	Read      time.Duration // NodeDone: input-read time
+	Write     time.Duration // NodeDone: blocking-write time
+	Compute   time.Duration // NodeDone: compute time
+	Flagged   bool          // NodeDone: output kept in the Memory Catalog
+	Iteration int           // IterationDone: 1-based iteration number
+	Score     float64       // IterationDone: flagged speedup score, seconds
+	Err       error         // NodeDone: execution error, if any
+}
+
+// Observer receives events. Implementations must be safe for concurrent use:
+// a Controller running with concurrency > 1 emits events from multiple
+// goroutines.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// Func adapts a function to Observer.
+type Func func(Event)
+
+// OnEvent implements Observer.
+func (f Func) OnEvent(e Event) { f(e) }
+
+// Emit sends e to o if o is non-nil.
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.OnEvent(e)
+	}
+}
+
+// Multi fans events out to every non-nil observer, in order.
+func Multi(observers ...Observer) Observer {
+	var live []Observer
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Observer
+
+func (m multi) OnEvent(e Event) {
+	for _, o := range m {
+		o.OnEvent(e)
+	}
+}

@@ -6,12 +6,14 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/core"
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/flagsel"
+	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/order"
 )
 
@@ -32,6 +34,9 @@ type Options struct {
 	// (false) compares total speedup *scores*, matching the paper's
 	// convergence argument; see DESIGN.md decision 3.
 	TerminateOnSize bool
+	// Observer receives an IterationDone event after each alternating
+	// iteration. Nil disables observation.
+	Observer obs.Observer
 }
 
 // Stats reports how the optimization converged.
@@ -46,8 +51,10 @@ type Stats struct {
 	SelectorRan int           // times the selector was invoked
 }
 
-// Solve runs Algorithm 2 on the problem and returns a feasible plan.
-func Solve(p *core.Problem, opts Options) (*core.Plan, *Stats, error) {
+// Solve runs Algorithm 2 on the problem and returns a feasible plan. The
+// context is checked between alternating iterations, so a cancelled or
+// expired context stops the optimization with ctx.Err().
+func Solve(ctx context.Context, p *core.Problem, opts Options) (*core.Plan, *Stats, error) {
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -78,7 +85,20 @@ func Solve(p *core.Problem, opts Options) (*core.Plan, *Stats, error) {
 
 	best := core.NewPlan(tau) // U = ∅
 	st := &Stats{}
+	iterDone := func() {
+		obs.Emit(opts.Observer, obs.Event{
+			Kind:      obs.IterationDone,
+			Step:      -1,
+			Iteration: st.Iterations,
+			Score:     best.TotalScore(p),
+			Bytes:     best.TotalFlaggedSize(p),
+			Elapsed:   time.Since(start),
+		})
+	}
 	for st.Iterations = 1; st.Iterations <= maxIter; st.Iterations++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		cand, err := sel.Select(p, tau)
 		st.SelectorRan++
 		if err != nil {
@@ -90,6 +110,7 @@ func Solve(p *core.Problem, opts Options) (*core.Plan, *Stats, error) {
 		}
 		if !improved(p, best, cand, opts.TerminateOnSize) {
 			st.StopReason = "no flagged-set improvement"
+			iterDone()
 			break
 		}
 		best = cand
@@ -106,11 +127,13 @@ func Solve(p *core.Problem, opts Options) (*core.Plan, *Stats, error) {
 			// Line 8: the new order breaks feasibility of U; keep the
 			// previous order and stop.
 			st.StopReason = "orderer produced infeasible order"
+			iterDone()
 			break
 		}
 		tau = tauNew
 		best = &core.Plan{Order: tauNew, Flagged: best.Flagged}
 		st.OrderSwaps++
+		iterDone()
 	}
 	if st.StopReason == "" {
 		st.StopReason = "iteration limit"

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -14,7 +15,7 @@ import (
 
 func TestSolveFigure7(t *testing.T) {
 	p := testutil.Figure7()
-	pl, st, err := Solve(p, Options{})
+	pl, st, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestSolveFigure7(t *testing.T) {
 
 func TestSolveStartingFromTau2FindsOptimum(t *testing.T) {
 	p := testutil.Figure7()
-	pl, st, err := Solve(p, Options{InitialOrder: testutil.Tau2})
+	pl, st, err := Solve(context.Background(), p, Options{InitialOrder: testutil.Tau2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSolveStartingFromTau2FindsOptimum(t *testing.T) {
 func TestSolveRejectsNonTopologicalInitialOrder(t *testing.T) {
 	p := testutil.Figure7()
 	bad := []dag.NodeID{1, 0, 2, 3, 4, 5}
-	if _, _, err := Solve(p, Options{InitialOrder: bad}); err == nil {
+	if _, _, err := Solve(context.Background(), p, Options{InitialOrder: bad}); err == nil {
 		t.Fatal("non-topological initial order accepted")
 	}
 }
@@ -56,14 +57,14 @@ func TestSolveRejectsNonTopologicalInitialOrder(t *testing.T) {
 func TestSolveRejectsInvalidProblem(t *testing.T) {
 	p := testutil.Figure7()
 	p.Sizes = p.Sizes[:2]
-	if _, _, err := Solve(p, Options{}); err == nil {
+	if _, _, err := Solve(context.Background(), p, Options{}); err == nil {
 		t.Fatal("invalid problem accepted")
 	}
 }
 
 func TestSolveEmptyGraph(t *testing.T) {
 	p := &core.Problem{G: dag.New(), Memory: 100}
-	pl, st, err := Solve(p, Options{})
+	pl, st, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestSolveZeroScoresReturnsEmptyFlagged(t *testing.T) {
 	for i := range p.Scores {
 		p.Scores[i] = 0
 	}
-	pl, st, err := Solve(p, Options{})
+	pl, st, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestSolveFeasibleProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := testutil.RandomProblem(rng, 25)
-		pl, _, err := Solve(p, Options{})
+		pl, _, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			return false
 		}
@@ -118,7 +119,7 @@ func TestSolveAtLeastSingleShotMKPProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		pl, _, err := Solve(p, Options{})
+		pl, _, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			return false
 		}
@@ -135,7 +136,7 @@ func TestSolveWithAllMethodCombos(t *testing.T) {
 	p := testutil.Figure7()
 	for _, s := range selectors {
 		for _, o := range orderers {
-			pl, st, err := Solve(p, Options{Selector: s, Orderer: o})
+			pl, st, err := Solve(context.Background(), p, Options{Selector: s, Orderer: o})
 			if err != nil {
 				t.Fatalf("%s+%s: %v", s.Name(), o.Name(), err)
 			}
@@ -151,7 +152,7 @@ func TestSolveWithAllMethodCombos(t *testing.T) {
 
 func TestSolveTerminateOnSizeOption(t *testing.T) {
 	p := testutil.Figure7()
-	plA, _, err := Solve(p, Options{TerminateOnSize: true})
+	plA, _, err := Solve(context.Background(), p, Options{TerminateOnSize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestSolveTerminateOnSizeOption(t *testing.T) {
 
 func TestSolveIterationLimit(t *testing.T) {
 	p := testutil.Figure7()
-	_, st, err := Solve(p, Options{MaxIterations: 1})
+	_, st, err := Solve(context.Background(), p, Options{MaxIterations: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestSolveIterationLimit(t *testing.T) {
 
 func TestStatsPopulated(t *testing.T) {
 	p := testutil.Figure7()
-	pl, st, err := Solve(p, Options{})
+	pl, st, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

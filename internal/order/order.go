@@ -10,7 +10,6 @@
 package order
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -353,21 +352,4 @@ func (s Separator) cutDelta(p *core.Problem, flagged []bool, inSet, inA map[dag.
 		}
 	}
 	return cost
-}
-
-// ByName returns the named orderer, for CLI and benchmark wiring.
-func ByName(name string, seed int64) (Orderer, error) {
-	switch name {
-	case "ma-dfs", "madfs", "MA-DFS":
-		return MADFS{}, nil
-	case "dfs", "DFS":
-		return DFS{Seed: seed}, nil
-	case "kahn", "Kahn", "topo":
-		return Kahn{}, nil
-	case "sa", "SA":
-		return SA{Seed: seed}, nil
-	case "separator", "Separator", "sep":
-		return Separator{}, nil
-	}
-	return nil, fmt.Errorf("order: unknown orderer %q", name)
 }

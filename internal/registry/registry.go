@@ -1,0 +1,80 @@
+// Package registry is the shared name→factory machinery behind the
+// pluggable algorithm registries (flagging selectors, orderers). Lookups
+// are case-insensitive; registration is panic-on-duplicate so wiring
+// mistakes surface at startup rather than mid-refresh.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry maps case-insensitive names to seeded factories of T.
+type Registry[T any] struct {
+	pkg     string            // package prefix for error/panic messages
+	noun    string            // what an entry is called, e.g. "selector"
+	aliases map[string]string // historical spellings → canonical names
+
+	mu      sync.RWMutex
+	entries map[string]func(seed int64) T
+}
+
+// New returns an empty registry. aliases may be nil.
+func New[T any](pkg, noun string, aliases map[string]string) *Registry[T] {
+	return &Registry[T]{
+		pkg:     pkg,
+		noun:    noun,
+		aliases: aliases,
+		entries: make(map[string]func(seed int64) T),
+	}
+}
+
+// Register makes a factory available under name. It panics on an empty
+// name, a nil factory, or a duplicate registration.
+func (r *Registry[T]) Register(name string, f func(seed int64) T) {
+	key := strings.ToLower(name)
+	if key == "" {
+		panic(fmt.Sprintf("%s: Register with empty name", r.pkg))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("%s: Register(%q) with nil factory", r.pkg, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[key]; dup {
+		panic(fmt.Sprintf("%s: Register(%q) called twice", r.pkg, name))
+	}
+	r.entries[key] = f
+}
+
+// New returns the entry registered under name (case-insensitive, aliases
+// resolved), constructed with seed.
+func (r *Registry[T]) New(name string, seed int64) (T, error) {
+	key := strings.ToLower(name)
+	if canon, ok := r.aliases[key]; ok {
+		key = canon
+	}
+	r.mu.RLock()
+	f, ok := r.entries[key]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%s: unknown %s %q (registered: %s)",
+			r.pkg, r.noun, name, strings.Join(r.Names(), ", "))
+	}
+	return f(seed), nil
+}
+
+// Names lists registered canonical names, sorted.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

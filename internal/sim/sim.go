@@ -9,12 +9,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/shortcircuit-db/sc/internal/core"
 	"github.com/shortcircuit-db/sc/internal/costmodel"
 	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/obs"
 )
 
 // Node describes one MV update for simulation.
@@ -67,6 +70,10 @@ type Config struct {
 	// channel instead of sharing bandwidth with foreground writes
 	// (DESIGN.md decision 4).
 	DedicatedWriteBand bool
+	// Observer receives the simulated run's event stream (NodeStart,
+	// NodeDone, Materialized, Evicted, MemoryHighWater) with Elapsed
+	// carrying the virtual clock. Nil disables observation.
+	Observer obs.Observer
 }
 
 // NodeTiming records one node's simulated execution window.
@@ -99,8 +106,10 @@ func (r *Result) Speedup(base *Result) float64 {
 	return base.Total / r.Total
 }
 
-// Run simulates the workload under the plan.
-func Run(w *Workload, plan *core.Plan, cfg Config) (*Result, error) {
+// Run simulates the workload under the plan. The context is checked between
+// simulated nodes, so a cancelled or expired context stops the simulation
+// with ctx.Err().
+func Run(ctx context.Context, w *Workload, plan *core.Plan, cfg Config) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,6 +126,7 @@ func Run(w *Workload, plan *core.Plan, cfg Config) (*Result, error) {
 	s := &simState{
 		w:       w,
 		cfg:     cfg,
+		o:       cfg.Observer,
 		readBW:  cfg.Device.DiskReadBW * float64(workers),
 		writeBW: cfg.Device.DiskWriteBW * float64(workers),
 		memBW:   cfg.Device.MemReadBW,
@@ -134,9 +144,13 @@ func Run(w *Workload, plan *core.Plan, cfg Config) (*Result, error) {
 		remaining[i] = len(w.G.Children(dag.NodeID(i)))
 	}
 
-	for _, id := range plan.Order {
+	for step, id := range plan.Order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		node := w.Nodes[id]
 		nt := NodeTiming{Name: node.Name, Start: s.t}
+		obs.Emit(cfg.Observer, obs.Event{Kind: obs.NodeStart, Node: node.Name, Step: step, Elapsed: vclock(s.t)})
 
 		// Read phase: base tables from storage, parents from memory when
 		// flagged-resident (or the LRU cache), otherwise storage.
@@ -177,6 +191,7 @@ func Run(w *Workload, plan *core.Plan, cfg Config) (*Result, error) {
 			s.memUsed += node.OutputBytes
 			if s.memUsed > s.res.PeakMemory {
 				s.res.PeakMemory = s.memUsed
+				obs.Emit(s.o, obs.Event{Kind: obs.MemoryHighWater, Step: -1, Bytes: s.memUsed, Elapsed: vclock(s.t)})
 			}
 			s.bg = append(s.bg, &bgJob{id: id, remaining: float64(node.OutputBytes)})
 			nt.Flagged = true
@@ -184,6 +199,7 @@ func Run(w *Workload, plan *core.Plan, cfg Config) (*Result, error) {
 			writeSec := s.fgWrite(float64(node.OutputBytes))
 			nt.WriteSec = writeSec
 			s.res.WriteSeconds += writeSec
+			obs.Emit(s.o, obs.Event{Kind: obs.Materialized, Node: node.Name, Step: step, Bytes: node.OutputBytes, Elapsed: vclock(s.t)})
 			if s.lru != nil {
 				s.lru.insert(int64(id), node.OutputBytes)
 			}
@@ -199,6 +215,12 @@ func Run(w *Workload, plan *core.Plan, cfg Config) (*Result, error) {
 		}
 		nt.End = s.t
 		s.res.Timeline = append(s.res.Timeline, nt)
+		obs.Emit(s.o, obs.Event{
+			Kind: obs.NodeDone, Node: node.Name, Step: step,
+			Bytes: node.OutputBytes, Elapsed: vclock(s.t),
+			Read: vclock(nt.ReadSec), Write: vclock(nt.WriteSec), Compute: vclock(nt.ComputeSec),
+			Flagged: nt.Flagged,
+		})
 	}
 
 	// Drain remaining background materialization; end-to-end time is when
@@ -223,6 +245,7 @@ type bgJob struct {
 type simState struct {
 	w       *Workload
 	cfg     Config
+	o       obs.Observer
 	t       float64
 	readBW  float64
 	writeBW float64
@@ -350,6 +373,7 @@ func (s *simState) reapBG() {
 		}
 		if fe := s.flagged[j.id]; fe != nil {
 			fe.bgDone = true
+			obs.Emit(s.o, obs.Event{Kind: obs.Materialized, Node: s.w.Nodes[j.id].Name, Step: -1, Bytes: s.w.Nodes[j.id].OutputBytes, Elapsed: vclock(s.t)})
 			s.maybeRelease(j.id, fe)
 		}
 	}
@@ -360,7 +384,13 @@ func (s *simState) maybeRelease(id dag.NodeID, fe *flaggedEntry) {
 	if fe.resident && fe.children == 0 && fe.bgDone {
 		fe.resident = false
 		s.memUsed -= s.w.Nodes[id].OutputBytes
+		obs.Emit(s.o, obs.Event{Kind: obs.Evicted, Node: s.w.Nodes[id].Name, Step: -1, Bytes: s.w.Nodes[id].OutputBytes, Elapsed: vclock(s.t)})
 	}
+}
+
+// vclock converts virtual seconds to a duration for Event.Elapsed.
+func vclock(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
 }
 
 // --- LRU cache for the baseline ---

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -47,7 +48,7 @@ func planFor(w *Workload, flagged ...dag.NodeID) *core.Plan {
 
 func TestNoFlagBaselineTime(t *testing.T) {
 	w := chainWorkload()
-	res, err := Run(w, planFor(w), defaultCfg())
+	res, err := Run(context.Background(), w, planFor(w), defaultCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestNoFlagBaselineTime(t *testing.T) {
 
 func TestFlaggingShortensRun(t *testing.T) {
 	w := chainWorkload()
-	base, err := Run(w, planFor(w), defaultCfg())
+	base, err := Run(context.Background(), w, planFor(w), defaultCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := Run(w, planFor(w, 0, 1), defaultCfg())
+	opt, err := Run(context.Background(), w, planFor(w, 0, 1), defaultCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestEndToEndWaitsForBackgroundWrites(t *testing.T) {
 	g := dag.New()
 	g.AddNode("only")
 	w := &Workload{G: g, Nodes: []Node{{Name: "only", OutputBytes: gb, ComputeSeconds: 0.1}}}
-	res, err := Run(w, planFor(w, 0), defaultCfg())
+	res, err := Run(context.Background(), w, planFor(w, 0), defaultCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestMemoryBoundRespectedWithFallback(t *testing.T) {
 	w := chainWorkload()
 	cfg := defaultCfg()
 	cfg.Memory = gb // only one output fits at a time
-	res, err := Run(w, planFor(w, 0, 1), cfg)
+	res, err := Run(context.Background(), w, planFor(w, 0, 1), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +134,13 @@ func TestLRUModeCachesRepeatedReads(t *testing.T) {
 		{Name: "b", OutputBytes: gb, ComputeSeconds: 0.5},
 		{Name: "c", OutputBytes: gb, ComputeSeconds: 0.5},
 	}}
-	base, err := Run(w, planFor(w), defaultCfg())
+	base, err := Run(context.Background(), w, planFor(w), defaultCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := defaultCfg()
 	cfg.LRU = true
-	lru, err := Run(w, planFor(w), cfg)
+	lru, err := Run(context.Background(), w, planFor(w), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +179,11 @@ func TestWorkersScaleRuntime(t *testing.T) {
 	cfg1 := defaultCfg()
 	cfg5 := defaultCfg()
 	cfg5.Workers = 5
-	r1, err := Run(w, planFor(w), cfg1)
+	r1, err := Run(context.Background(), w, planFor(w), cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r5, err := Run(w, planFor(w), cfg5)
+	r5, err := Run(context.Background(), w, planFor(w), cfg5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,11 +200,11 @@ func TestSpeedupConsistentAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{1, 3, 5} {
 		cfg := defaultCfg()
 		cfg.Workers = workers
-		base, err := Run(w, planFor(w), cfg)
+		base, err := Run(context.Background(), w, planFor(w), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		opt, err := Run(w, planFor(w, 0, 1), cfg)
+		opt, err := Run(context.Background(), w, planFor(w, 0, 1), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,14 +236,14 @@ func TestValidateRejectsBadWorkloads(t *testing.T) {
 func TestRunRejectsBadPlan(t *testing.T) {
 	w := chainWorkload()
 	pl := &core.Plan{Order: []dag.NodeID{2, 1, 0}, Flagged: make([]bool, 3)}
-	if _, err := Run(w, pl, defaultCfg()); err == nil {
+	if _, err := Run(context.Background(), w, pl, defaultCfg()); err == nil {
 		t.Fatal("reversed order accepted")
 	}
 }
 
 func TestTimelineIsContiguousAndOrdered(t *testing.T) {
 	w := chainWorkload()
-	res, err := Run(w, planFor(w, 0), defaultCfg())
+	res, err := Run(context.Background(), w, planFor(w, 0), defaultCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestFlaggingNeverHurtsProperty(t *testing.T) {
 			return false
 		}
 		cfg := Config{Device: costmodel.PaperProfile(), Memory: 1 << 40}
-		base, err := Run(w, core.NewPlan(order), cfg)
+		base, err := Run(context.Background(), w, core.NewPlan(order), cfg)
 		if err != nil {
 			return false
 		}
@@ -287,7 +288,7 @@ func TestFlaggingNeverHurtsProperty(t *testing.T) {
 		for i := range pl.Flagged {
 			pl.Flagged[i] = rng.Intn(2) == 0
 		}
-		opt, err := Run(w, pl, cfg)
+		opt, err := Run(context.Background(), w, pl, cfg)
 		if err != nil {
 			return false
 		}
@@ -315,11 +316,11 @@ func TestDedicatedWriteBandNotSlower(t *testing.T) {
 	shared := defaultCfg()
 	dedicated := defaultCfg()
 	dedicated.DedicatedWriteBand = true
-	rs, err := Run(w, planFor(w, 0), shared)
+	rs, err := Run(context.Background(), w, planFor(w, 0), shared)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := Run(w, planFor(w, 0), dedicated)
+	rd, err := Run(context.Background(), w, planFor(w, 0), dedicated)
 	if err != nil {
 		t.Fatal(err)
 	}

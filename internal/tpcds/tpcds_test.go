@@ -1,6 +1,7 @@
 package tpcds
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -117,7 +118,7 @@ func TestSimulatedWorkloadsRunEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.Run(w, core.NewPlan(order), sim.Config{Device: d, Memory: p.Memory})
+		res, err := sim.Run(context.Background(), w, core.NewPlan(order), sim.Config{Device: d, Memory: p.Memory})
 		if err != nil {
 			t.Fatalf("%s: %v", in.Name, err)
 		}
@@ -207,7 +208,7 @@ func TestRealWorkloadRunsOnRealEngine(t *testing.T) {
 	}
 	ctl := &exec.Controller{Store: store, Mem: memcat.New(64 << 20)}
 	plan := core.NewPlan(order)
-	res, err := ctl.Run(w, g, plan)
+	res, err := ctl.Run(context.Background(), w, g, plan)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package wlgen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -153,7 +154,7 @@ func TestGeneratedWorkloadOptimizesAndSimulates(t *testing.T) {
 	}
 	d := costmodel.PaperProfile()
 	p := gen.Problem(2<<30, d)
-	pl, st, err := opt.Solve(p, opt.Options{})
+	pl, st, err := opt.Solve(context.Background(), p, opt.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +162,11 @@ func TestGeneratedWorkloadOptimizesAndSimulates(t *testing.T) {
 		t.Fatal("infeasible plan")
 	}
 	cfg := sim.Config{Device: d, Memory: p.Memory}
-	base, err := sim.Run(gen.Workload, core.NewPlan(pl.Order), cfg)
+	base, err := sim.Run(context.Background(), gen.Workload, core.NewPlan(pl.Order), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	optRes, err := sim.Run(gen.Workload, pl, cfg)
+	optRes, err := sim.Run(context.Background(), gen.Workload, pl, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,156 @@
+package sc
+
+import "fmt"
+
+// Option configures New and Solve. Options apply in order; later options
+// override earlier ones.
+type Option func(*config)
+
+// config is the resolved option set.
+type config struct {
+	memory        int64
+	selector      Selector
+	orderer       Orderer
+	seed          int64
+	maxIterations int
+	observer      Observer
+	concurrency   int
+	device        DeviceProfile
+	deviceSet     bool
+	sizeGuess     int64
+	err           error
+}
+
+// newConfig folds the options into a validated config.
+func newConfig(opts []Option) (*config, error) {
+	cfg := &config{
+		concurrency: 1,
+		sizeGuess:   1 << 20, // 1MB: optimistic before any observation
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if !cfg.deviceSet {
+		cfg.device = PaperProfile()
+	}
+	return cfg, nil
+}
+
+func (c *config) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+// algorithms resolves the session's selector and orderer, constructing the
+// paper's defaults through the registries (seeded with WithSeed) when none
+// were supplied.
+func (c *config) algorithms() (Selector, Orderer, error) {
+	sel, ord := c.selector, c.orderer
+	var err error
+	if sel == nil {
+		if sel, err = SelectorByName("mkp", c.seed); err != nil {
+			return nil, nil, err
+		}
+	}
+	if ord == nil {
+		if ord, err = OrdererByName("ma-dfs", c.seed); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sel, ord, nil
+}
+
+// WithMemory sets the Memory Catalog budget in bytes. Zero (the default)
+// disables flagging entirely; negative budgets are rejected.
+func WithMemory(bytes int64) Option {
+	return func(c *config) {
+		if bytes < 0 {
+			c.fail("sc: negative Memory Catalog budget %d", bytes)
+			return
+		}
+		c.memory = bytes
+	}
+}
+
+// WithFlagSelector sets the flagging strategy (S/C Opt Nodes). Nil means
+// the paper's SimplifiedMKP. Use SelectorByName for registered algorithms
+// or pass a custom implementation.
+func WithFlagSelector(s Selector) Option {
+	return func(c *config) { c.selector = s }
+}
+
+// WithOrderer sets the ordering strategy (S/C Opt Order). Nil means the
+// paper's MA-DFS. Use OrdererByName for registered algorithms or pass a
+// custom implementation.
+func WithOrderer(o Orderer) Option {
+	return func(c *config) { c.orderer = o }
+}
+
+// WithSeed seeds randomized algorithms resolved internally (it does not
+// re-seed an already-constructed Selector/Orderer).
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithMaxIterations caps alternating optimization. Zero means the default.
+func WithMaxIterations(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("sc: negative MaxIterations %d", n)
+			return
+		}
+		c.maxIterations = n
+	}
+}
+
+// WithObserver subscribes obs to the session's event stream: node
+// execution, materialization, Memory Catalog evictions and high-water
+// marks, and optimizer iterations. The observer must be safe for
+// concurrent use when combined with WithConcurrency(k > 1).
+func WithObserver(obs Observer) Option {
+	return func(c *config) { c.observer = obs }
+}
+
+// WithConcurrency executes up to k independent DAG nodes at a time on a
+// bounded worker pool. The Memory Catalog budget remains enforced
+// byte-for-byte (outputs that no longer fit fall back to blocking writes)
+// and materialized outputs are byte-identical to a serial run. k <= 1 (the
+// default) runs nodes serially in exact plan order.
+func WithConcurrency(k int) Option {
+	return func(c *config) {
+		if k < 1 {
+			k = 1
+		}
+		c.concurrency = k
+	}
+}
+
+// WithDevice sets the device profile used for score estimation and
+// simulation. The default is PaperProfile.
+func WithDevice(d DeviceProfile) Option {
+	return func(c *config) {
+		if err := d.Validate(); err != nil {
+			c.fail("sc: %v", err)
+			return
+		}
+		c.device = d
+		c.deviceSet = true
+	}
+}
+
+// WithSizeGuess sets the output-size assumption, in bytes, for nodes that
+// have never been observed (e.g. the first run of a pipeline). The default
+// is 1MB.
+func WithSizeGuess(bytes int64) Option {
+	return func(c *config) {
+		if bytes < 0 {
+			c.fail("sc: negative size guess %d", bytes)
+			return
+		}
+		c.sizeGuess = bytes
+	}
+}

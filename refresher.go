@@ -1,0 +1,216 @@
+package sc
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/metrics"
+	"github.com/shortcircuit-db/sc/internal/obs"
+	"github.com/shortcircuit-db/sc/internal/sim"
+)
+
+// Refresher is a long-lived MV refresh session: it executes refresh runs on
+// the real engine, records execution metadata (§III-A), and re-optimizes
+// the plan from what it observed, so recurring pipelines improve run over
+// run. All methods honor context cancellation and deadlines, and a
+// Refresher is safe for concurrent use (runs are serialized internally at
+// the planning level; the Controller parallelizes within a run when
+// WithConcurrency is set).
+type Refresher struct {
+	workload *exec.Workload
+	graph    *dag.Graph
+	base     [][]string // per node, the base tables its statement scans
+	store    Store
+	cfg      *config
+	md       *metrics.Store
+
+	mu    sync.Mutex
+	plan  *Plan
+	stats *Stats
+}
+
+// New builds a refresh session for the given MVs over a store holding the
+// base tables. Dependencies are extracted from the SQL statements. See the
+// With* options for memory budget, strategies, observation and concurrency.
+func New(mvs []MV, store Store, opts ...Option) (*Refresher, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, errors.New("sc: nil store")
+	}
+	if len(mvs) == 0 {
+		return nil, errors.New("sc: no MVs declared")
+	}
+	w := &exec.Workload{}
+	for _, mv := range mvs {
+		w.Nodes = append(w.Nodes, exec.NodeSpec{Name: mv.Name, SQL: mv.SQL})
+	}
+	g, base, err := w.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	return &Refresher{
+		workload: w,
+		graph:    g,
+		base:     base,
+		store:    store,
+		cfg:      cfg,
+		md:       metrics.NewStore(),
+	}, nil
+}
+
+// Graph exposes the extracted dependency graph.
+func (r *Refresher) Graph() *dag.Graph { return r.graph }
+
+// Metrics exposes the execution-metadata store accumulated across runs.
+func (r *Refresher) Metrics() *metrics.Store { return r.md }
+
+// Plan returns the current refresh plan, or nil before the first
+// optimization.
+func (r *Refresher) Plan() *Plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.plan == nil {
+		return nil
+	}
+	return r.plan.Clone()
+}
+
+// Stats returns the optimizer stats of the current plan, or nil before the
+// first optimization.
+func (r *Refresher) Stats() *Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stats == nil {
+		return nil
+	}
+	st := *r.stats
+	return &st
+}
+
+// Problem derives the session's current optimization problem: sizes from
+// the latest observations (WithSizeGuess for never-observed nodes), scores
+// from the §IV model under the session's device profile.
+func (r *Refresher) Problem() *Problem {
+	sizes := r.md.Sizes(r.graph, r.cfg.sizeGuess)
+	return &Problem{
+		G:      r.graph,
+		Sizes:  sizes,
+		Scores: r.md.Scores(r.graph, sizes, r.cfg.device),
+		Memory: r.cfg.memory,
+	}
+}
+
+// Optimize re-plans the session from the observed execution metadata and
+// returns the new plan, which subsequent Run/Refresh calls execute.
+func (r *Refresher) Optimize(ctx context.Context) (*Plan, *Stats, error) {
+	plan, stats, err := Solve(ctx, r.Problem(),
+		WithFlagSelector(r.cfg.selector),
+		WithOrderer(r.cfg.orderer),
+		WithSeed(r.cfg.seed),
+		WithMaxIterations(r.cfg.maxIterations),
+		WithObserver(r.cfg.observer),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	r.plan = plan.Clone()
+	st := *stats
+	r.stats = &st
+	r.mu.Unlock()
+	return plan, stats, nil
+}
+
+// Run executes one refresh with the session's current plan (the
+// unoptimized topological baseline before the first Optimize), recording
+// execution metadata for future planning. When ctx is cancelled mid-run the
+// partial result of the completed nodes is returned with ctx.Err().
+func (r *Refresher) Run(ctx context.Context) (*RunResult, error) {
+	return r.RunPlan(ctx, r.Plan())
+}
+
+// baselinePlan is the unoptimized default: topological order, nothing kept
+// in memory.
+func (r *Refresher) baselinePlan() (*Plan, error) {
+	topo, err := r.graph.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Order: topo, Flagged: make([]bool, r.graph.Len())}, nil
+}
+
+// RunPlan executes one refresh following an explicit plan. A nil plan means
+// the unoptimized baseline: topological order, nothing kept in memory.
+func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error) {
+	if plan == nil {
+		var err error
+		if plan, err = r.baselinePlan(); err != nil {
+			return nil, err
+		}
+	}
+	ctl := &exec.Controller{
+		Store:       r.store,
+		Mem:         memcat.New(r.cfg.memory),
+		Obs:         obs.Multi(metrics.NewRecorder(r.md), r.cfg.observer),
+		Concurrency: r.cfg.concurrency,
+	}
+	return ctl.Run(ctx, r.workload, r.graph, plan)
+}
+
+// Refresh is the adaptive loop of §III-A in one call: execute a refresh
+// with the current plan, feed the observed metadata back, and re-optimize
+// for the next call. The returned result is the run that just executed; the
+// improved plan takes effect on the next Refresh/Run.
+func (r *Refresher) Refresh(ctx context.Context) (*RunResult, error) {
+	res, err := r.Run(ctx)
+	if err != nil {
+		return res, err
+	}
+	if _, _, err := r.Optimize(ctx); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Simulate predicts a refresh run with the session's current plan on the
+// calibrated discrete-event simulator, parameterized by the observed
+// execution metadata (run at least once first for meaningful numbers) and
+// the session's device profile. No real bytes move.
+func (r *Refresher) Simulate(ctx context.Context) (*SimResult, error) {
+	w := &sim.Workload{G: r.graph}
+	for i := 0; i < r.graph.Len(); i++ {
+		name := r.graph.Name(dag.NodeID(i))
+		node := sim.Node{Name: name, OutputBytes: r.cfg.sizeGuess}
+		if o, ok := r.md.Latest(name); ok {
+			node.OutputBytes = o.OutputBytes
+			node.ComputeSeconds = o.ComputeTime.Seconds()
+		}
+		// Base tables are always read from external storage; their encoded
+		// sizes are what a refresh actually moves.
+		for _, bt := range r.base[i] {
+			if sz, err := exec.TableSize(r.store, bt); err == nil {
+				node.BaseReadBytes += sz
+			}
+		}
+		w.Nodes = append(w.Nodes, node)
+	}
+	plan := r.Plan()
+	if plan == nil {
+		var err error
+		if plan, err = r.baselinePlan(); err != nil {
+			return nil, err
+		}
+	}
+	return sim.Run(ctx, w, plan, sim.Config{
+		Device:   r.cfg.device,
+		Memory:   r.cfg.memory,
+		Observer: r.cfg.observer,
+	})
+}

@@ -1,12 +1,11 @@
 package sc
 
 import (
+	"context"
 	"time"
 
-	"github.com/shortcircuit-db/sc/internal/core"
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/exec"
-	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/sim"
 	"github.com/shortcircuit-db/sc/internal/storage"
 	"github.com/shortcircuit-db/sc/internal/table"
@@ -46,64 +45,59 @@ func LoadTable(st Store, name string) (*table.Table, error) {
 	return exec.LoadTable(st, name)
 }
 
-// Runner executes MV refresh runs on the real engine.
-type Runner struct {
-	workload *exec.Workload
-	graph    *dag.Graph
-	store    Store
-	memory   int64
-}
-
-// NewRunner builds a runner for the given MVs over a store holding the
-// base tables. memory is the Memory Catalog budget in bytes. Dependencies
-// are extracted from the SQL statements.
-func NewRunner(mvs []MV, store Store, memory int64) (*Runner, error) {
-	w := &exec.Workload{}
-	for _, mv := range mvs {
-		w.Nodes = append(w.Nodes, exec.NodeSpec{Name: mv.Name, SQL: mv.SQL})
-	}
-	g, _, err := w.BuildGraph()
-	if err != nil {
-		return nil, err
-	}
-	return &Runner{workload: w, graph: g, store: store, memory: memory}, nil
-}
-
-// Graph exposes the extracted dependency graph.
-func (r *Runner) Graph() *dag.Graph { return r.graph }
-
 // NodeMetrics is the per-node execution metadata of a run (§III-A).
 type NodeMetrics = exec.NodeMetrics
 
 // RunResult aggregates a refresh run.
 type RunResult = exec.RunResult
 
+// Runner executes MV refresh runs on the real engine.
+//
+// Deprecated: use New, whose Refresher adds cancellation, observation,
+// concurrency and the adaptive metadata loop. Runner remains as a thin
+// wrapper.
+type Runner struct {
+	ref *Refresher
+}
+
+// NewRunner builds a runner for the given MVs over a store holding the
+// base tables. memory is the Memory Catalog budget in bytes. Dependencies
+// are extracted from the SQL statements.
+//
+// Deprecated: use New with WithMemory.
+func NewRunner(mvs []MV, store Store, memory int64) (*Runner, error) {
+	ref, err := New(mvs, store, WithMemory(memory))
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{ref: ref}, nil
+}
+
+// Graph exposes the extracted dependency graph.
+func (r *Runner) Graph() *dag.Graph { return r.ref.Graph() }
+
 // Run refreshes every MV following the plan, returning per-node metrics.
 // A nil plan means the unoptimized baseline: topological order, nothing
 // kept in memory.
+//
+// Deprecated: use Refresher.Run or Refresher.RunPlan, which honor a
+// context.
 func (r *Runner) Run(plan *Plan) (*RunResult, error) {
-	if plan == nil {
-		topo, err := r.graph.TopoSort()
-		if err != nil {
-			return nil, err
-		}
-		plan = core.NewPlan(topo)
-	}
-	ctl := &exec.Controller{Store: r.store, Mem: memcat.New(r.memory)}
-	return ctl.Run(r.workload, r.graph, plan)
+	return r.ref.RunPlan(context.Background(), plan)
 }
 
 // ProblemFromMetrics derives an optimization problem from observed run
 // metrics: sizes are observed output sizes and scores follow the §IV model
 // under the device profile.
 func (r *Runner) ProblemFromMetrics(res *RunResult, d DeviceProfile) *Problem {
-	sizes := make([]int64, r.graph.Len())
+	g := r.ref.Graph()
+	sizes := make([]int64, g.Len())
 	for _, nm := range res.Nodes {
-		if id := r.graph.Lookup(nm.Name); id != dag.Invalid {
+		if id := g.Lookup(nm.Name); id != dag.Invalid {
 			sizes[id] = nm.OutputBytes
 		}
 	}
-	p := &Problem{G: r.graph, Sizes: sizes, Memory: r.memory}
+	p := &Problem{G: g, Sizes: sizes, Memory: r.ref.cfg.memory}
 	EstimateScores(p, d)
 	return p
 }
@@ -120,10 +114,18 @@ type SimConfig = sim.Config
 // SimResult is a simulated run outcome.
 type SimResult = sim.Result
 
-// Simulate runs the calibrated discrete-event simulator: serial node
+// SimulatePlan runs the calibrated discrete-event simulator: serial node
 // execution, background materialization sharing the write channel, Memory
 // Catalog accounting. It reproduces the paper's large-scale experiments
-// without moving real bytes.
+// without moving real bytes. The context is honored between simulated
+// nodes; cfg.Observer receives the simulated event stream.
+func SimulatePlan(ctx context.Context, w *SimWorkload, plan *Plan, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(ctx, w, plan, cfg)
+}
+
+// Simulate runs the simulator without a context.
+//
+// Deprecated: use SimulatePlan (or Refresher.Simulate for a session).
 func Simulate(w *SimWorkload, plan *Plan, cfg SimConfig) (*SimResult, error) {
-	return sim.Run(w, plan, cfg)
+	return SimulatePlan(context.Background(), w, plan, cfg)
 }

@@ -8,19 +8,37 @@
 // speed while materialization to external storage proceeds in the
 // background. All MVs are still fully materialized, so SLAs are unaffected.
 //
-// Typical use:
+// The main entry point is the Refresher, a long-lived session that unifies
+// run → observe → re-optimize for a recurring pipeline:
+//
+//	ref, err := sc.New(mvs, store,
+//		sc.WithMemory(1<<30),
+//		sc.WithConcurrency(4),
+//		sc.WithObserver(sc.ObserverFunc(func(e sc.Event) { log.Println(e.Kind, e.Node) })),
+//	)
+//	...
+//	res, err := ref.Refresh(ctx) // run, record metadata, re-optimize
+//
+// Refreshes honor ctx cancellation and deadlines mid-run. Flagging and
+// ordering strategies are pluggable: implement Selector or Orderer,
+// register them with RegisterSelector/RegisterOrderer, and pass them via
+// WithFlagSelector/WithOrderer.
+//
+// For pure optimization problems (no SQL, no storage) build a Problem with
+// GraphBuilder and call Solve:
 //
 //	g := sc.NewGraphBuilder()
 //	a := g.Node("mv_a", sizeA, scoreA)
 //	b := g.Node("mv_b", sizeB, scoreB)
 //	g.Edge(a, b) // mv_b reads mv_a
-//	plan, stats, err := sc.Optimize(g.Problem(memoryBudget), sc.Options{})
+//	plan, stats, err := sc.Solve(ctx, g.Problem(memoryBudget))
 //
-// The plan's Order and FlaggedIDs drive either the real SQL controller
-// (sc.Runner) or the calibrated simulator (sc.Simulate).
+// The plan's Order and FlaggedIDs drive either the real Controller
+// (Refresher) or the calibrated simulator (Refresher.Simulate, SimulatePlan).
 package sc
 
 import (
+	"context"
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/core"
@@ -50,6 +68,50 @@ type DeviceProfile = costmodel.DeviceProfile
 // environment (§VI-A), with bandwidths expressed as effective table-I/O
 // throughput.
 func PaperProfile() DeviceProfile { return costmodel.PaperProfile() }
+
+// Selector chooses which node outputs to keep in the Memory Catalog for a
+// fixed execution order (S/C Opt Nodes, Problem 2 of the paper). Built-in
+// implementations are available via SelectorByName: "mkp" (the paper's
+// SimplifiedMKP, the default), "greedy", "random", "ratio".
+type Selector = flagsel.Selector
+
+// Orderer produces a topological execution order given the flagged set
+// (S/C Opt Order, Problem 3 of the paper). Built-in implementations are
+// available via OrdererByName: "ma-dfs" (the paper's, the default), "dfs",
+// "kahn", "sa", "separator".
+type Orderer = order.Orderer
+
+// RegisterSelector makes a custom flagging strategy available under name
+// (case-insensitive) to SelectorByName and to anything that looks
+// strategies up by name (cmd/scopt JSON inputs, config files). The factory
+// receives the seed passed at lookup. It panics if name is empty or already
+// registered.
+func RegisterSelector(name string, factory func(seed int64) Selector) {
+	flagsel.Register(name, factory)
+}
+
+// RegisterOrderer makes a custom ordering strategy available under name
+// (case-insensitive). The factory receives the seed passed at lookup. It
+// panics if name is empty or already registered.
+func RegisterOrderer(name string, factory func(seed int64) Orderer) {
+	order.Register(name, factory)
+}
+
+// SelectorByName returns the registered selector, seeding randomized ones.
+func SelectorByName(name string, seed int64) (Selector, error) {
+	return flagsel.New(name, seed)
+}
+
+// OrdererByName returns the registered orderer, seeding randomized ones.
+func OrdererByName(name string, seed int64) (Orderer, error) {
+	return order.New(name, seed)
+}
+
+// SelectorNames lists registered selector names, sorted.
+func SelectorNames() []string { return flagsel.Names() }
+
+// OrdererNames lists registered orderer names, sorted.
+func OrdererNames() []string { return order.Names() }
 
 // GraphBuilder assembles a Problem incrementally.
 type GraphBuilder struct {
@@ -95,19 +157,6 @@ func EstimateScores(p *Problem, d DeviceProfile) {
 	p.Scores = costmodel.Scores(d, p.G, p.Sizes)
 }
 
-// Options configures Optimize. The zero value runs the paper's algorithm:
-// SimplifiedMKP flagging + MA-DFS ordering under alternating optimization.
-type Options struct {
-	// FlagAlgorithm: "mkp" (default), "greedy", "random", "ratio".
-	FlagAlgorithm string
-	// OrderAlgorithm: "ma-dfs" (default), "dfs", "kahn", "sa", "separator".
-	OrderAlgorithm string
-	// Seed feeds the randomized algorithms.
-	Seed int64
-	// MaxIterations caps alternating optimization (0 = default).
-	MaxIterations int
-}
-
 // Stats reports optimizer behaviour.
 type Stats struct {
 	Iterations int
@@ -117,29 +166,26 @@ type Stats struct {
 	StopReason string
 }
 
-// Optimize solves S/C Opt (Problem 1 of the paper) and returns a feasible
+// Solve solves S/C Opt (Problem 1 of the paper) and returns a feasible
 // plan: a topological execution order and a flagged set whose peak resident
-// size never exceeds the Memory Catalog budget.
-func Optimize(p *Problem, o Options) (*Plan, *Stats, error) {
-	var sel flagsel.Selector
-	var ord order.Orderer
-	var err error
-	if o.FlagAlgorithm != "" {
-		sel, err = flagsel.ByName(o.FlagAlgorithm, o.Seed)
-		if err != nil {
-			return nil, nil, err
-		}
+// size never exceeds the Memory Catalog budget. The context is honored
+// between alternating-optimization iterations. Recognized options:
+// WithFlagSelector, WithOrderer, WithSeed, WithMaxIterations, WithObserver
+// (IterationDone events).
+func Solve(ctx context.Context, p *Problem, opts ...Option) (*Plan, *Stats, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, nil, err
 	}
-	if o.OrderAlgorithm != "" {
-		ord, err = order.ByName(o.OrderAlgorithm, o.Seed)
-		if err != nil {
-			return nil, nil, err
-		}
+	sel, ord, err := cfg.algorithms()
+	if err != nil {
+		return nil, nil, err
 	}
-	pl, st, err := opt.Solve(p, opt.Options{
+	pl, st, err := opt.Solve(ctx, p, opt.Options{
 		Selector:      sel,
 		Orderer:       ord,
-		MaxIterations: o.MaxIterations,
+		MaxIterations: cfg.maxIterations,
+		Observer:      cfg.observer,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -151,6 +197,37 @@ func Optimize(p *Problem, o Options) (*Plan, *Stats, error) {
 		Elapsed:    st.Elapsed,
 		StopReason: st.StopReason,
 	}, nil
+}
+
+// Options configures Optimize.
+//
+// Deprecated: use Solve with functional options.
+type Options struct {
+	// Selector solves S/C Opt Nodes; nil means the paper's SimplifiedMKP.
+	// Use SelectorByName to resolve registered algorithms.
+	Selector Selector
+	// Orderer solves S/C Opt Order; nil means the paper's MA-DFS.
+	// Use OrdererByName to resolve registered algorithms.
+	Orderer Orderer
+	// Seed is retained for compatibility; seeds now feed SelectorByName /
+	// OrdererByName directly.
+	Seed int64
+	// MaxIterations caps alternating optimization (0 = default).
+	MaxIterations int
+}
+
+// Optimize solves S/C Opt without a context.
+//
+// Deprecated: use Solve, which honors cancellation and functional options.
+func Optimize(p *Problem, o Options) (*Plan, *Stats, error) {
+	opts := []Option{WithSeed(o.Seed), WithMaxIterations(o.MaxIterations)}
+	if o.Selector != nil {
+		opts = append(opts, WithFlagSelector(o.Selector))
+	}
+	if o.Orderer != nil {
+		opts = append(opts, WithOrderer(o.Orderer))
+	}
+	return Solve(context.Background(), p, opts...)
 }
 
 // Feasible reports whether the plan's flagged set fits in the problem's

@@ -1,6 +1,7 @@
 package sc_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -49,12 +50,21 @@ func TestOptimizePublicAPI(t *testing.T) {
 	}
 }
 
-func TestOptimizeAlgorithmSelection(t *testing.T) {
+func TestSolveAlgorithmSelection(t *testing.T) {
 	b, _ := figure7Builder()
 	p := b.Problem(100 * gb)
-	for _, flagAlg := range []string{"mkp", "greedy", "random", "ratio"} {
-		for _, ordAlg := range []string{"ma-dfs", "dfs", "kahn", "sa", "separator"} {
-			plan, _, err := sc.Optimize(p, sc.Options{FlagAlgorithm: flagAlg, OrderAlgorithm: ordAlg, Seed: 3})
+	for _, flagAlg := range sc.SelectorNames() {
+		for _, ordAlg := range sc.OrdererNames() {
+			sel, err := sc.SelectorByName(flagAlg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ord, err := sc.OrdererByName(ordAlg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, _, err := sc.Solve(context.Background(), p,
+				sc.WithFlagSelector(sel), sc.WithOrderer(ord))
 			if err != nil {
 				t.Fatalf("%s+%s: %v", flagAlg, ordAlg, err)
 			}
@@ -63,10 +73,10 @@ func TestOptimizeAlgorithmSelection(t *testing.T) {
 			}
 		}
 	}
-	if _, _, err := sc.Optimize(p, sc.Options{FlagAlgorithm: "nope"}); err == nil {
+	if _, err := sc.SelectorByName("nope", 0); err == nil {
 		t.Fatal("unknown flag algorithm accepted")
 	}
-	if _, _, err := sc.Optimize(p, sc.Options{OrderAlgorithm: "nope"}); err == nil {
+	if _, err := sc.OrdererByName("nope", 0); err == nil {
 		t.Fatal("unknown order algorithm accepted")
 	}
 }
