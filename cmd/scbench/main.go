@@ -6,9 +6,12 @@
 //	scbench [experiment...]
 //
 // Experiments: fig3, table3, fig9, fig10, fig11, table4, fig12, table5,
-// fig13, fig14, ablate, real, all (default: all). fig13/fig14 accept -dags N to
-// control the number of generated DAGs per setting; real accepts -sf for
-// the dataset scale factor.
+// fig13, fig14, ablate, real, encoding, all (default: all). fig13/fig14
+// accept -dags N to control the number of generated DAGs per setting; real
+// and encoding accept -sf for the dataset scale factor. encoding writes a
+// machine-readable BENCH_encoding.json (bytes written, compression ratio,
+// wall time, catalog residency) into -benchout so future PRs have a perf
+// trajectory to compare against.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 func main() {
 	dags := flag.Int("dags", 25, "generated DAGs per setting for fig13/fig14")
 	sf := flag.Float64("sf", 1.0, "dataset scale factor for the real-engine run")
+	benchout := flag.String("benchout", ".", "directory for machine-readable BENCH_*.json results")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -39,7 +43,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"fig3", "table3", "fig9", "fig10", "fig11", "table4", "fig12", "table5", "fig13", "fig14", "ablate", "real"}
+		experiments = []string{"fig3", "table3", "fig9", "fig10", "fig11", "table4", "fig12", "table5", "fig13", "fig14", "ablate", "real", "encoding"}
 	}
 	out := os.Stdout
 	for _, exp := range experiments {
@@ -76,6 +80,11 @@ func main() {
 			cfg := bench.DefaultRealConfig()
 			cfg.ScaleFactor = *sf
 			err = bench.Real(ctx, out, cfg)
+		case "encoding":
+			cfg := bench.DefaultEncodingConfig()
+			cfg.ScaleFactor = *sf
+			cfg.OutDir = *benchout
+			err = bench.Encoding(ctx, out, cfg)
 		default:
 			err = fmt.Errorf("unknown experiment %q", exp)
 		}

@@ -22,6 +22,13 @@ const (
 	IterationDone = obs.IterationDone
 	// MemoryHighWater: the Memory Catalog reached a new peak.
 	MemoryHighWater = obs.MemoryHighWater
+	// EncodeDone: a node's output was compressed (WithEncoding); Bytes is
+	// the raw size, Encoded the compressed size, Ratio their quotient,
+	// Elapsed the encode time.
+	EncodeDone = obs.EncodeDone
+	// DecodeDone: a compressed Memory Catalog entry was decompressed to
+	// serve a read; Elapsed is the decode time.
+	DecodeDone = obs.DecodeDone
 )
 
 // Observer receives the event stream of a refresh. Implementations must be

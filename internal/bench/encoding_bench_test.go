@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEncodingBenchmark runs the compressed-encoding benchmark at small
+// scale and pins the acceptance criterion: compression enabled must cut
+// bytes written to the throttled store by at least 2x versus the
+// uncompressed baseline, and the result must land in BENCH_encoding.json.
+func TestEncodingBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine benchmark is slow")
+	}
+	dir := t.TempDir()
+	cfg := DefaultEncodingConfig()
+	cfg.ScaleFactor = 0.25
+	cfg.SleepScale = 0.001
+	cfg.WlgenNodes = 40
+	cfg.OutDir = dir
+	var sb strings.Builder
+	if err := Encoding(context.Background(), &sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"tpcds-real", "wlgen-sim", "verified", "reduction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_encoding.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report EncodingReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.TPCDSBytesReductionX < 2 {
+		t.Fatalf("bytes-written reduction %.2fx below the 2x acceptance bar", report.TPCDSBytesReductionX)
+	}
+	var sawAuto bool
+	for _, run := range report.Runs {
+		if run.BytesWritten <= 0 || run.WallSeconds <= 0 {
+			t.Fatalf("run %s/%s has empty measurements: %+v", run.Workload, run.Mode, run)
+		}
+		if run.Workload == "tpcds-real" && run.Mode == "auto" {
+			sawAuto = true
+			if run.CompressionRatio < 2 {
+				t.Fatalf("auto compression ratio %.2fx below 2x", run.CompressionRatio)
+			}
+		}
+	}
+	if !sawAuto {
+		t.Fatal("report missing the tpcds-real auto run")
+	}
+}

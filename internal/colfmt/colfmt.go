@@ -1,14 +1,22 @@
 // Package colfmt implements the columnar binary format S/C materializes
 // intermediate tables in, standing in for Parquet in the paper's stack.
 //
-// Layout (all little-endian):
+// Two versions exist. Version 1 ("SCF1") is the original single-payload
+// layout below; version 2 ("SCF2", see v2.go) is the self-describing
+// chunked format backed by the internal/encoding codec subsystem
+// (dictionary, run-length, delta + bit-packing, scaled-decimal floats).
+// Decode and DecodeSchema dispatch on the magic, so v1 files written by
+// earlier builds keep decoding forever; writers choose the version
+// (Encode → v1, EncodeV2/EncodeCompressed → v2).
+//
+// Version 1 layout (all little-endian):
 //
 //	magic "SCF1" | u32 nCols | u64 nRows
 //	per column:
 //	  u16 nameLen | name | u8 type | u8 encoding | u64 payloadLen |
 //	  payload | u32 crc32(payload)
 //
-// Encodings are chosen per column automatically:
+// Version 1 encodings are chosen per column automatically:
 //
 //	int columns   – zig-zag varint deltas, or run-length when runs dominate
 //	float columns – raw 8-byte IEEE754
@@ -76,8 +84,12 @@ func Encode(t *table.Table) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode parses data produced by Encode.
+// Decode parses data produced by Encode (v1) or EncodeV2/EncodeCompressed
+// (v2), dispatching on the magic.
 func Decode(data []byte) (*table.Table, error) {
+	if len(data) >= 4 && [4]byte(data[:4]) == magicV2 {
+		return decodeV2(data)
+	}
 	r := &reader{data: data}
 	var m [4]byte
 	if err := r.bytes(m[:]); err != nil || m != magic {
@@ -160,6 +172,9 @@ func Decode(data []byte) (*table.Table, error) {
 // payloads; the controller uses it to learn MV schemas without paying a
 // full decode.
 func DecodeSchema(data []byte) (table.Schema, int, error) {
+	if len(data) >= 4 && [4]byte(data[:4]) == magicV2 {
+		return decodeSchemaV2(data)
+	}
 	r := &reader{data: data}
 	var m [4]byte
 	if err := r.bytes(m[:]); err != nil || m != magic {
@@ -200,7 +215,9 @@ func DecodeSchema(data []byte) (table.Schema, int, error) {
 		if err != nil {
 			return table.Schema{}, 0, err
 		}
-		if payloadLen+4 > uint64(len(r.data)-r.off) {
+		// Guard against payloadLen+4 wrapping around uint64.
+		rem := uint64(len(r.data) - r.off)
+		if rem < 4 || payloadLen > rem-4 {
 			return table.Schema{}, 0, fmt.Errorf("%w: payload overruns buffer", ErrCorrupt)
 		}
 		r.off += int(payloadLen) + 4 // skip payload and checksum

@@ -104,12 +104,22 @@ func bwTime(size int64, bw float64) time.Duration {
 // disk write is replaced by an in-memory create with background
 // materialization.
 func NodeScore(d DeviceProfile, g *dag.Graph, sizes []int64, i dag.NodeID) float64 {
-	size := sizes[i]
+	return NodeScoreSized(d, g, sizes, sizes, i)
+}
+
+// NodeScoreSized is NodeScore with distinct memory and storage footprints,
+// as when the encoding subsystem compresses tables: disk transfers move
+// diskSizes[i] (encoded) bytes while Memory Catalog accesses touch
+// memSizes[i] bytes. Compression shrinks the disk terms, so flagging a
+// well-compressed node saves less than its raw size suggests — exactly the
+// tradeoff the optimizer must see to make different flag/order decisions.
+func NodeScoreSized(d DeviceProfile, g *dag.Graph, memSizes, diskSizes []int64, i dag.NodeID) float64 {
+	mem, disk := memSizes[i], diskSizes[i]
 	var saved time.Duration
 	for range g.Children(i) {
-		saved += d.DiskRead(size) - d.MemRead(size)
+		saved += d.DiskRead(disk) - d.MemRead(mem)
 	}
-	saved += d.DiskWrite(size) - d.MemWrite(size)
+	saved += d.DiskWrite(disk) - d.MemWrite(mem)
 	if saved < 0 {
 		saved = 0
 	}
@@ -118,9 +128,14 @@ func NodeScore(d DeviceProfile, g *dag.Graph, sizes []int64, i dag.NodeID) float
 
 // Scores computes NodeScore for every node.
 func Scores(d DeviceProfile, g *dag.Graph, sizes []int64) []float64 {
+	return ScoresSized(d, g, sizes, sizes)
+}
+
+// ScoresSized computes NodeScoreSized for every node.
+func ScoresSized(d DeviceProfile, g *dag.Graph, memSizes, diskSizes []int64) []float64 {
 	out := make([]float64, g.Len())
 	for i := range out {
-		out[i] = NodeScore(d, g, sizes, dag.NodeID(i))
+		out[i] = NodeScoreSized(d, g, memSizes, diskSizes, dag.NodeID(i))
 	}
 	return out
 }

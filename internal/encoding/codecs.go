@@ -1,0 +1,566 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// --- bit packing ---
+
+// packBits packs each value's low `width` bits into an LSB-first bitstream.
+func packBits(vals []uint64, width int) []byte {
+	if width == 0 {
+		return nil
+	}
+	out := make([]byte, (len(vals)*width+7)/8)
+	bit := 0
+	for _, v := range vals {
+		for b := 0; b < width; b++ {
+			if v&(1<<uint(b)) != 0 {
+				out[bit>>3] |= 1 << uint(bit&7)
+			}
+			bit++
+		}
+	}
+	return out
+}
+
+// unpackBits reads n values of `width` bits from an LSB-first bitstream.
+// The payload-length check runs before any allocation, so a corrupted row
+// count claiming billions of packed values fails in O(1) instead of
+// attempting a huge make().
+func unpackBits(data []byte, width, n int) ([]uint64, error) {
+	if width == 0 {
+		return make([]uint64, n), nil
+	}
+	need := (n*width + 7) / 8
+	if len(data) < need {
+		return nil, fmt.Errorf("%w: %d packed bytes, need %d", ErrCorrupt, len(data), need)
+	}
+	out := make([]uint64, n)
+	bit := 0
+	for i := range out {
+		var v uint64
+		for b := 0; b < width; b++ {
+			if data[bit>>3]&(1<<uint(bit&7)) != 0 {
+				v |= 1 << uint(b)
+			}
+			bit++
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// maxWidth returns the bit width needed for the largest value.
+func maxWidth(vals []uint64) int {
+	w := 0
+	for _, v := range vals {
+		if l := bits.Len64(v); l > w {
+			w = l
+		}
+	}
+	return w
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(buf, tmp[:binary.PutVarint(tmp[:], v)]...)
+}
+
+// --- raw codec ---
+
+// rawCodec is the type-native fallback: 8-byte little-endian ints and
+// floats, length-prefixed strings. It applies to every column and is what
+// "compression disabled" (ModeRaw) writes.
+type rawCodec struct{}
+
+func (rawCodec) ID() CodecID               { return Raw }
+func (rawCodec) CanEncode(table.Type) bool { return true }
+
+func (rawCodec) Encode(v *table.Vector) ([]byte, error) {
+	switch v.Type {
+	case table.Int:
+		buf := make([]byte, len(v.Ints)*8)
+		for i, x := range v.Ints {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(x))
+		}
+		return buf, nil
+	case table.Float:
+		buf := make([]byte, len(v.Floats)*8)
+		for i, x := range v.Floats {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+		}
+		return buf, nil
+	default:
+		var buf []byte
+		for _, s := range v.Strs {
+			buf = appendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+		return buf, nil
+	}
+}
+
+func (rawCodec) Decode(payload []byte, t table.Type, n int) (*table.Vector, error) {
+	out := &table.Vector{Type: t}
+	switch t {
+	case table.Int:
+		if len(payload) != n*8 {
+			return nil, fmt.Errorf("%w: %d raw int bytes, want %d", ErrCorrupt, len(payload), n*8)
+		}
+		out.Ints = make([]int64, n)
+		for i := range out.Ints {
+			out.Ints[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case table.Float:
+		if len(payload) != n*8 {
+			return nil, fmt.Errorf("%w: %d raw float bytes, want %d", ErrCorrupt, len(payload), n*8)
+		}
+		out.Floats = make([]float64, n)
+		for i := range out.Floats {
+			out.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	default:
+		out.Strs = make([]string, 0, allocHint(n, len(payload)))
+		for off := 0; off < len(payload); {
+			l, k := binary.Uvarint(payload[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("%w: bad string length", ErrCorrupt)
+			}
+			off += k
+			if l > uint64(len(payload)-off) {
+				return nil, fmt.Errorf("%w: string overruns payload", ErrCorrupt)
+			}
+			out.Strs = append(out.Strs, string(payload[off:off+int(l)]))
+			off += int(l)
+		}
+		if len(out.Strs) != n {
+			return nil, fmt.Errorf("%w: %d strings, want %d", ErrCorrupt, len(out.Strs), n)
+		}
+	}
+	return out, nil
+}
+
+// --- run-length codec ---
+
+// rleCodec stores (runLength, value) pairs. It applies to every type;
+// float runs compare by bit pattern so NaN runs compress too.
+type rleCodec struct{}
+
+func (rleCodec) ID() CodecID               { return RLE }
+func (rleCodec) CanEncode(table.Type) bool { return true }
+
+func (c rleCodec) Encode(v *table.Vector) ([]byte, error) {
+	var buf []byte
+	n := v.Len()
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && c.sameAt(v, i, j) {
+			j++
+		}
+		buf = appendUvarint(buf, uint64(j-i))
+		switch v.Type {
+		case table.Int:
+			buf = appendVarint(buf, v.Ints[i])
+		case table.Float:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Floats[i]))
+			buf = append(buf, b[:]...)
+		default:
+			buf = appendUvarint(buf, uint64(len(v.Strs[i])))
+			buf = append(buf, v.Strs[i]...)
+		}
+		i = j
+	}
+	return buf, nil
+}
+
+func (rleCodec) sameAt(v *table.Vector, i, j int) bool {
+	switch v.Type {
+	case table.Int:
+		return v.Ints[i] == v.Ints[j]
+	case table.Float:
+		return math.Float64bits(v.Floats[i]) == math.Float64bits(v.Floats[j])
+	default:
+		return v.Strs[i] == v.Strs[j]
+	}
+}
+
+func (rleCodec) Decode(payload []byte, t table.Type, n int) (*table.Vector, error) {
+	out := &table.Vector{Type: t}
+	// The output length is known up front; preallocate it, capped so a
+	// direct call with an absurd n cannot demand a huge make() before the
+	// payload is parsed (the colfmt path already bounds n via Validate).
+	hint := allocHint(n, MaxChunkRows)
+	switch t {
+	case table.Int:
+		out.Ints = make([]int64, 0, hint)
+	case table.Float:
+		out.Floats = make([]float64, 0, hint)
+	default:
+		out.Strs = make([]string, 0, hint)
+	}
+	count := 0
+	for off := 0; off < len(payload); {
+		runLen, k := binary.Uvarint(payload[off:])
+		if k <= 0 || runLen == 0 {
+			return nil, fmt.Errorf("%w: bad run length", ErrCorrupt)
+		}
+		off += k
+		if runLen > uint64(n-count) {
+			return nil, fmt.Errorf("%w: run overruns rows", ErrCorrupt)
+		}
+		switch t {
+		case table.Int:
+			x, k := binary.Varint(payload[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("%w: bad run value", ErrCorrupt)
+			}
+			off += k
+			for r := uint64(0); r < runLen; r++ {
+				out.Ints = append(out.Ints, x)
+			}
+		case table.Float:
+			if len(payload)-off < 8 {
+				return nil, fmt.Errorf("%w: truncated float run", ErrCorrupt)
+			}
+			x := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+			for r := uint64(0); r < runLen; r++ {
+				out.Floats = append(out.Floats, x)
+			}
+		default:
+			l, k := binary.Uvarint(payload[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("%w: bad run string length", ErrCorrupt)
+			}
+			off += k
+			if l > uint64(len(payload)-off) {
+				return nil, fmt.Errorf("%w: run string overruns payload", ErrCorrupt)
+			}
+			s := string(payload[off : off+int(l)])
+			off += int(l)
+			for r := uint64(0); r < runLen; r++ {
+				out.Strs = append(out.Strs, s)
+			}
+		}
+		count += int(runLen)
+	}
+	if count != n {
+		return nil, fmt.Errorf("%w: %d values, want %d", ErrCorrupt, count, n)
+	}
+	return out, nil
+}
+
+// --- dictionary codec ---
+
+// dictCodec stores distinct values once (in first-appearance order) and
+// bit-packs per-row indexes: a low-cardinality column costs
+// ceil(log2(cardinality)) bits per row.
+type dictCodec struct{}
+
+func (dictCodec) ID() CodecID { return Dict }
+func (dictCodec) CanEncode(t table.Type) bool {
+	return t == table.Int || t == table.Str
+}
+
+func (dictCodec) Encode(v *table.Vector) ([]byte, error) {
+	n := v.Len()
+	idx := make([]uint64, n)
+	var buf []byte
+	switch v.Type {
+	case table.Int:
+		dict := make(map[int64]uint64)
+		var entries []int64
+		for i, x := range v.Ints {
+			id, ok := dict[x]
+			if !ok {
+				id = uint64(len(entries))
+				dict[x] = id
+				entries = append(entries, x)
+			}
+			idx[i] = id
+		}
+		buf = appendUvarint(buf, uint64(len(entries)))
+		for _, x := range entries {
+			buf = appendVarint(buf, x)
+		}
+	case table.Str:
+		dict := make(map[string]uint64)
+		var entries []string
+		for i, s := range v.Strs {
+			id, ok := dict[s]
+			if !ok {
+				id = uint64(len(entries))
+				dict[s] = id
+				entries = append(entries, s)
+			}
+			idx[i] = id
+		}
+		buf = appendUvarint(buf, uint64(len(entries)))
+		for _, s := range entries {
+			buf = appendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	default:
+		return nil, fmt.Errorf("%w: dict on %s", ErrUnsupported, v.Type)
+	}
+	width := 0
+	if len(idx) > 0 {
+		width = maxWidth(idx)
+	}
+	buf = append(buf, byte(width))
+	buf = append(buf, packBits(idx, width)...)
+	return buf, nil
+}
+
+func (dictCodec) Decode(payload []byte, t table.Type, n int) (*table.Vector, error) {
+	out := &table.Vector{Type: t}
+	nEntries, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad dict size", ErrCorrupt)
+	}
+	off := k
+	if nEntries > uint64(n) {
+		return nil, fmt.Errorf("%w: dict larger than column", ErrCorrupt)
+	}
+	if nEntries == 0 && n > 0 {
+		// No entry for any index to reference: corrupt, and rejecting it
+		// here avoids allocating n values that could never be filled.
+		return nil, fmt.Errorf("%w: empty dict for %d rows", ErrCorrupt, n)
+	}
+	var dictInts []int64
+	var dictStrs []string
+	switch t {
+	case table.Int:
+		dictInts = make([]int64, 0, nEntries)
+		for e := uint64(0); e < nEntries; e++ {
+			x, k := binary.Varint(payload[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("%w: bad dict entry", ErrCorrupt)
+			}
+			off += k
+			dictInts = append(dictInts, x)
+		}
+	case table.Str:
+		dictStrs = make([]string, 0, nEntries)
+		for e := uint64(0); e < nEntries; e++ {
+			l, k := binary.Uvarint(payload[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("%w: bad dict entry length", ErrCorrupt)
+			}
+			off += k
+			if l > uint64(len(payload)-off) {
+				return nil, fmt.Errorf("%w: dict entry overruns payload", ErrCorrupt)
+			}
+			dictStrs = append(dictStrs, string(payload[off:off+int(l)]))
+			off += int(l)
+		}
+	default:
+		return nil, fmt.Errorf("%w: dict on %s", ErrUnsupported, t)
+	}
+	width := 0
+	if off < len(payload) {
+		width = int(payload[off])
+		off++
+	} else if n != 0 {
+		return nil, fmt.Errorf("%w: missing dict width", ErrCorrupt)
+	}
+	if width > 64 {
+		return nil, fmt.Errorf("%w: dict width %d", ErrCorrupt, width)
+	}
+	idx, err := unpackBits(payload[off:], width, n)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case table.Int:
+		out.Ints = make([]int64, n)
+		for i, id := range idx {
+			if id >= uint64(len(dictInts)) {
+				return nil, fmt.Errorf("%w: dict index out of range", ErrCorrupt)
+			}
+			out.Ints[i] = dictInts[id]
+		}
+	case table.Str:
+		out.Strs = make([]string, n)
+		for i, id := range idx {
+			if id >= uint64(len(dictStrs)) {
+				return nil, fmt.Errorf("%w: dict index out of range", ErrCorrupt)
+			}
+			out.Strs[i] = dictStrs[id]
+		}
+	}
+	return out, nil
+}
+
+// --- delta codec ---
+
+// deltaCodec stores the first value followed by bit-packed zig-zag deltas:
+// sorted or serial int columns (surrogate keys, timestamps) cost a few
+// bits per row.
+type deltaCodec struct{}
+
+func (deltaCodec) ID() CodecID                 { return Delta }
+func (deltaCodec) CanEncode(t table.Type) bool { return t == table.Int }
+
+func (deltaCodec) Encode(v *table.Vector) ([]byte, error) {
+	if v.Type != table.Int {
+		return nil, fmt.Errorf("%w: delta on %s", ErrUnsupported, v.Type)
+	}
+	if len(v.Ints) == 0 {
+		return nil, nil
+	}
+	deltas := make([]uint64, len(v.Ints)-1)
+	for i := 1; i < len(v.Ints); i++ {
+		deltas[i-1] = zigzag(v.Ints[i] - v.Ints[i-1])
+	}
+	width := maxWidth(deltas)
+	var buf []byte
+	buf = appendVarint(buf, v.Ints[0])
+	buf = append(buf, byte(width))
+	buf = append(buf, packBits(deltas, width)...)
+	return buf, nil
+}
+
+func (deltaCodec) Decode(payload []byte, t table.Type, n int) (*table.Vector, error) {
+	if t != table.Int {
+		return nil, fmt.Errorf("%w: delta on %s", ErrUnsupported, t)
+	}
+	out := &table.Vector{Type: table.Int}
+	if n == 0 {
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("%w: delta payload for empty column", ErrCorrupt)
+		}
+		return out, nil
+	}
+	first, k := binary.Varint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad delta first value", ErrCorrupt)
+	}
+	off := k
+	if off >= len(payload) {
+		return nil, fmt.Errorf("%w: missing delta width", ErrCorrupt)
+	}
+	width := int(payload[off])
+	off++
+	if width > 64 {
+		return nil, fmt.Errorf("%w: delta width %d", ErrCorrupt, width)
+	}
+	deltas, err := unpackBits(payload[off:], width, n-1)
+	if err != nil {
+		return nil, err
+	}
+	out.Ints = make([]int64, n)
+	out.Ints[0] = first
+	for i, d := range deltas {
+		out.Ints[i+1] = out.Ints[i] + unzigzag(d)
+	}
+	return out, nil
+}
+
+// --- scaled-decimal float codec ---
+
+// floatDecScales are the decimal scales floatDecCodec probes, smallest
+// first. Index into this array is the serialized scale exponent.
+var floatDecScales = [...]float64{1, 10, 100, 1000, 10000}
+
+// floatDecCodec handles the money columns that dominate analytic schemas:
+// when every float in the column is exactly a decimal with at most four
+// fractional digits, it rescales to int64 and delegates to the best int
+// codec (delta for sorted amounts, dict for low cardinality, …). The
+// encode-side exactness check guarantees bit-identical round-trips; columns
+// that fail it (true reals, NaN, huge magnitudes) report ErrUnsupported and
+// fall back to raw.
+type floatDecCodec struct{}
+
+func (floatDecCodec) ID() CodecID                 { return FloatDec }
+func (floatDecCodec) CanEncode(t table.Type) bool { return t == table.Float }
+
+func (floatDecCodec) Encode(v *table.Vector) ([]byte, error) {
+	if v.Type != table.Float {
+		return nil, fmt.Errorf("%w: floatdec on %s", ErrUnsupported, v.Type)
+	}
+	scaleExp := -1
+	ints := make([]int64, len(v.Floats))
+probe:
+	for e, scale := range floatDecScales {
+		for i, f := range v.Floats {
+			if f != f { // NaN never passes the bit-equality check below
+				return nil, fmt.Errorf("%w: NaN in floatdec column", ErrUnsupported)
+			}
+			scaled := f * scale
+			if math.Abs(scaled) >= 1<<53 {
+				continue probe
+			}
+			x := int64(math.Round(scaled))
+			if math.Float64bits(float64(x)/scale) != math.Float64bits(f) {
+				continue probe
+			}
+			ints[i] = x
+		}
+		scaleExp = e
+		break
+	}
+	if scaleExp < 0 {
+		return nil, fmt.Errorf("%w: column is not decimal-exact", ErrUnsupported)
+	}
+	iv := &table.Vector{Type: table.Int, Ints: ints}
+	// Candidates(Int) never includes FloatDec, so this cannot recurse.
+	innerID, innerPayload := bestEncoding(iv)
+	buf := make([]byte, 0, len(innerPayload)+2)
+	buf = append(buf, byte(scaleExp), byte(innerID))
+	return append(buf, innerPayload...), nil
+}
+
+func (floatDecCodec) Decode(payload []byte, t table.Type, n int) (*table.Vector, error) {
+	if t != table.Float {
+		return nil, fmt.Errorf("%w: floatdec on %s", ErrUnsupported, t)
+	}
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("%w: truncated floatdec header", ErrCorrupt)
+	}
+	scaleExp, innerID := int(payload[0]), CodecID(payload[1])
+	if scaleExp >= len(floatDecScales) {
+		return nil, fmt.Errorf("%w: floatdec scale %d", ErrCorrupt, scaleExp)
+	}
+	if innerID == FloatDec {
+		return nil, fmt.Errorf("%w: recursive floatdec", ErrCorrupt)
+	}
+	inner, err := ByID(innerID)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := inner.Decode(payload[2:], table.Int, n)
+	if err != nil {
+		return nil, err
+	}
+	scale := floatDecScales[scaleExp]
+	out := &table.Vector{Type: table.Float, Floats: make([]float64, n)}
+	for i, x := range iv.Ints {
+		out.Floats[i] = float64(x) / scale
+	}
+	return out, nil
+}
+
+// allocHint bounds decode preallocation so a corrupted row count cannot
+// translate into a huge make() before length checks fail.
+func allocHint(n, bound int) int {
+	if n < bound {
+		return n
+	}
+	return bound
+}

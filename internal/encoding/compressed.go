@@ -1,0 +1,335 @@
+package encoding
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// Mode selects how codecs are chosen.
+type Mode int
+
+// Modes.
+const (
+	// ModeAuto samples each chunk, estimates every applicable codec's
+	// output size, and picks the smallest. This is the default.
+	ModeAuto Mode = iota
+	// ModeRaw disables compression: every chunk is stored with the raw
+	// codec. Benchmarks use it as the uncompressed baseline.
+	ModeRaw
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultChunkRows  = 1 << 16
+	DefaultSampleRows = 1024
+)
+
+// MaxChunkRows caps rows per chunk, enforced symmetrically by the encoder
+// (Options.ChunkRows is clamped) and by Validate on the decode path. The
+// cap bounds what a corrupt or crafted chunk header can make a decoder
+// allocate: constant-column codecs (width-0 dict/delta, a single RLE run)
+// legitimately expand a few payload bytes into a whole chunk of values, so
+// without the cap a tiny torn object claiming MaxInt32 rows in one chunk
+// would demand tens of GB before any validation could fail.
+const MaxChunkRows = 1 << 22
+
+// Options configures table compression.
+type Options struct {
+	// Mode selects the codec policy; the zero value is ModeAuto.
+	Mode Mode
+	// ChunkRows is the number of rows per column chunk; codecs are chosen
+	// per chunk, so a column whose shape drifts (sorted prefix, then
+	// random) still compresses well. Zero means DefaultChunkRows.
+	ChunkRows int
+	// SampleRows is how many values per chunk the selector encodes to
+	// estimate codec sizes. Zero means DefaultSampleRows.
+	SampleRows int
+}
+
+func (o Options) chunkRows() int {
+	if o.ChunkRows <= 0 {
+		return DefaultChunkRows
+	}
+	if o.ChunkRows > MaxChunkRows {
+		return MaxChunkRows
+	}
+	return o.ChunkRows
+}
+
+func (o Options) sampleRows() int {
+	if o.SampleRows <= 0 {
+		return DefaultSampleRows
+	}
+	return o.SampleRows
+}
+
+// Chunk is one encoded run of rows of a single column.
+type Chunk struct {
+	Codec CodecID
+	Rows  int
+	Data  []byte
+}
+
+// Serialized framing sizes of the colfmt v2 format, owned here so
+// SizeBytes and the format reader/writer cannot drift apart (colfmt
+// derives its bounds from these).
+const (
+	// ChunkFraming is the per-chunk cost: codec tag (1) + row count (4) +
+	// payload length (8) + checksum (4).
+	ChunkFraming = 1 + 4 + 8 + 4
+	// ColumnFraming is the per-column header cost beyond the name bytes:
+	// name length (2) + type (1) + chunk count (4).
+	ColumnFraming = 2 + 1 + 4
+	// FileFraming is the file header: magic (4) + column count (4) + row
+	// count (8).
+	FileFraming = 4 + 4 + 8
+)
+
+// Compressed is a table held in compressed columnar form: the schema, the
+// row count, and per column a list of encoded chunks. It is what the
+// Memory Catalog stores when encoding is enabled (lazy decode on Get) and
+// what the colfmt v2 file format frames on disk.
+type Compressed struct {
+	Schema table.Schema
+	NRows  int
+	Cols   [][]Chunk // indexed by schema column
+	// RawBytes is the in-memory footprint of the uncompressed table, kept
+	// for compression-ratio reporting. Zero when unknown (e.g. a file
+	// decoded without decompressing).
+	RawBytes int64
+}
+
+// FromTable compresses t. The input table is not retained.
+func FromTable(t *table.Table, opts Options) (*Compressed, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.NumRows()
+	cr := opts.chunkRows()
+	c := &Compressed{
+		Schema:   t.Schema,
+		NRows:    n,
+		Cols:     make([][]Chunk, len(t.Cols)),
+		RawBytes: t.ByteSize(),
+	}
+	for ci, col := range t.Cols {
+		for i := 0; i < n; i += cr {
+			j := i + cr
+			if j > n {
+				j = n
+			}
+			ch, err := encodeChunk(slice(col, i, j), opts)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: column %q: %w", t.Schema.Cols[ci].Name, err)
+			}
+			c.Cols[ci] = append(c.Cols[ci], ch)
+		}
+	}
+	return c, nil
+}
+
+// encodeChunk picks a codec for one chunk and encodes it. ModeRaw always
+// uses the raw codec; ModeAuto ranks the applicable codecs by estimated
+// size over a sample and takes the first whose full encode succeeds (raw
+// never fails, so a codec always lands).
+func encodeChunk(v *table.Vector, opts Options) (Chunk, error) {
+	n := v.Len()
+	if opts.Mode == ModeRaw {
+		payload, err := codecs[Raw].Encode(v)
+		if err != nil {
+			return Chunk{}, err
+		}
+		return Chunk{Codec: Raw, Rows: n, Data: payload}, nil
+	}
+	sr := opts.sampleRows()
+	if n <= 2*sr {
+		// Small chunk: encode exactly with every candidate, keep the best.
+		id, payload := bestEncoding(v)
+		return Chunk{Codec: id, Rows: n, Data: payload}, nil
+	}
+	sample := sampleVec(v, sr)
+	type ranked struct {
+		c   Codec
+		est int
+	}
+	var cands []ranked
+	for _, c := range Candidates(v.Type) {
+		p, err := c.Encode(sample)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, ranked{c: c, est: len(p) * n / sample.Len()})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].est < cands[j].est })
+	for _, r := range cands {
+		payload, err := r.c.Encode(v)
+		if err != nil {
+			continue // sample passed but the full chunk did not (e.g. floatdec)
+		}
+		return Chunk{Codec: r.c.ID(), Rows: n, Data: payload}, nil
+	}
+	payload, err := codecs[Raw].Encode(v)
+	if err != nil {
+		return Chunk{}, err
+	}
+	return Chunk{Codec: Raw, Rows: n, Data: payload}, nil
+}
+
+// bestEncoding encodes v with every applicable codec and returns the
+// smallest result; ties break toward the lower CodecID.
+func bestEncoding(v *table.Vector) (CodecID, []byte) {
+	var best CodecID
+	var bestPayload []byte
+	found := false
+	for _, c := range Candidates(v.Type) {
+		p, err := c.Encode(v)
+		if err != nil {
+			continue
+		}
+		if !found || len(p) < len(bestPayload) {
+			best, bestPayload, found = c.ID(), p, true
+		}
+	}
+	return best, bestPayload
+}
+
+// sampleVec extracts up to sr values as a handful of evenly spaced
+// contiguous blocks, preserving local run structure so RLE and delta
+// estimates stay meaningful.
+func sampleVec(v *table.Vector, sr int) *table.Vector {
+	n := v.Len()
+	if n <= sr {
+		return v
+	}
+	const blocks = 8
+	blockLen := sr / blocks
+	if blockLen == 0 {
+		blockLen = 1
+	}
+	out := &table.Vector{Type: v.Type}
+	for b := 0; b < blocks; b++ {
+		i := b * (n - blockLen) / (blocks - 1)
+		j := i + blockLen
+		if j > n {
+			j = n
+		}
+		switch v.Type {
+		case table.Int:
+			out.Ints = append(out.Ints, v.Ints[i:j]...)
+		case table.Float:
+			out.Floats = append(out.Floats, v.Floats[i:j]...)
+		default:
+			out.Strs = append(out.Strs, v.Strs[i:j]...)
+		}
+	}
+	return out
+}
+
+// Table decompresses into a plain table. The result is a fresh table; the
+// Compressed value is unchanged and reusable.
+func (c *Compressed) Table() (*table.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := table.New(c.Schema)
+	// Reserve the known row count up front (capped like the decoders, so
+	// a hostile NRows cannot demand a huge make before chunk 1 decodes);
+	// tables under MaxChunkRows rows then append without reallocating.
+	hint := c.NRows
+	if hint > MaxChunkRows {
+		hint = MaxChunkRows
+	}
+	for ci, chunks := range c.Cols {
+		typ := c.Schema.Cols[ci].Type
+		switch typ {
+		case table.Int:
+			t.Cols[ci].Ints = make([]int64, 0, hint)
+		case table.Float:
+			t.Cols[ci].Floats = make([]float64, 0, hint)
+		default:
+			t.Cols[ci].Strs = make([]string, 0, hint)
+		}
+		for _, ch := range chunks {
+			codec, err := ByID(ch.Codec)
+			if err != nil {
+				return nil, err
+			}
+			part, err := codec.Decode(ch.Data, typ, ch.Rows)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: column %q: %w", c.Schema.Cols[ci].Name, err)
+			}
+			switch typ {
+			case table.Int:
+				t.Cols[ci].Ints = append(t.Cols[ci].Ints, part.Ints...)
+			case table.Float:
+				t.Cols[ci].Floats = append(t.Cols[ci].Floats, part.Floats...)
+			default:
+				t.Cols[ci].Strs = append(t.Cols[ci].Strs, part.Strs...)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return t, nil
+}
+
+// SizeBytes reports the compressed footprint: encoded payloads plus the
+// exact v2 framing overhead, so it equals the serialized object's size.
+// The Memory Catalog accounts compressed entries with this value.
+func (c *Compressed) SizeBytes() int64 {
+	n := int64(FileFraming)
+	for _, chunks := range c.Cols {
+		for _, ch := range chunks {
+			n += int64(len(ch.Data)) + ChunkFraming
+		}
+	}
+	for _, col := range c.Schema.Cols {
+		n += int64(len(col.Name)) + ColumnFraming
+	}
+	return n
+}
+
+// Ratio reports RawBytes / SizeBytes, the compression ratio. It returns 1
+// when either side is unknown or zero.
+func (c *Compressed) Ratio() float64 {
+	sz := c.SizeBytes()
+	if c.RawBytes <= 0 || sz <= 0 {
+		return 1
+	}
+	return float64(c.RawBytes) / float64(sz)
+}
+
+// Validate checks structural consistency: one chunk list per schema
+// column, non-negative chunk rows summing to NRows, known codec IDs.
+func (c *Compressed) Validate() error {
+	if len(c.Cols) != len(c.Schema.Cols) {
+		return fmt.Errorf("%w: %d chunk lists for %d columns", ErrCorrupt, len(c.Cols), len(c.Schema.Cols))
+	}
+	if c.NRows < 0 {
+		return fmt.Errorf("%w: negative row count", ErrCorrupt)
+	}
+	if len(c.Cols) == 0 && c.NRows != 0 {
+		// A zero-column table has no row vectors to back a row count; a
+		// nonzero claim here is header corruption, not a real table.
+		return fmt.Errorf("%w: %d rows with no columns", ErrCorrupt, c.NRows)
+	}
+	for ci, chunks := range c.Cols {
+		rows := 0
+		for _, ch := range chunks {
+			if ch.Rows <= 0 || ch.Rows > MaxChunkRows {
+				return fmt.Errorf("%w: column %d has a chunk of %d rows", ErrCorrupt, ci, ch.Rows)
+			}
+			if _, err := ByID(ch.Codec); err != nil {
+				return err
+			}
+			rows += ch.Rows
+		}
+		if rows != c.NRows {
+			return fmt.Errorf("%w: column %d has %d rows, want %d", ErrCorrupt, ci, rows, c.NRows)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package encoding implements S/C's compressed columnar subsystem:
+// lightweight per-column codecs (dictionary, run-length, delta with
+// bit-packing, scaled-decimal floats, raw fallback) behind a common
+// Codec interface, with per-column codec auto-selection by sampling.
+//
+// Every byte shaved off an in-memory table lets the Memory Catalog
+// knapsack keep more MVs resident, and every byte shaved off a serialized
+// table cuts the storage-bound write cost the optimizer minimizes — so
+// the codecs here feed the Memory Catalog (compressed entries with lazy
+// decode), the colfmt v2 storage format (per-chunk codec tags) and the
+// cost model (compressed size estimates) alike.
+//
+// All codecs are lossless at the bit level: decode(encode(v)) reproduces
+// the input vector byte-identically, including float NaN payloads.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// CodecID identifies a codec in serialized chunk headers. Values are part
+// of the colfmt v2 on-disk format and must never be renumbered.
+type CodecID uint8
+
+// Codec identifiers.
+const (
+	Raw      CodecID = iota // type-native fixed/length-prefixed layout
+	RLE                     // run-length: uvarint(runLen) + one value per run
+	Dict                    // dictionary + bit-packed indexes (ints, strings)
+	Delta                   // zig-zag deltas, bit-packed (ints)
+	FloatDec                // scaled-decimal floats re-encoded as ints (floats)
+	numCodecs
+)
+
+// String returns the codec's canonical name.
+func (id CodecID) String() string {
+	switch id {
+	case Raw:
+		return "raw"
+	case RLE:
+		return "rle"
+	case Dict:
+		return "dict"
+	case Delta:
+		return "delta"
+	case FloatDec:
+		return "floatdec"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(id))
+}
+
+// ErrCorrupt reports a malformed codec payload. Decoders never panic on
+// corrupt input; they return an error wrapping ErrCorrupt.
+var ErrCorrupt = errors.New("encoding: corrupt payload")
+
+// ErrUnsupported reports a codec/type combination the codec cannot encode
+// (e.g. Delta on strings).
+var ErrUnsupported = errors.New("encoding: unsupported codec/type combination")
+
+// Codec encodes and decodes one column vector. Implementations are
+// stateless and safe for concurrent use.
+type Codec interface {
+	// ID returns the codec's serialized identifier.
+	ID() CodecID
+	// CanEncode reports whether the codec applies to columns of type t.
+	CanEncode(t table.Type) bool
+	// Encode serializes v. It fails with ErrUnsupported when the codec
+	// does not apply to v (wrong type, or value-dependent preconditions
+	// like FloatDec's decimal-exactness do not hold).
+	Encode(v *table.Vector) ([]byte, error)
+	// Decode parses a payload produced by Encode into a vector of type t
+	// with exactly n values. Corrupt payloads yield ErrCorrupt.
+	Decode(payload []byte, t table.Type, n int) (*table.Vector, error)
+}
+
+// ByID returns the codec for a serialized identifier.
+func ByID(id CodecID) (Codec, error) {
+	if int(id) >= len(codecs) || codecs[id] == nil {
+		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, id)
+	}
+	return codecs[id], nil
+}
+
+// codecs is the registry, indexed by CodecID.
+var codecs = [numCodecs]Codec{
+	Raw:      rawCodec{},
+	RLE:      rleCodec{},
+	Dict:     dictCodec{},
+	Delta:    deltaCodec{},
+	FloatDec: floatDecCodec{},
+}
+
+// Candidates returns the codecs applicable to columns of type t, cheapest
+// to try first. Raw always applies and always succeeds.
+func Candidates(t table.Type) []Codec {
+	out := []Codec{codecs[Raw]}
+	for _, c := range codecs {
+		if c != nil && c.ID() != Raw && c.CanEncode(t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// slice returns a view of v restricted to rows [i, j). The backing arrays
+// are shared, so slicing is O(1).
+func slice(v *table.Vector, i, j int) *table.Vector {
+	out := &table.Vector{Type: v.Type}
+	switch v.Type {
+	case table.Int:
+		out.Ints = v.Ints[i:j]
+	case table.Float:
+		out.Floats = v.Floats[i:j]
+	default:
+		out.Strs = v.Strs[i:j]
+	}
+	return out
+}

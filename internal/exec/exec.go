@@ -22,6 +22,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/colfmt"
 	"github.com/shortcircuit-db/sc/internal/core"
 	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/engine"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/obs"
@@ -80,16 +81,18 @@ func (w *Workload) BuildGraph() (*dag.Graph, [][]string, error) {
 // NodeMetrics records one node's execution, the observations §III-A feeds
 // back into the optimizer.
 type NodeMetrics struct {
-	Name        string
-	ReadTime    time.Duration // resolving all inputs
-	ComputeTime time.Duration // running the plan
-	WriteTime   time.Duration // blocking write (zero for flagged nodes)
-	OutputBytes int64         // in-memory size of the output
-	EncodedSize int64         // bytes written to storage
-	Rows        int
-	Flagged     bool
-	MemReads    int // inputs served from the Memory Catalog
-	DiskReads   int // inputs read from storage
+	Name         string
+	ReadTime     time.Duration // resolving all inputs (includes lazy decode)
+	ComputeTime  time.Duration // running the plan
+	WriteTime    time.Duration // blocking write (zero for flagged nodes)
+	EncodeTime   time.Duration // serializing (and compressing) the output
+	OutputBytes  int64         // in-memory size of the output
+	EncodedSize  int64         // bytes written to storage
+	CatalogBytes int64         // bytes accounted in the Memory Catalog (0 if unflagged)
+	Rows         int
+	Flagged      bool
+	MemReads     int // inputs served from the Memory Catalog
+	DiskReads    int // inputs read from storage
 }
 
 // RunResult aggregates a refresh run.
@@ -130,6 +133,12 @@ type Controller struct {
 	// enforced byte-for-byte (an output that no longer fits falls back to a
 	// blocking write, exactly as in the serial path).
 	Concurrency int
+	// Encoding, when non-nil, enables the compressed columnar subsystem:
+	// outputs are compressed once per node, stored compressed in the
+	// Memory Catalog (accounted at compressed size, decoded lazily on
+	// read) and written to storage in the colfmt v2 chunked format. Nil
+	// keeps the legacy v1 path. Reads handle both formats either way.
+	Encoding *encoding.Options
 }
 
 // flaggedState tracks the two release conditions of a flagged output
@@ -353,9 +362,21 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 		t0 := time.Now()
 		defer func() { readTime += time.Since(t0) }()
 		if c.Mem != nil {
-			if t, ok := c.Mem.Get(name); ok {
-				m.MemReads++
-				return t, nil
+			if e, ok := c.Mem.GetEntry(name); ok {
+				d0 := time.Now()
+				t, err := e.Table()
+				if err == nil {
+					if ct, compressed := e.(*encoding.Compressed); compressed {
+						obs.Emit(c.Obs, obs.Event{
+							Kind: obs.DecodeDone, Node: name, Step: step,
+							Bytes: ct.RawBytes, Encoded: ct.SizeBytes(),
+							Ratio: ct.Ratio(), Elapsed: time.Since(d0),
+						})
+					}
+					m.MemReads++
+					return t, nil
+				}
+				// Undecodable resident entry: fall back to storage below.
 			}
 		}
 		data, err := c.Store.Read(tableObject(name))
@@ -384,16 +405,50 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 	if err := ctx.Err(); err != nil {
 		return m, err
 	}
-	encoded, err := colfmt.Encode(out)
+	var encoded []byte
+	var ct *encoding.Compressed
+	e0 := time.Now()
+	if c.Encoding != nil {
+		ct, err = encoding.FromTable(out, *c.Encoding)
+		if err == nil {
+			encoded, err = colfmt.EncodeCompressed(ct)
+		}
+	} else {
+		encoded, err = colfmt.Encode(out)
+	}
 	if err != nil {
 		return m, fmt.Errorf("exec: node %q: %w", spec.Name, err)
 	}
+	m.EncodeTime = time.Since(e0)
 	m.EncodedSize = int64(len(encoded))
+	if ct != nil {
+		// Ratio is computed from the same pair the event reports, so
+		// observers see consistent numbers (DecodeDone likewise reports
+		// the catalog-entry pair it quotes).
+		ratio := 1.0
+		if m.EncodedSize > 0 {
+			ratio = float64(m.OutputBytes) / float64(m.EncodedSize)
+		}
+		obs.Emit(c.Obs, obs.Event{
+			Kind: obs.EncodeDone, Node: spec.Name, Step: step,
+			Bytes: m.OutputBytes, Encoded: m.EncodedSize,
+			Ratio: ratio, Elapsed: m.EncodeTime,
+		})
+	}
 
 	if m.Flagged {
-		if err := c.Mem.Put(spec.Name, out); err != nil {
+		var putErr error
+		if ct != nil {
+			putErr = c.Mem.PutEntry(spec.Name, ct)
+			m.CatalogBytes = ct.SizeBytes()
+		} else {
+			putErr = c.Mem.Put(spec.Name, out)
+			m.CatalogBytes = m.OutputBytes
+		}
+		if putErr != nil {
 			// Does not fit: fall back to the unflagged path.
 			m.Flagged = false
+			m.CatalogBytes = 0
 			rs.fallbacks.Add(1)
 		} else {
 			rs.noteHighWater()
@@ -431,7 +486,7 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 
 	obs.Emit(c.Obs, obs.Event{
 		Kind: obs.NodeDone, Node: spec.Name, Step: step,
-		Bytes: m.OutputBytes, Elapsed: time.Since(nodeStart),
+		Bytes: m.OutputBytes, Encoded: m.EncodedSize, Elapsed: time.Since(nodeStart),
 		Read: m.ReadTime, Write: m.WriteTime, Compute: m.ComputeTime,
 		Flagged: m.Flagged,
 	})
@@ -445,10 +500,8 @@ func (rs *runState) release(id dag.NodeID, st *flaggedState) {
 	if st.children == 0 && st.written && !st.released {
 		st.released = true
 		name := rs.g.Name(id)
-		size := int64(0)
-		if t, ok := rs.c.Mem.Get(name); ok {
-			size = t.ByteSize()
-		}
+		// Size, not Get: eviction must not pay a decompression.
+		size, _ := rs.c.Mem.Size(name)
 		_ = rs.c.Mem.Delete(name)
 		obs.Emit(rs.c.Obs, obs.Event{Kind: obs.Evicted, Node: name, Step: rs.pos[id], Bytes: size})
 	}
@@ -535,7 +588,7 @@ func LoadTable(st storage.Store, name string) (*table.Table, error) {
 	return colfmt.Decode(data)
 }
 
-// SaveTable encodes and writes a table to storage.
+// SaveTable encodes and writes a table to storage in the v1 format.
 func SaveTable(st storage.Store, name string, t *table.Table) error {
 	data, err := colfmt.Encode(t)
 	if err != nil {
@@ -573,9 +626,17 @@ func (s *schemaCache) TableSchema(name string) (table.Schema, error) {
 		return sch, nil
 	}
 	if s.mem != nil {
-		if t, ok := s.mem.Get(name); ok {
-			s.learn(name, t.Schema)
-			return t.Schema, nil
+		if e, ok := s.mem.GetEntry(name); ok {
+			// Compressed entries carry their schema; plain entries hand the
+			// table back as-is. Neither pays a decode here.
+			if ct, compressed := e.(*encoding.Compressed); compressed {
+				s.learn(name, ct.Schema)
+				return ct.Schema, nil
+			}
+			if t, err := e.Table(); err == nil {
+				s.learn(name, t.Schema)
+				return t.Schema, nil
+			}
 		}
 	}
 	data, err := s.store.Read(tableObject(name))

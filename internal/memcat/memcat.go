@@ -2,6 +2,11 @@
 // in-memory table store. Flagged node outputs are created directly here so
 // downstream nodes read them at memory speed, and are freed as soon as all
 // dependents have executed and background materialization has finished.
+//
+// Entries are either plain tables or compressed columnar representations
+// (internal/encoding). Compressed entries are accounted against the budget
+// at their compressed footprint — so the knapsack keeps more MVs resident —
+// and are decompressed lazily on Get.
 package memcat
 
 import (
@@ -19,20 +24,36 @@ var ErrNoSpace = errors.New("memcat: insufficient space")
 // ErrNotFound reports a missing table.
 var ErrNotFound = errors.New("memcat: table not found")
 
+// Entry is anything the catalog can hold: it knows its accounted byte
+// size and can produce the table it represents. Plain tables return
+// themselves; compressed entries (encoding.Compressed) decode on demand.
+type Entry interface {
+	// SizeBytes is the in-memory footprint accounted against the budget.
+	SizeBytes() int64
+	// Table materializes the entry as a plain table.
+	Table() (*table.Table, error)
+}
+
+// plainEntry wraps an uncompressed table.
+type plainEntry struct{ t *table.Table }
+
+func (e plainEntry) SizeBytes() int64             { return e.t.ByteSize() }
+func (e plainEntry) Table() (*table.Table, error) { return e.t, nil }
+
 // Catalog is a bounded, thread-safe in-memory table store.
 type Catalog struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
 	peak     int64
-	tables   map[string]*entryT
+	entries  map[string]*entryT
 	// counters
 	hits, misses int64
 }
 
 type entryT struct {
-	t    *table.Table
-	size int64
+	e    Entry
+	size int64 // e.SizeBytes() captured at Put, so accounting never drifts
 }
 
 // New returns a catalog with the given byte capacity.
@@ -40,7 +61,7 @@ func New(capacity int64) *Catalog {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Catalog{capacity: capacity, tables: make(map[string]*entryT)}
+	return &Catalog{capacity: capacity, entries: make(map[string]*entryT)}
 }
 
 // Capacity returns the configured byte capacity.
@@ -50,18 +71,25 @@ func (c *Catalog) Capacity() int64 { return c.capacity }
 // It fails with ErrNoSpace if the table does not fit, leaving the catalog
 // unchanged. Re-putting an existing name replaces it.
 func (c *Catalog) Put(name string, t *table.Table) error {
-	size := t.ByteSize()
+	return c.PutEntry(name, plainEntry{t: t})
+}
+
+// PutEntry stores any Entry (plain or compressed) under name, accounting
+// e.SizeBytes() against the capacity. Compressed entries therefore charge
+// only their compressed footprint. Semantics match Put.
+func (c *Catalog) PutEntry(name string, e Entry) error {
+	size := e.SizeBytes()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var old int64
-	if e, ok := c.tables[name]; ok {
-		old = e.size
+	if prev, ok := c.entries[name]; ok {
+		old = prev.size
 	}
 	if c.used-old+size > c.capacity {
 		return fmt.Errorf("%w: %s needs %d bytes, %d free of %d",
 			ErrNoSpace, name, size, c.capacity-(c.used-old), c.capacity)
 	}
-	c.tables[name] = &entryT{t: t, size: size}
+	c.entries[name] = &entryT{e: e, size: size}
 	c.used += size - old
 	if c.used > c.peak {
 		c.peak = c.used
@@ -69,30 +97,61 @@ func (c *Catalog) Put(name string, t *table.Table) error {
 	return nil
 }
 
-// Get returns the named table if resident.
+// Get returns the named table if resident, decoding compressed entries
+// lazily. A decode failure counts as a miss, so callers transparently fall
+// back to their storage path.
 func (c *Catalog) Get(name string) (*table.Table, bool) {
+	e, ok := c.GetEntry(name)
+	if !ok {
+		return nil, false
+	}
+	t, err := e.Table()
+	if err != nil {
+		c.mu.Lock()
+		c.hits--
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	return t, true
+}
+
+// GetEntry returns the named entry without decoding it. Callers that only
+// need the accounted size (eviction, stats) avoid paying a decompression.
+func (c *Catalog) GetEntry(name string) (Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.tables[name]
+	e, ok := c.entries[name]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	return e.t, true
+	return e.e, true
 }
 
 // Delete frees the named table.
 func (c *Catalog) Delete(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.tables[name]
+	e, ok := c.entries[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	c.used -= e.size
-	delete(c.tables, name)
+	delete(c.entries, name)
 	return nil
+}
+
+// Size returns the accounted bytes of the named entry, or ErrNotFound.
+func (c *Catalog) Size(name string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return e.size, nil
 }
 
 // Used returns the currently accounted bytes.
@@ -120,8 +179,8 @@ func (c *Catalog) Stats() (hits, misses int64) {
 func (c *Catalog) Names() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.tables))
-	for k := range c.tables {
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
 		out = append(out, k)
 	}
 	sort.Strings(out)

@@ -18,12 +18,17 @@ import (
 
 // Observation records one node execution.
 type Observation struct {
-	Name        string        `json:"name"`
-	OutputBytes int64         `json:"output_bytes"`
-	ReadTime    time.Duration `json:"read_time"`
-	WriteTime   time.Duration `json:"write_time"`
-	ComputeTime time.Duration `json:"compute_time"`
-	When        time.Time     `json:"when"`
+	Name        string `json:"name"`
+	OutputBytes int64  `json:"output_bytes"`
+	// EncodedBytes is the serialized (possibly compressed) size actually
+	// moved to storage; zero when never observed. With encoding enabled it
+	// is also a faithful estimate of the compressed Memory Catalog
+	// footprint (framing overhead is a few bytes per column).
+	EncodedBytes int64         `json:"encoded_bytes,omitempty"`
+	ReadTime     time.Duration `json:"read_time"`
+	WriteTime    time.Duration `json:"write_time"`
+	ComputeTime  time.Duration `json:"compute_time"`
+	When         time.Time     `json:"when"`
 }
 
 // Store accumulates observations across runs.
@@ -83,17 +88,45 @@ func (s *Store) Sizes(g *dag.Graph, fallback int64) []int64 {
 	return out
 }
 
+// EncodedSizes extracts the latest observed serialized sizes — the bytes a
+// node's output actually occupies on storage and, with encoding enabled,
+// in the Memory Catalog. Nodes observed without encoded sizes fall back to
+// their raw output size; never-observed nodes fall back to fallback.
+func (s *Store) EncodedSizes(g *dag.Graph, fallback int64) []int64 {
+	out := make([]int64, g.Len())
+	for i := range out {
+		o, ok := s.Latest(g.Name(dag.NodeID(i)))
+		switch {
+		case ok && o.EncodedBytes > 0:
+			out[i] = o.EncodedBytes
+		case ok:
+			out[i] = o.OutputBytes
+		default:
+			out[i] = fallback
+		}
+	}
+	return out
+}
+
 // Scores estimates speedup scores from observed metadata: each child of
 // node i saves i's observed (or modelled) read cost, and i saves its
 // observed blocking write cost. Unobserved quantities fall back to the
 // device model, so a first run can still be optimized.
 func (s *Store) Scores(g *dag.Graph, sizes []int64, d costmodel.DeviceProfile) []float64 {
+	return s.ScoresSized(g, sizes, sizes, d)
+}
+
+// ScoresSized is Scores with distinct memory and storage footprints: disk
+// terms move diskSizes (encoded bytes with compression on), memory terms
+// touch memSizes. The optimizer's flag decisions shift when compression
+// changes the read/write savings of a node.
+func (s *Store) ScoresSized(g *dag.Graph, memSizes, diskSizes []int64, d costmodel.DeviceProfile) []float64 {
 	out := make([]float64, g.Len())
 	for i := range out {
 		id := dag.NodeID(i)
 		var saved time.Duration
-		readOnce := d.DiskRead(sizes[i]) - d.MemRead(sizes[i])
-		write := d.DiskWrite(sizes[i]) - d.MemWrite(sizes[i])
+		readOnce := d.DiskRead(diskSizes[i]) - d.MemRead(memSizes[i])
+		write := d.DiskWrite(diskSizes[i]) - d.MemWrite(memSizes[i])
 		if o, ok := s.Latest(g.Name(id)); ok && o.WriteTime > 0 {
 			write = o.WriteTime
 		}
@@ -131,12 +164,13 @@ func (r *Recorder) OnEvent(e obs.Event) {
 		now = r.Clock
 	}
 	r.Store.Record(Observation{
-		Name:        e.Node,
-		OutputBytes: e.Bytes,
-		ReadTime:    e.Read,
-		WriteTime:   e.Write,
-		ComputeTime: e.Compute,
-		When:        now(),
+		Name:         e.Node,
+		OutputBytes:  e.Bytes,
+		EncodedBytes: e.Encoded,
+		ReadTime:     e.Read,
+		WriteTime:    e.Write,
+		ComputeTime:  e.Compute,
+		When:         now(),
 	})
 }
 

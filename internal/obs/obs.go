@@ -33,6 +33,14 @@ const (
 	IterationDone
 	// MemoryHighWater: the Memory Catalog reached a new peak. Fields: Bytes.
 	MemoryHighWater
+	// EncodeDone: a node's output was compressed for the Memory Catalog
+	// and storage. Fields: Node, Step, Bytes (raw in-memory size), Encoded
+	// (compressed size), Ratio, Elapsed (encode time).
+	EncodeDone
+	// DecodeDone: a compressed Memory Catalog entry was decompressed to
+	// serve a read. Fields: Node, Bytes (decoded in-memory size), Encoded
+	// (compressed size), Ratio, Elapsed (decode time).
+	DecodeDone
 )
 
 // String returns the kind's canonical name.
@@ -50,6 +58,10 @@ func (k Kind) String() string {
 		return "IterationDone"
 	case MemoryHighWater:
 		return "MemoryHighWater"
+	case EncodeDone:
+		return "EncodeDone"
+	case DecodeDone:
+		return "DecodeDone"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -62,6 +74,8 @@ type Event struct {
 	Node      string        // node (MV) name
 	Step      int           // plan position of the node, -1 when not applicable
 	Bytes     int64         // payload bytes (output, materialized, evicted, high water)
+	Encoded   int64         // NodeDone/EncodeDone/DecodeDone: encoded (compressed) bytes
+	Ratio     float64       // EncodeDone/DecodeDone: raw bytes / encoded bytes
 	Elapsed   time.Duration // wall clock (real runs) or virtual clock (simulation)
 	Read      time.Duration // NodeDone: input-read time
 	Write     time.Duration // NodeDone: blocking-write time

@@ -106,24 +106,51 @@ type FSStore struct {
 	dir string
 }
 
+// staleTempAge is how old a .tmp-* file must be before NewFSStore sweeps
+// it. An in-flight atomic Write holds its temp file for milliseconds, so
+// an hour-old one can only be the debris of a crashed writer; the age gate
+// keeps the sweep from deleting the live temp file of a concurrent writer
+// sharing the directory.
+const staleTempAge = time.Hour
+
 // NewFSStore creates the directory if needed and returns a store over it.
+// Stale .tmp-* files left by a crashed or killed writer are swept on open,
+// so interrupted atomic writes cannot accumulate invisibly.
 func NewFSStore(dir string) (*FSStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > staleTempAge {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 	return &FSStore{dir: dir}, nil
 }
 
-// path maps an object name to a file path, rejecting traversal.
+// path maps an object name to a file path, rejecting traversal and the
+// reserved .tmp-* namespace in-flight atomic writes use.
 func (f *FSStore) path(name string) (string, error) {
-	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") ||
+		strings.HasPrefix(name, ".tmp-") {
 		return "", fmt.Errorf("storage: invalid object name %q", name)
 	}
 	return filepath.Join(f.dir, name), nil
 }
 
-// Write implements Store. The write is atomic: data lands in a temp file
-// that is renamed into place, so readers never observe partial objects.
+// Write implements Store. The write is atomic and durable: data lands in
+// a temp file that is fsynced and then renamed into place, so readers
+// never observe partial objects and a crash mid-materialization cannot
+// leave a torn object for the columnar decoder to trip over — at worst
+// the old object (or nothing) survives, plus an invisible .tmp-* file
+// that List skips.
 func (f *FSStore) Write(name string, data []byte) error {
 	p, err := f.path(name)
 	if err != nil {
@@ -139,6 +166,14 @@ func (f *FSStore) Write(name string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: %w", err)
 	}
+	// Flush file contents before the rename: without this, a power loss
+	// shortly after the rename can surface a zero-length or partial file
+	// even though the directory entry made it to disk.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: %w", err)
@@ -146,6 +181,16 @@ func (f *FSStore) Write(name string, data []byte) error {
 	if err := os.Rename(tmpName, p); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: %w", err)
+	}
+	// The rename lives in the directory: fsync it too, or a power loss
+	// can forget the rename even though the file contents are on disk.
+	// Best-effort: the rename has already replaced the object, so an
+	// fsync failure here must not report a completed write as failed —
+	// the worst outcome of skipping it is reduced crash durability, not
+	// a torn or ambiguous object.
+	if d, err := os.Open(f.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }

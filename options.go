@@ -1,6 +1,10 @@
 package sc
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+)
 
 // Option configures New and Solve. Options apply in order; later options
 // override earlier ones.
@@ -18,6 +22,7 @@ type config struct {
 	device        DeviceProfile
 	deviceSet     bool
 	sizeGuess     int64
+	encoding      *encoding.Options
 	err           error
 }
 
@@ -139,6 +144,27 @@ func WithDevice(d DeviceProfile) Option {
 		}
 		c.device = d
 		c.deviceSet = true
+	}
+}
+
+// WithEncoding enables the compressed columnar subsystem for the session:
+// node outputs are compressed per column (dictionary, run-length, delta +
+// bit-packing, scaled-decimal floats, raw fallback), held compressed in
+// the Memory Catalog — so the same budget keeps more MVs resident, with
+// lazy decode on read — and written to storage in the chunked colfmt v2
+// format, shrinking the bytes moved through the storage-bound path. The
+// optimizer's size and score estimates switch to compressed footprints, so
+// flag/order decisions follow the real tradeoff. Reads remain compatible
+// with both formats whether or not encoding is enabled.
+//
+//	ref, err := sc.New(mvs, store, sc.WithEncoding(sc.EncodingOptions{}))
+//
+// Pass Mode: sc.EncodingRaw to keep the v2 format but disable compression
+// (an explicit baseline for experiments).
+func WithEncoding(opts EncodingOptions) Option {
+	return func(c *config) {
+		o := opts
+		c.encoding = &o
 	}
 }
 

@@ -96,13 +96,25 @@ func (r *Refresher) Stats() *Stats {
 
 // Problem derives the session's current optimization problem: sizes from
 // the latest observations (WithSizeGuess for never-observed nodes), scores
-// from the §IV model under the session's device profile.
+// from the §IV model under the session's device profile. With WithEncoding
+// the knapsack weighs nodes at their compressed footprint and the disk
+// terms of the score model move encoded bytes, so compression genuinely
+// changes which nodes get flagged and in which order the DAG runs.
 func (r *Refresher) Problem() *Problem {
-	sizes := r.md.Sizes(r.graph, r.cfg.sizeGuess)
+	raw := r.md.Sizes(r.graph, r.cfg.sizeGuess)
+	if r.cfg.encoding == nil {
+		return &Problem{
+			G:      r.graph,
+			Sizes:  raw,
+			Scores: r.md.Scores(r.graph, raw, r.cfg.device),
+			Memory: r.cfg.memory,
+		}
+	}
+	enc := r.md.EncodedSizes(r.graph, r.cfg.sizeGuess)
 	return &Problem{
 		G:      r.graph,
-		Sizes:  sizes,
-		Scores: r.md.Scores(r.graph, sizes, r.cfg.device),
+		Sizes:  enc, // Memory Catalog holds compressed entries
+		Scores: r.md.ScoresSized(r.graph, raw, enc, r.cfg.device),
 		Memory: r.cfg.memory,
 	}
 }
@@ -160,6 +172,7 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 		Mem:         memcat.New(r.cfg.memory),
 		Obs:         obs.Multi(metrics.NewRecorder(r.md), r.cfg.observer),
 		Concurrency: r.cfg.concurrency,
+		Encoding:    r.cfg.encoding,
 	}
 	return ctl.Run(ctx, r.workload, r.graph, plan)
 }

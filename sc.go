@@ -44,6 +44,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/core"
 	"github.com/shortcircuit-db/sc/internal/costmodel"
 	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/flagsel"
 	"github.com/shortcircuit-db/sc/internal/opt"
 	"github.com/shortcircuit-db/sc/internal/order"
@@ -63,6 +64,26 @@ type Plan = core.Plan
 // DeviceProfile describes storage and memory performance for score
 // estimation and simulation.
 type DeviceProfile = costmodel.DeviceProfile
+
+// EncodingOptions configures the compressed columnar subsystem enabled by
+// WithEncoding: per-column codec selection mode, chunking and sampling.
+// The zero value selects codecs automatically with default chunking.
+type EncodingOptions = encoding.Options
+
+// EncodingMode selects how codecs are chosen; see EncodingAuto and
+// EncodingRaw.
+type EncodingMode = encoding.Mode
+
+// Encoding modes.
+const (
+	// EncodingAuto samples each column chunk and picks the smallest of the
+	// applicable codecs (dictionary, run-length, delta + bit-packing,
+	// scaled-decimal floats, raw).
+	EncodingAuto = encoding.ModeAuto
+	// EncodingRaw stores every chunk uncompressed in the v2 format; useful
+	// as an explicit baseline in experiments.
+	EncodingRaw = encoding.ModeRaw
+)
 
 // PaperProfile returns the device profile of the paper's evaluation
 // environment (§VI-A), with bandwidths expressed as effective table-I/O
