@@ -6,12 +6,12 @@
 //	scbench [experiment...]
 //
 // Experiments: fig3, table3, fig9, fig10, fig11, table4, fig12, table5,
-// fig13, fig14, ablate, real, encoding, all (default: all). fig13/fig14
-// accept -dags N to control the number of generated DAGs per setting; real
-// and encoding accept -sf for the dataset scale factor. encoding writes a
-// machine-readable BENCH_encoding.json (bytes written, compression ratio,
-// wall time, catalog residency) into -benchout so future PRs have a perf
-// trajectory to compare against.
+// fig13, fig14, ablate, real, encoding, kernels, all (default: all).
+// fig13/fig14 accept -dags N to control the number of generated DAGs per
+// setting; real, encoding and kernels accept -sf for the dataset scale
+// factor. encoding and kernels write machine-readable BENCH_encoding.json
+// / BENCH_kernels.json (bytes written/decoded, wall time, kernel counters)
+// into -benchout so future PRs have a perf trajectory to compare against.
 package main
 
 import (
@@ -43,7 +43,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"fig3", "table3", "fig9", "fig10", "fig11", "table4", "fig12", "table5", "fig13", "fig14", "ablate", "real", "encoding"}
+		experiments = []string{"fig3", "table3", "fig9", "fig10", "fig11", "table4", "fig12", "table5", "fig13", "fig14", "ablate", "real", "encoding", "kernels"}
 	}
 	out := os.Stdout
 	for _, exp := range experiments {
@@ -85,6 +85,11 @@ func main() {
 			cfg.ScaleFactor = *sf
 			cfg.OutDir = *benchout
 			err = bench.Encoding(ctx, out, cfg)
+		case "kernels":
+			cfg := bench.DefaultKernelsConfig()
+			cfg.ScaleFactor = *sf
+			cfg.OutDir = *benchout
+			err = bench.Kernels(ctx, out, cfg)
 		default:
 			err = fmt.Errorf("unknown experiment %q", exp)
 		}

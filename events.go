@@ -26,9 +26,16 @@ const (
 	// the raw size, Encoded the compressed size, Ratio their quotient,
 	// Elapsed the encode time.
 	EncodeDone = obs.EncodeDone
-	// DecodeDone: a compressed Memory Catalog entry was decompressed to
-	// serve a read; Elapsed is the decode time.
+	// DecodeDone: a compressed Memory Catalog entry or chunked storage
+	// file was decompressed in full to serve a read; Elapsed is the
+	// decode time.
 	DecodeDone = obs.DecodeDone
+	// KernelDone: a node's plan ran (at least partly) on the
+	// compressed-execution kernels (WithVectorized); Lowered,
+	// ChunksSkipped, CodeFilteredRows and DecodesAvoided report what the
+	// encoded-domain execution saved, Bytes the raw bytes it still
+	// materialized.
+	KernelDone = obs.KernelDone
 )
 
 // Observer receives the event stream of a refresh. Implementations must be

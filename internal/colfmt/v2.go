@@ -17,12 +17,12 @@
 // Chunks carry their codec tag, so readers decode columns chunk by chunk
 // without global state, and a reader can hold a table in compressed form
 // (DecodeCompressed) paying decompression only when rows are needed.
-// Version 1 files keep decoding through the same entry points; see
-// colfmt.go for the dispatch.
+// Version 2 is read-only since the compact v3 framing (v3.go) replaced it
+// as the write format; v1 and v2 files keep decoding through the same
+// entry points. See colfmt.go for the dispatch.
 package colfmt
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -48,50 +48,29 @@ func chunkCRC(codec byte, rows uint32, payload []byte) uint32 {
 	return crc32.Update(crc, crc32.IEEETable, payload)
 }
 
-// EncodeV2 compresses t with the given options and serializes it in the
-// v2 format.
-func EncodeV2(t *table.Table, opts encoding.Options) ([]byte, error) {
-	ct, err := encoding.FromTable(t, opts)
-	if err != nil {
-		return nil, err
+// IsChunked reports whether data is a chunked-format file (v2 or v3) that
+// DecodeCompressed can parse lazily. Legacy v1 files and unknown blobs
+// report false.
+func IsChunked(data []byte) bool {
+	if len(data) < 4 {
+		return false
 	}
-	return EncodeCompressed(ct)
+	m := [4]byte(data[:4])
+	return m == magicV2 || m == magicV3
 }
 
-// EncodeCompressed serializes an already-compressed table in the v2
-// format without re-encoding any payload.
-func EncodeCompressed(ct *encoding.Compressed) ([]byte, error) {
-	if err := ct.Validate(); err != nil {
-		return nil, err
-	}
-	var buf bytes.Buffer
-	buf.Write(magicV2[:])
-	writeU32(&buf, uint32(len(ct.Cols)))
-	writeU64(&buf, uint64(ct.NRows))
-	for ci, chunks := range ct.Cols {
-		name := ct.Schema.Cols[ci].Name
-		if len(name) > math.MaxUint16 {
-			return nil, fmt.Errorf("colfmt: column name too long (%d bytes)", len(name))
-		}
-		writeU16(&buf, uint16(len(name)))
-		buf.WriteString(name)
-		buf.WriteByte(byte(ct.Schema.Cols[ci].Type))
-		writeU32(&buf, uint32(len(chunks)))
-		for _, ch := range chunks {
-			buf.WriteByte(byte(ch.Codec))
-			writeU32(&buf, uint32(ch.Rows))
-			writeU64(&buf, uint64(len(ch.Data)))
-			buf.Write(ch.Data)
-			writeU32(&buf, chunkCRC(byte(ch.Codec), uint32(ch.Rows), ch.Data))
-		}
-	}
-	return buf.Bytes(), nil
-}
-
-// DecodeCompressed parses a v2 file into its compressed representation
-// without decompressing any chunk. Call Table on the result to pay the
-// decode, or store it as-is (the Memory Catalog does).
+// DecodeCompressed parses a chunked file (v2 or v3) into its compressed
+// representation without decompressing any chunk. Call Table on the result
+// to pay the decode, or store it as-is (the Memory Catalog does).
 func DecodeCompressed(data []byte) (*encoding.Compressed, error) {
+	if len(data) >= 4 && [4]byte(data[:4]) == magicV3 {
+		return decodeCompressedV3(data)
+	}
+	return decodeCompressedV2(data)
+}
+
+// decodeCompressedV2 parses a legacy fixed-framing v2 file.
+func decodeCompressedV2(data []byte) (*encoding.Compressed, error) {
 	r := &reader{data: data}
 	var m [4]byte
 	if err := r.bytes(m[:]); err != nil || m != magicV2 {
@@ -181,8 +160,8 @@ func DecodeCompressed(data []byte) (*encoding.Compressed, error) {
 	return ct, nil
 }
 
-// decodeV2 fully decodes a v2 file into a plain table.
-func decodeV2(data []byte) (*table.Table, error) {
+// decodeChunked fully decodes a v2 or v3 file into a plain table.
+func decodeChunked(data []byte) (*table.Table, error) {
 	ct, err := DecodeCompressed(data)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,114 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// packBitsRef is the original bit-by-bit implementation, kept as the
+// reference the word-at-a-time variants are verified against.
+func packBitsRef(vals []uint64, width int) []byte {
+	if width == 0 {
+		return nil
+	}
+	out := make([]byte, (len(vals)*width+7)/8)
+	bit := 0
+	for _, v := range vals {
+		for b := 0; b < width; b++ {
+			if v&(1<<uint(b)) != 0 {
+				out[bit>>3] |= 1 << uint(bit&7)
+			}
+			bit++
+		}
+	}
+	return out
+}
+
+func unpackBitsRef(data []byte, width, n int) []uint64 {
+	if width == 0 {
+		return make([]uint64, n)
+	}
+	out := make([]uint64, n)
+	bit := 0
+	for i := range out {
+		var v uint64
+		for b := 0; b < width; b++ {
+			if data[bit>>3]&(1<<uint(bit&7)) != 0 {
+				v |= 1 << uint(b)
+			}
+			bit++
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestPackBitsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		width := rng.Intn(65)
+		n := rng.Intn(200)
+		vals := make([]uint64, n)
+		var mask uint64
+		if width > 0 {
+			mask = ^uint64(0) >> uint(64-width)
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		got := packBits(vals, width)
+		want := packBitsRef(vals, width)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("width %d n %d: packed bytes differ\ngot  %x\nwant %x", width, n, got, want)
+		}
+		back, err := unpackBits(got, width, n)
+		if err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		ref := unpackBitsRef(want, width, n)
+		for i := range back {
+			if back[i] != vals[i] || back[i] != ref[i] {
+				t.Fatalf("width %d: value %d round-tripped to %d (ref %d), want %d",
+					width, i, back[i], ref[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestUnpackBitsTruncated(t *testing.T) {
+	vals := []uint64{1, 2, 3, 4, 5}
+	packed := packBits(vals, 3)
+	if _, err := unpackBits(packed[:1], 3, len(vals)); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func BenchmarkPackBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.Uint64() & 0xFFF
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packBits(vals, 12)
+	}
+}
+
+func BenchmarkUnpackBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.Uint64() & 0xFFF
+	}
+	packed := packBits(vals, 12)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unpackBits(packed, 12, len(vals)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

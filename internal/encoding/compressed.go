@@ -48,14 +48,27 @@ type Options struct {
 	SampleRows int
 }
 
-func (o Options) chunkRows() int {
-	if o.ChunkRows <= 0 {
-		return DefaultChunkRows
+// chunkRowsFor returns the chunk size for an n-row table. An explicit
+// ChunkRows is honored (clamped to MaxChunkRows). The zero value adapts to
+// the table: tables at or under DefaultChunkRows rows get a single chunk
+// sized to the table, and larger tables get balanced chunks (ceil(n/k) rows
+// for the smallest k that keeps chunks under the default) instead of
+// full-size chunks plus a tiny, poorly-sampled trailing remainder.
+func (o Options) chunkRowsFor(n int) int {
+	if o.ChunkRows > 0 {
+		if o.ChunkRows > MaxChunkRows {
+			return MaxChunkRows
+		}
+		return o.ChunkRows
 	}
-	if o.ChunkRows > MaxChunkRows {
-		return MaxChunkRows
+	if n <= DefaultChunkRows {
+		if n < 1 {
+			return 1
+		}
+		return n
 	}
-	return o.ChunkRows
+	k := (n + DefaultChunkRows - 1) / DefaultChunkRows
+	return (n + k - 1) / k
 }
 
 func (o Options) sampleRows() int {
@@ -72,20 +85,36 @@ type Chunk struct {
 	Data  []byte
 }
 
-// Serialized framing sizes of the colfmt v2 format, owned here so
-// SizeBytes and the format reader/writer cannot drift apart (colfmt
-// derives its bounds from these).
+// Serialized framing sizes of the legacy fixed-width colfmt v2 format,
+// kept so the v2 reader can bound its allocations. The current v3 writer
+// uses the compact varint framing computed by SizeBytes below.
 const (
-	// ChunkFraming is the per-chunk cost: codec tag (1) + row count (4) +
-	// payload length (8) + checksum (4).
+	// ChunkFraming is the v2 per-chunk cost: codec tag (1) + row count (4)
+	// + payload length (8) + checksum (4).
 	ChunkFraming = 1 + 4 + 8 + 4
-	// ColumnFraming is the per-column header cost beyond the name bytes:
+	// ColumnFraming is the v2 per-column header cost beyond the name bytes:
 	// name length (2) + type (1) + chunk count (4).
 	ColumnFraming = 2 + 1 + 4
-	// FileFraming is the file header: magic (4) + column count (4) + row
-	// count (8).
+	// FileFraming is the v2 file header: magic (4) + column count (4) +
+	// row count (8).
 	FileFraming = 4 + 4 + 8
+	// ChunkFramingMin is the minimum per-chunk framing of the compact v3
+	// layout: codec tag (1) + uvarint row count (≥1) + uvarint payload
+	// length (≥1) + checksum (4). The v3 reader bounds chunk counts with
+	// it; SizeBytes computes the exact per-chunk cost.
+	ChunkFramingMin = 1 + 1 + 1 + 4
 )
+
+// uvarintLen returns the serialized size of v as a binary.PutUvarint
+// varint, so SizeBytes can mirror the v3 framing byte for byte.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 // Compressed is a table held in compressed columnar form: the schema, the
 // row count, and per column a list of encoded chunks. It is what the
@@ -107,7 +136,7 @@ func FromTable(t *table.Table, opts Options) (*Compressed, error) {
 		return nil, err
 	}
 	n := t.NumRows()
-	cr := opts.chunkRows()
+	cr := opts.chunkRowsFor(n)
 	c := &Compressed{
 		Schema:   t.Schema,
 		NRows:    n,
@@ -277,17 +306,30 @@ func (c *Compressed) Table() (*table.Table, error) {
 }
 
 // SizeBytes reports the compressed footprint: encoded payloads plus the
-// exact v2 framing overhead, so it equals the serialized object's size.
-// The Memory Catalog accounts compressed entries with this value.
+// exact compact (v3) framing overhead, so it equals the serialized
+// object's size. The Memory Catalog accounts compressed entries with this
+// value. The varint framing matters for tiny MVs: a one-row COUNT(*)
+// result costs ~16 bytes of framing instead of the ~40 the fixed-width v2
+// layout charged.
 func (c *Compressed) SizeBytes() int64 {
-	n := int64(FileFraming)
-	for _, chunks := range c.Cols {
-		for _, ch := range chunks {
-			n += int64(len(ch.Data)) + ChunkFraming
-		}
+	rows := c.NRows
+	if rows < 0 {
+		rows = 0
 	}
-	for _, col := range c.Schema.Cols {
-		n += int64(len(col.Name)) + ColumnFraming
+	n := int64(4 + uvarintLen(uint64(len(c.Cols))) + uvarintLen(uint64(rows)))
+	for ci, chunks := range c.Cols {
+		if ci < len(c.Schema.Cols) {
+			name := c.Schema.Cols[ci].Name
+			n += int64(uvarintLen(uint64(len(name)))+len(name)) + 1 // name + type tag
+		}
+		n += int64(uvarintLen(uint64(len(chunks))))
+		for _, ch := range chunks {
+			chRows := ch.Rows
+			if chRows < 0 {
+				chRows = 0
+			}
+			n += 1 + int64(uvarintLen(uint64(chRows))+uvarintLen(uint64(len(ch.Data)))+len(ch.Data)) + 4
+		}
 	}
 	return n
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/table"
 )
 
@@ -13,6 +14,13 @@ import (
 // storage, which is where S/C's read short-circuiting happens.
 type Context struct {
 	Resolve func(name string) (*table.Table, error)
+	// ResolveCompressed, when non-nil, resolves a table in compressed
+	// chunked form without decoding any chunk: compressed Memory Catalog
+	// entries are returned as-is and chunked storage files are parsed
+	// lazily. Kernel-backed operators (internal/kernels) use it to decode
+	// per chunk instead of per table; (nil, nil) means the table is not
+	// available in chunked form and the caller should fall back to Resolve.
+	ResolveCompressed func(name string) (*encoding.Compressed, error)
 }
 
 // Node is an executable plan operator.
@@ -320,79 +328,127 @@ type aggState struct {
 	haveExt bool
 }
 
-// Run implements Node.
-func (a *Aggregate) Run(ctx *Context) (*table.Table, error) {
-	in, err := a.Input.Run(ctx)
-	if err != nil {
-		return nil, err
+type aggGroup struct {
+	keyRow []table.Value
+	states []aggState
+}
+
+// AggAcc accumulates input rows into an Aggregate's groups. It exists so
+// the compressed-execution kernels (internal/kernels) share the row
+// engine's grouping, accumulation and output-ordering semantics by
+// construction: Aggregate.Run itself is implemented on top of it, and a
+// kernel feeding the same rows in the same order produces a byte-identical
+// result table.
+type AggAcc struct {
+	a      *Aggregate
+	groups map[string]*aggGroup
+	order  []string
+	key    strings.Builder
+	// sumFLive marks specs whose float accumulator is output-relevant, so
+	// AddRepeat knows when it must reproduce bit-exact repeated addition
+	// and when a closed form suffices.
+	sumFLive []bool
+}
+
+// NewAcc returns an empty accumulator for the aggregate.
+func (a *Aggregate) NewAcc() *AggAcc {
+	acc := &AggAcc{a: a, groups: make(map[string]*aggGroup)}
+	for si, spec := range a.Aggs {
+		outType := a.sch.Cols[len(a.GroupBy)+si].Type
+		acc.sumFLive = append(acc.sumFLive,
+			spec.Func == AggAvg || (spec.Func == AggSum && outType == table.Float))
 	}
-	type group struct {
-		keyRow []table.Value
-		states []aggState
+	return acc
+}
+
+// group finds or creates the group for the current input row.
+func (acc *AggAcc) group(row []table.Value) *aggGroup {
+	a := acc.a
+	acc.key.Reset()
+	for _, g := range a.GroupBy {
+		appendKey(&acc.key, row[g])
 	}
-	groups := make(map[string]*group)
-	var orderKeys []string
-	row := make([]table.Value, len(in.Cols))
-	var key strings.Builder
-	for i := 0; i < in.NumRows(); i++ {
-		fillRow(in, i, row)
-		key.Reset()
-		for _, g := range a.GroupBy {
-			appendKey(&key, row[g])
+	k := acc.key.String()
+	grp, ok := acc.groups[k]
+	if !ok {
+		keyRow := make([]table.Value, len(a.GroupBy))
+		for gi, g := range a.GroupBy {
+			keyRow[gi] = row[g]
 		}
-		k := key.String()
-		grp, ok := groups[k]
-		if !ok {
-			keyRow := make([]table.Value, len(a.GroupBy))
-			for gi, g := range a.GroupBy {
-				keyRow[gi] = row[g]
+		grp = &aggGroup{keyRow: keyRow, states: make([]aggState, len(a.Aggs))}
+		acc.groups[k] = grp
+		acc.order = append(acc.order, k)
+	}
+	return grp
+}
+
+// Add folds one input row into the accumulator.
+func (acc *AggAcc) Add(row []table.Value) error {
+	return acc.AddRepeat(row, 1)
+}
+
+// AddRepeat folds n identical input rows into the accumulator, as if Add
+// were called n times: counts and integer sums accumulate in closed form,
+// while output-relevant float sums repeat the addition so the result stays
+// bit-identical to the row-at-a-time engine. RLE aggregation kernels use
+// it to consume a run without expanding it.
+func (acc *AggAcc) AddRepeat(row []table.Value, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	grp := acc.group(row)
+	for si, spec := range acc.a.Aggs {
+		st := &grp.states[si]
+		if spec.Func == AggCount && spec.Arg == nil {
+			st.count += int64(n)
+			continue
+		}
+		v, err := spec.Arg.Eval(row)
+		if err != nil {
+			return fmt.Errorf("engine: agg %q: %w", spec.Name, err)
+		}
+		st.count += int64(n)
+		switch spec.Func {
+		case AggSum, AggAvg:
+			if v.Type == table.Str {
+				return fmt.Errorf("engine: %s over STRING", aggNames[spec.Func])
 			}
-			grp = &group{keyRow: keyRow, states: make([]aggState, len(a.Aggs))}
-			groups[k] = grp
-			orderKeys = append(orderKeys, k)
-		}
-		for si, spec := range a.Aggs {
-			st := &grp.states[si]
-			if spec.Func == AggCount && spec.Arg == nil {
-				st.count++
+			if acc.sumFLive[si] {
+				f := v.AsFloat()
+				for r := 0; r < n; r++ {
+					st.sumF += f
+				}
+			}
+			if v.Type == table.Int {
+				st.sumI += v.I * int64(n)
+			}
+		case AggMin, AggMax:
+			if !st.haveExt {
+				st.min, st.max, st.haveExt = v, v, true
 				continue
 			}
-			v, err := spec.Arg.Eval(row)
-			if err != nil {
-				return nil, fmt.Errorf("engine: agg %q: %w", spec.Name, err)
+			if c, err := v.Compare(st.min); err == nil && c < 0 {
+				st.min = v
 			}
-			st.count++
-			switch spec.Func {
-			case AggSum, AggAvg:
-				if v.Type == table.Str {
-					return nil, fmt.Errorf("engine: %s over STRING", aggNames[spec.Func])
-				}
-				st.sumF += v.AsFloat()
-				if v.Type == table.Int {
-					st.sumI += v.I
-				}
-			case AggMin, AggMax:
-				if !st.haveExt {
-					st.min, st.max, st.haveExt = v, v, true
-					continue
-				}
-				if c, err := v.Compare(st.min); err == nil && c < 0 {
-					st.min = v
-				}
-				if c, err := v.Compare(st.max); err == nil && c > 0 {
-					st.max = v
-				}
+			if c, err := v.Compare(st.max); err == nil && c > 0 {
+				st.max = v
 			}
 		}
 	}
-	// Global aggregation over empty input still yields one row of zeros.
-	if len(a.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = &group{states: make([]aggState, len(a.Aggs))}
-		orderKeys = append(orderKeys, "")
+	return nil
+}
+
+// Result builds the output table: group keys in first-appearance order,
+// and for a global aggregation over empty input the single row of zeros.
+func (acc *AggAcc) Result() (*table.Table, error) {
+	a := acc.a
+	if len(a.GroupBy) == 0 && len(acc.groups) == 0 {
+		acc.groups[""] = &aggGroup{states: make([]aggState, len(a.Aggs))}
+		acc.order = append(acc.order, "")
 	}
 	out := table.New(a.sch)
-	for _, k := range orderKeys {
-		grp := groups[k]
+	for _, k := range acc.order {
+		grp := acc.groups[k]
 		vals := make([]table.Value, 0, a.sch.NumCols())
 		vals = append(vals, grp.keyRow...)
 		for si, spec := range a.Aggs {
@@ -424,6 +480,23 @@ func (a *Aggregate) Run(ctx *Context) (*table.Table, error) {
 		}
 	}
 	return out, nil
+}
+
+// Run implements Node.
+func (a *Aggregate) Run(ctx *Context) (*table.Table, error) {
+	in, err := a.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	acc := a.NewAcc()
+	row := make([]table.Value, len(in.Cols))
+	for i := 0; i < in.NumRows(); i++ {
+		fillRow(in, i, row)
+		if err := acc.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	return acc.Result()
 }
 
 func extremeOrZero(v table.Value, have bool, t table.Type) table.Value {

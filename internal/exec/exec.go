@@ -24,6 +24,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/kernels"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/sql"
@@ -93,6 +94,14 @@ type NodeMetrics struct {
 	Flagged      bool
 	MemReads     int // inputs served from the Memory Catalog
 	DiskReads    int // inputs read from storage
+
+	// Compressed-execution kernel counters (zero unless Vectorized).
+	LoweredOps       int64 // plan operators served by kernels
+	KernelFallbacks  int64 // kernel executions that reverted to the row engine
+	ChunksSkipped    int64 // column-chunks eliminated without decoding
+	CodeFilteredRows int64 // rows filtered on encoded codes/runs
+	DecodesAvoided   int64 // column-chunk decodes avoided
+	KernelBytes      int64 // raw bytes the kernels materialized
 }
 
 // RunResult aggregates a refresh run.
@@ -136,9 +145,19 @@ type Controller struct {
 	// Encoding, when non-nil, enables the compressed columnar subsystem:
 	// outputs are compressed once per node, stored compressed in the
 	// Memory Catalog (accounted at compressed size, decoded lazily on
-	// read) and written to storage in the colfmt v2 chunked format. Nil
+	// read) and written to storage in the chunked colfmt format. Nil
 	// keeps the legacy v1 path. Reads handle both formats either way.
 	Encoding *encoding.Options
+	// Vectorized, when true, lowers each node's plan onto the
+	// compressed-execution kernels (internal/kernels): supported
+	// Filter/Aggregate subtrees run directly on encoded chunks — comparing
+	// dictionary codes, consuming RLE runs, materializing only surviving
+	// rows — and inputs resolve as per-chunk lazy readers instead of
+	// paying a whole-table decode. Unsupported subtrees and non-chunked
+	// inputs fall back to the row engine with byte-identical results.
+	// Most effective together with Encoding (which makes catalog entries
+	// and stored files chunked).
+	Vectorized bool
 }
 
 // flaggedState tracks the two release conditions of a flagged output
@@ -351,10 +370,36 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 	if err != nil {
 		return m, fmt.Errorf("exec: node %q: %w", spec.Name, err)
 	}
+	var kst *kernels.Stats
+	if c.Vectorized {
+		kst = &kernels.Stats{}
+		planNode = kernels.Lower(planNode, kst)
+	}
 
 	// Execute with a resolver that tracks where inputs came from and
 	// honors cancellation between input reads.
 	var readTime time.Duration
+	// One-entry cache of the last physical storage read: a kernel's
+	// chunked probe that falls back (legacy v1 file, schema mismatch)
+	// hands its bytes to the row path instead of paying the (possibly
+	// throttled) store twice for the same object. A node's plan executes
+	// on one goroutine, so no locking is needed.
+	var lastRead struct {
+		name string
+		data []byte
+	}
+	readObject := func(name string) ([]byte, error) {
+		if lastRead.name == name {
+			return lastRead.data, nil
+		}
+		data, err := c.Store.Read(tableObject(name))
+		if err != nil {
+			return nil, err
+		}
+		m.DiskReads++
+		lastRead.name, lastRead.data = name, data
+		return data, nil
+	}
 	ectx := &engine.Context{Resolve: func(name string) (*table.Table, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -379,17 +424,65 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 				// Undecodable resident entry: fall back to storage below.
 			}
 		}
-		data, err := c.Store.Read(tableObject(name))
+		data, err := readObject(name)
 		if err != nil {
 			return nil, err
 		}
+		d0 := time.Now()
 		t, err := colfmt.Decode(data)
 		if err != nil {
 			return nil, fmt.Errorf("decode %q: %w", name, err)
 		}
-		m.DiskReads++
+		if colfmt.IsChunked(data) {
+			// A full decode of a chunked file is the cost the kernels'
+			// per-chunk readers exist to avoid; report it like a catalog
+			// decode so observers can account decoded bytes either way.
+			bytes := t.ByteSize()
+			ratio := 1.0
+			if len(data) > 0 {
+				ratio = float64(bytes) / float64(len(data))
+			}
+			obs.Emit(c.Obs, obs.Event{
+				Kind: obs.DecodeDone, Node: name, Step: step,
+				Bytes: bytes, Encoded: int64(len(data)),
+				Ratio: ratio, Elapsed: time.Since(d0),
+			})
+		}
 		return t, nil
 	}}
+	if c.Vectorized {
+		// Per-chunk lazy resolution for kernel scans: compressed catalog
+		// entries are served as-is (no decode), chunked storage files are
+		// parsed without decompressing any chunk. (nil, nil) sends the
+		// kernel to its row-engine fallback, which resolves via Resolve
+		// above and surfaces any read error itself.
+		ectx.ResolveCompressed = func(name string) (*encoding.Compressed, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			defer func() { readTime += time.Since(t0) }()
+			if c.Mem != nil {
+				if e, ok := c.Mem.Peek(name); ok {
+					if ct, compressed := e.(*encoding.Compressed); compressed {
+						c.Mem.GetEntry(name) // count the hit the row path would have counted
+						m.MemReads++
+						return ct, nil
+					}
+					return nil, nil // plain resident entry: row path is cheaper
+				}
+			}
+			data, err := readObject(name)
+			if err != nil || !colfmt.IsChunked(data) {
+				return nil, nil
+			}
+			ct, err := colfmt.DecodeCompressed(data)
+			if err != nil {
+				return nil, nil
+			}
+			return ct, nil
+		}
+	}
 
 	t0 := time.Now()
 	out, err := planNode.Run(ectx)
@@ -401,6 +494,21 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 	m.OutputBytes = out.ByteSize()
 	m.Rows = out.NumRows()
 	rs.schemas.learn(spec.Name, out.Schema)
+	if kst != nil && kst.Lowered > 0 {
+		m.LoweredOps = kst.Lowered
+		m.KernelFallbacks = kst.Fallbacks
+		m.ChunksSkipped = kst.ChunksSkipped
+		m.CodeFilteredRows = kst.CodeFilteredRows
+		m.DecodesAvoided = kst.DecodesAvoided
+		m.KernelBytes = kst.DecodedBytes
+		obs.Emit(c.Obs, obs.Event{
+			Kind: obs.KernelDone, Node: spec.Name, Step: step,
+			Lowered: kst.Lowered, Fallbacks: kst.Fallbacks,
+			ChunksSkipped:    kst.ChunksSkipped,
+			CodeFilteredRows: kst.CodeFilteredRows, DecodesAvoided: kst.DecodesAvoided,
+			Bytes: kst.DecodedBytes,
+		})
+	}
 
 	if err := ctx.Err(); err != nil {
 		return m, err
@@ -591,6 +699,17 @@ func LoadTable(st storage.Store, name string) (*table.Table, error) {
 // SaveTable encodes and writes a table to storage in the v1 format.
 func SaveTable(st storage.Store, name string, t *table.Table) error {
 	data, err := colfmt.Encode(t)
+	if err != nil {
+		return err
+	}
+	return st.Write(tableObject(name), data)
+}
+
+// SaveTableChunked compresses and writes a table to storage in the
+// chunked format, which the kernels' per-chunk readers can scan without a
+// whole-table decode.
+func SaveTableChunked(st storage.Store, name string, t *table.Table, opts encoding.Options) error {
+	data, err := colfmt.EncodeV2(t, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,170 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// AggScan is a fused Aggregate∘(Filter?)∘Scan kernel. It feeds the row
+// engine's own AggAcc accumulator — so grouping, accumulation order and
+// output layout are byte-identical by construction — but reads only the
+// columns the aggregation touches (group keys and aggregate arguments),
+// skips whole row groups the selection vector eliminates, and consumes RLE
+// runs without expanding them:
+//
+//   - a global COUNT(*) touches no column at all: each row group
+//     contributes its (selected) row count in O(1);
+//   - when every needed column of a chunk is run-length encoded, the runs
+//     are walked in lockstep and each constant segment is folded in with
+//     one AddRepeat call;
+//   - otherwise values are read through late-materializing accessors
+//     (dictionary lookups stay in code space) for selected rows only.
+type AggScan struct {
+	Scan *engine.Scan
+	Pred *Pred // nil when the subtree had no filter
+	Agg  *engine.Aggregate
+	Orig engine.Node
+	need []int // columns the aggregation reads, ascending
+	St   *Stats
+}
+
+// Schema implements engine.Node.
+func (a *AggScan) Schema() table.Schema { return a.Agg.Schema() }
+
+// String implements engine.Node.
+func (a *AggScan) String() string {
+	return fmt.Sprintf("KernelAggScan(%s, cols=%v)", a.Scan.Name, a.need)
+}
+
+// Run implements engine.Node.
+func (a *AggScan) Run(ctx *engine.Context) (*table.Table, error) {
+	ct, groups := resolveChunked(ctx, a.Scan)
+	if ct == nil {
+		a.St.Fallbacks++
+		return a.Orig.Run(ctx)
+	}
+	acc := a.Agg.NewAcc()
+	row := make([]table.Value, len(a.Scan.Sch.Cols))
+	for g, rows := range groups {
+		cc := newChunkCtx(ct, g, rows, a.St)
+		var sel *bitmap
+		if a.Pred != nil {
+			var err error
+			sel, err = a.Pred.eval(cc)
+			if err != nil {
+				return nil, fmt.Errorf("kernels: aggregate %q: %w", a.Scan.Name, err)
+			}
+			if sel.none() {
+				cc.finish()
+				continue
+			}
+		}
+		if err := a.addGroup(cc, acc, row, sel); err != nil {
+			return nil, err
+		}
+		cc.finish()
+	}
+	return acc.Result()
+}
+
+// addGroup folds one row group into the accumulator.
+func (a *AggScan) addGroup(cc *chunkCtx, acc *engine.AggAcc, row []table.Value, sel *bitmap) error {
+	full := sel == nil || sel.all()
+
+	// No needed columns (e.g. global COUNT(*)): the whole group collapses
+	// to one AddRepeat without touching a single chunk.
+	if len(a.need) == 0 {
+		n := cc.rows
+		if !full {
+			n = sel.count()
+		}
+		return acc.AddRepeat(row, n)
+	}
+
+	// Run-level fast path: every needed column run-length encoded and no
+	// partial selection — walk the runs in lockstep and fold each constant
+	// segment in one call, never expanding a run.
+	if full && a.allRLE(cc) {
+		return a.addRuns(cc, acc, row)
+	}
+
+	readers := make([]func(int) table.Value, len(a.need))
+	for k, c := range a.need {
+		r, err := cc.accessor(c)
+		if err != nil {
+			return fmt.Errorf("kernels: aggregate %q: %w", a.Scan.Name, err)
+		}
+		readers[k] = r
+	}
+	for i := 0; i < cc.rows; i++ {
+		if !full && !sel.get(i) {
+			continue
+		}
+		for k, c := range a.need {
+			row[c] = readers[k](i)
+		}
+		if err := acc.Add(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allRLE reports whether every needed column's chunk is RLE and parses
+// them.
+func (a *AggScan) allRLE(cc *chunkCtx) bool {
+	for _, c := range a.need {
+		if cc.chunk(c).Codec != encoding.RLE {
+			return false
+		}
+	}
+	for _, c := range a.need {
+		if _, err := cc.parse(c); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// addRuns walks the needed columns' runs in lockstep: each maximal segment
+// where all of them are constant becomes a single AddRepeat.
+func (a *AggScan) addRuns(cc *chunkCtx, acc *engine.AggAcc, row []table.Value) error {
+	type cursor struct {
+		runs []encoding.Run
+		idx  int // current run
+		left int // rows left in the current run
+	}
+	curs := make([]cursor, len(a.need))
+	for k, c := range a.need {
+		runs := cc.cols[c].runs
+		curs[k] = cursor{runs: runs}
+		if len(runs) > 0 {
+			curs[k].left = runs[0].Len
+		}
+	}
+	remaining := cc.rows
+	for remaining > 0 {
+		seg := remaining
+		for k := range curs {
+			row[a.need[k]] = curs[k].runs[curs[k].idx].Val
+			if curs[k].left < seg {
+				seg = curs[k].left
+			}
+		}
+		if err := acc.AddRepeat(row, seg); err != nil {
+			return err
+		}
+		remaining -= seg
+		for k := range curs {
+			curs[k].left -= seg
+			if curs[k].left == 0 && curs[k].idx+1 < len(curs[k].runs) {
+				curs[k].idx++
+				curs[k].left = curs[k].runs[curs[k].idx].Len
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,516 @@
+package kernels
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/colfmt"
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// The differential suite: for randomized tables, encodings, predicates and
+// plan shapes, a lowered plan must produce byte-identical results to the
+// row engine — compared via the serialized v1 format, which canonicalizes
+// nil-vs-empty slices but preserves every value bit (including float
+// payloads).
+
+// colShape enumerates generator shapes that exercise specific codecs.
+type colShape int
+
+const (
+	shapeConst    colShape = iota // all-run RLE
+	shapeRuns                     // few long runs
+	shapeLowCard                  // dictionary
+	shapeHighCard                 // dict overflow to raw/delta
+	shapeSorted                   // delta
+	shapeDecimal                  // floatdec
+	shapeRandomF                  // raw floats
+	numShapes
+)
+
+func genVector(rng *rand.Rand, typ table.Type, shape colShape, n int) *table.Vector {
+	v := &table.Vector{Type: typ}
+	mk := func(i int) int64 {
+		switch shape {
+		case shapeConst:
+			return 7
+		case shapeRuns:
+			return int64(i / (1 + rng.Intn(20) + 5) % 4)
+		case shapeLowCard:
+			return int64(rng.Intn(5))
+		case shapeHighCard:
+			return rng.Int63n(1 << 40)
+		case shapeSorted:
+			return int64(i * 3)
+		default:
+			return rng.Int63n(100)
+		}
+	}
+	for i := 0; i < n; i++ {
+		switch typ {
+		case table.Int:
+			v.Ints = append(v.Ints, mk(i))
+		case table.Float:
+			switch shape {
+			case shapeConst:
+				v.Floats = append(v.Floats, 2.5)
+			case shapeDecimal:
+				v.Floats = append(v.Floats, float64(rng.Intn(10000))/100)
+			default:
+				v.Floats = append(v.Floats, rng.NormFloat64()*100)
+			}
+		default:
+			switch shape {
+			case shapeConst:
+				v.Strs = append(v.Strs, "aaaa")
+			case shapeHighCard:
+				v.Strs = append(v.Strs, fmt.Sprintf("s%d-%d", i, rng.Int63()))
+			default:
+				v.Strs = append(v.Strs, fmt.Sprintf("cat%d", rng.Intn(6)))
+			}
+		}
+	}
+	return v
+}
+
+func genTable(rng *rand.Rand, nRows int) *table.Table {
+	nCols := 1 + rng.Intn(4)
+	var sch table.Schema
+	var cols []*table.Vector
+	for c := 0; c < nCols; c++ {
+		typ := table.Type(rng.Intn(3))
+		sch.Cols = append(sch.Cols, table.Column{Name: fmt.Sprintf("c%d", c), Type: typ})
+		cols = append(cols, genVector(rng, typ, colShape(rng.Intn(int(numShapes))), nRows))
+	}
+	return &table.Table{Schema: sch, Cols: cols}
+}
+
+// litFor picks a literal that has a chance of matching the column.
+func litFor(rng *rand.Rand, t *table.Table, col int) engine.Expr {
+	v := t.Cols[col]
+	if v.Len() == 0 || rng.Intn(4) == 0 {
+		// Literal absent from the column (or arbitrary for empty tables).
+		switch v.Type {
+		case table.Int:
+			return &engine.Lit{V: table.IntValue(rng.Int63n(1000) - 500)}
+		case table.Float:
+			return &engine.Lit{V: table.FloatValue(rng.Float64() * 100)}
+		default:
+			return &engine.Lit{V: table.StrValue("absent")}
+		}
+	}
+	return &engine.Lit{V: v.Value(rng.Intn(v.Len()))}
+}
+
+// genPred builds a random predicate; compilable is not guaranteed, which
+// exercises the lowering's decline path too.
+func genPred(rng *rand.Rand, t *table.Table, depth int) engine.Expr {
+	nCols := len(t.Cols)
+	if depth > 0 && rng.Intn(2) == 0 {
+		op := engine.OpAnd
+		if rng.Intn(2) == 0 {
+			op = engine.OpOr
+		}
+		l := genPred(rng, t, depth-1)
+		r := genPred(rng, t, depth-1)
+		var e engine.Expr = &engine.Bin{Op: op, L: l, R: r}
+		if rng.Intn(4) == 0 {
+			e = &engine.Not{E: e}
+		}
+		return e
+	}
+	col := rng.Intn(nCols)
+	cr := &engine.ColRef{Idx: col, Name: t.Schema.Cols[col].Name}
+	if rng.Intn(5) == 0 { // IN list
+		var list []table.Value
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			if lit, ok := litFor(rng, t, col).(*engine.Lit); ok {
+				list = append(list, lit.V)
+			}
+		}
+		return &engine.InList{E: cr, List: list}
+	}
+	ops := []engine.BinOp{engine.OpEq, engine.OpNe, engine.OpLt, engine.OpLe, engine.OpGt, engine.OpGe}
+	op := ops[rng.Intn(len(ops))]
+	lit := litFor(rng, t, col)
+	if rng.Intn(2) == 0 {
+		return &engine.Bin{Op: op, L: cr, R: lit}
+	}
+	return &engine.Bin{Op: op, L: lit, R: cr}
+}
+
+// ctxFor builds an execution context resolving name to tbl, plain for the
+// row engine and chunked for the kernels.
+func ctxFor(t *testing.T, name string, tbl *table.Table, opts encoding.Options) (row, vec *engine.Context) {
+	t.Helper()
+	ct, err := encoding.FromTable(tbl, opts)
+	if err != nil {
+		t.Fatalf("FromTable: %v", err)
+	}
+	resolve := func(n string) (*table.Table, error) {
+		if n != name {
+			return nil, fmt.Errorf("unknown table %q", n)
+		}
+		// Serve through a decode round-trip so both engines read the exact
+		// same values.
+		return ct.Table()
+	}
+	row = &engine.Context{Resolve: resolve}
+	vec = &engine.Context{
+		Resolve: resolve,
+		ResolveCompressed: func(n string) (*encoding.Compressed, error) {
+			if n != name {
+				return nil, fmt.Errorf("unknown table %q", n)
+			}
+			return ct, nil
+		},
+	}
+	return row, vec
+}
+
+// mustEqual compares two plan results via their serialized form.
+func mustEqual(t *testing.T, seed int64, desc string, want, got *table.Table, wantErr, gotErr error) {
+	t.Helper()
+	if (wantErr != nil) != (gotErr != nil) {
+		t.Fatalf("seed %d %s: row engine err=%v, kernels err=%v", seed, desc, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		return
+	}
+	wb, err := colfmt.Encode(want)
+	if err != nil {
+		t.Fatalf("encode want: %v", err)
+	}
+	gb, err := colfmt.Encode(got)
+	if err != nil {
+		t.Fatalf("encode got: %v", err)
+	}
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("seed %d %s: results differ\nrow engine: %d rows\nkernels: %d rows",
+			seed, desc, want.NumRows(), got.NumRows())
+	}
+}
+
+func encOptions(rng *rand.Rand) encoding.Options {
+	opts := encoding.Options{}
+	switch rng.Intn(4) {
+	case 0:
+		opts.Mode = encoding.ModeRaw
+	case 1:
+		opts.ChunkRows = 1 + rng.Intn(7) // many tiny chunks
+	case 2:
+		opts.ChunkRows = 64
+	}
+	return opts
+}
+
+func rowCount(rng *rand.Rand) int {
+	switch rng.Intn(6) {
+	case 0:
+		return 0 // empty table
+	case 1:
+		return 1
+	default:
+		return 1 + rng.Intn(300)
+	}
+}
+
+func TestDifferentialFilter(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tbl := genTable(rng, rowCount(rng))
+		scan := func() *engine.Scan { return &engine.Scan{Name: "t", Sch: tbl.Schema} }
+		pred := genPred(rng, tbl, 2)
+		rowCtx, vecCtx := ctxFor(t, "t", tbl, encOptions(rng))
+
+		plain := &engine.Filter{Input: scan(), Pred: pred}
+		want, wantErr := plain.Run(rowCtx)
+
+		st := &Stats{}
+		lowered := Lower(&engine.Filter{Input: scan(), Pred: pred}, st)
+		got, gotErr := lowered.Run(vecCtx)
+		mustEqual(t, int64(seed), fmt.Sprintf("filter %v", pred), want, got, wantErr, gotErr)
+	}
+}
+
+func genAgg(rng *rand.Rand, tbl *table.Table, input engine.Node) (*engine.Aggregate, error) {
+	nCols := len(tbl.Cols)
+	var groupBy []int
+	for c := 0; c < nCols && len(groupBy) < 2; c++ {
+		if rng.Intn(3) == 0 {
+			groupBy = append(groupBy, c)
+		}
+	}
+	var specs []engine.AggSpec
+	nAggs := 1 + rng.Intn(3)
+	for k := 0; k < nAggs; k++ {
+		fn := engine.AggFunc(rng.Intn(5))
+		spec := engine.AggSpec{Func: fn, Name: fmt.Sprintf("a%d", k)}
+		if fn != engine.AggCount || rng.Intn(2) == 0 {
+			col := rng.Intn(nCols)
+			var arg engine.Expr = &engine.ColRef{Idx: col}
+			if tbl.Cols[col].Type != table.Str && rng.Intn(3) == 0 {
+				// Arithmetic argument over one or two columns.
+				col2 := rng.Intn(nCols)
+				if tbl.Cols[col2].Type != table.Str {
+					arg = &engine.Bin{Op: engine.OpMul, L: arg, R: &engine.ColRef{Idx: col2}}
+				} else {
+					arg = &engine.Bin{Op: engine.OpAdd, L: arg, R: &engine.Lit{V: table.IntValue(3)}}
+				}
+			}
+			if (fn == engine.AggSum || fn == engine.AggAvg) && tbl.Cols[col].Type == table.Str {
+				// SUM/AVG over STRING is a planning error; use COUNT instead.
+				spec.Func = engine.AggCount
+			}
+			spec.Arg = arg
+		}
+		specs = append(specs, spec)
+	}
+	return engine.NewAggregate(input, groupBy, specs)
+}
+
+func TestDifferentialAggregate(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for seed := 1000; seed < 1000+iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tbl := genTable(rng, rowCount(rng))
+		withFilter := rng.Intn(2) == 0
+		build := func() (engine.Node, error) {
+			var in engine.Node = &engine.Scan{Name: "t", Sch: tbl.Schema}
+			if withFilter {
+				in = &engine.Filter{Input: in, Pred: genPred(rand.New(rand.NewSource(int64(seed))), tbl, 1)}
+			}
+			return genAgg(rand.New(rand.NewSource(int64(seed)+7)), tbl, in)
+		}
+		plain, err := build()
+		if err != nil {
+			continue // invalid spec combination; nothing to compare
+		}
+		loweredSrc, err := build()
+		if err != nil {
+			t.Fatalf("seed %d: second build failed: %v", seed, err)
+		}
+		rowCtx, vecCtx := ctxFor(t, "t", tbl, encOptions(rng))
+		want, wantErr := plain.Run(rowCtx)
+		st := &Stats{}
+		lowered := Lower(loweredSrc, st)
+		got, gotErr := lowered.Run(vecCtx)
+		mustEqual(t, int64(seed), "aggregate", want, got, wantErr, gotErr)
+	}
+}
+
+// TestDifferentialJoinPushdown exercises Filter(HashJoin(Scan, Scan)).
+func TestDifferentialJoinPushdown(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for seed := 2000; seed < 2000+iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n1, n2 := rowCount(rng), rowCount(rng)
+		left := genTable(rng, n1)
+		right := genTable(rng, n2)
+		// Give both sides a guaranteed-joinable key column.
+		key1 := genVector(rng, table.Int, shapeLowCard, n1)
+		key2 := genVector(rng, table.Int, shapeLowCard, n2)
+		left.Schema.Cols = append(left.Schema.Cols, table.Column{Name: "lk", Type: table.Int})
+		left.Cols = append(left.Cols, key1)
+		right.Schema.Cols = append(right.Schema.Cols, table.Column{Name: "rk", Type: table.Int})
+		right.Cols = append(right.Cols, key2)
+
+		joined := &table.Table{}
+		joined.Schema.Cols = append(joined.Schema.Cols, left.Schema.Cols...)
+		joined.Schema.Cols = append(joined.Schema.Cols, right.Schema.Cols...)
+		joined.Cols = append(joined.Cols, left.Cols...)
+		joined.Cols = append(joined.Cols, right.Cols...)
+
+		build := func() engine.Node {
+			hj := &engine.HashJoin{
+				Left:      &engine.Scan{Name: "L", Sch: left.Schema},
+				Right:     &engine.Scan{Name: "R", Sch: right.Schema},
+				LeftKeys:  []int{len(left.Cols) - 1},
+				RightKeys: []int{len(right.Cols) - 1},
+			}
+			return &engine.Filter{Input: hj, Pred: genPred(rand.New(rand.NewSource(int64(seed)+3)), joined, 2)}
+		}
+
+		resolve := func(tables map[string]*encoding.Compressed) (*engine.Context, *engine.Context) {
+			r := func(n string) (*table.Table, error) {
+				ct, ok := tables[n]
+				if !ok {
+					return nil, fmt.Errorf("unknown table %q", n)
+				}
+				return ct.Table()
+			}
+			rc := func(n string) (*encoding.Compressed, error) {
+				return tables[n], nil
+			}
+			return &engine.Context{Resolve: r}, &engine.Context{Resolve: r, ResolveCompressed: rc}
+		}
+		opts := encOptions(rng)
+		lc, err := encoding.FromTable(left, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcT, err := encoding.FromTable(right, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowCtx, vecCtx := resolve(map[string]*encoding.Compressed{"L": lc, "R": rcT})
+
+		want, wantErr := build().Run(rowCtx)
+		st := &Stats{}
+		got, gotErr := Lower(build(), st).Run(vecCtx)
+		mustEqual(t, int64(seed), "join pushdown", want, got, wantErr, gotErr)
+	}
+}
+
+// TestFallbackIdentical runs lowered plans without a compressed resolver:
+// every kernel must fall back and still match the row engine.
+func TestFallbackIdentical(t *testing.T) {
+	for seed := 3000; seed < 3040; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tbl := genTable(rng, rowCount(rng))
+		pred := genPred(rng, tbl, 2)
+		build := func() engine.Node {
+			return &engine.Filter{Input: &engine.Scan{Name: "t", Sch: tbl.Schema}, Pred: pred}
+		}
+		rowCtx, _ := ctxFor(t, "t", tbl, encoding.Options{})
+		want, wantErr := build().Run(rowCtx)
+		st := &Stats{}
+		lowered := Lower(build(), st)
+		got, gotErr := lowered.Run(rowCtx) // no ResolveCompressed: forced fallback
+		mustEqual(t, int64(seed), "fallback", want, got, wantErr, gotErr)
+		if _, isKernel := lowered.(*FilterScan); isKernel && wantErr == nil && st.Fallbacks == 0 {
+			t.Fatalf("seed %d: kernel did not record its fallback", seed)
+		}
+	}
+}
+
+// TestKernelStats sanity-checks the counters on a shape where every win
+// should fire: dict-filtered column, RLE aggregation, skipped chunks.
+func TestKernelStats(t *testing.T) {
+	n := 1000
+	tbl := table.New(table.NewSchema(
+		table.Column{Name: "cat", Type: table.Str},
+		table.Column{Name: "run", Type: table.Int},
+		table.Column{Name: "payload", Type: table.Str},
+	))
+	for i := 0; i < n; i++ {
+		cat := "hot"
+		if i%2 == 0 {
+			cat = fmt.Sprintf("cold%d", i%3)
+		}
+		if err := tbl.AppendRow(
+			table.StrValue(cat),
+			table.IntValue(int64(i/100)),
+			table.StrValue(fmt.Sprintf("wide-payload-%d", i%4)),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, vecCtx := ctxFor(t, "t", tbl, encoding.Options{ChunkRows: 100})
+
+	pred := &engine.Bin{Op: engine.OpEq,
+		L: &engine.ColRef{Idx: 0}, R: &engine.Lit{V: table.StrValue("nosuch")}}
+	st := &Stats{}
+	node := Lower(&engine.Filter{Input: &engine.Scan{Name: "t", Sch: tbl.Schema}, Pred: pred}, st)
+	out, err := node.Run(vecCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Fatalf("expected empty result, got %d rows", out.NumRows())
+	}
+	if st.Lowered != 1 {
+		t.Fatalf("Lowered = %d, want 1", st.Lowered)
+	}
+	if st.CodeFilteredRows != int64(n) {
+		t.Fatalf("CodeFilteredRows = %d, want %d", st.CodeFilteredRows, n)
+	}
+	// The predicate matched nothing: run+payload chunks must never decode.
+	if st.ChunksSkipped < 20 {
+		t.Fatalf("ChunksSkipped = %d, want >= 20", st.ChunksSkipped)
+	}
+	if st.DecodedBytes != 0 {
+		t.Fatalf("DecodedBytes = %d, want 0 for an all-rejected dict filter", st.DecodedBytes)
+	}
+
+	// COUNT(*) grouped by the RLE column: consumed run-at-a-time.
+	agg, err := engine.NewAggregate(&engine.Scan{Name: "t", Sch: tbl.Schema}, []int{1},
+		[]engine.AggSpec{{Func: engine.AggCount, Name: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := &Stats{}
+	node2 := Lower(agg, st2)
+	out2, err := node2.Run(vecCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.NumRows() != 10 {
+		t.Fatalf("expected 10 groups, got %d", out2.NumRows())
+	}
+	if st2.DecodedBytes != 0 {
+		t.Fatalf("DecodedBytes = %d, want 0 for RLE-run aggregation", st2.DecodedBytes)
+	}
+	if st2.DecodesAvoided == 0 {
+		t.Fatal("expected DecodesAvoided > 0 for RLE-run aggregation")
+	}
+}
+
+// TestAddRepeatFloatExact pins the bit-exactness contract of AddRepeat:
+// repeated float addition must match the row engine even where x*n and
+// x+x+...+x differ in the last ulp.
+func TestAddRepeatFloatExact(t *testing.T) {
+	n := 1001
+	x := 0.1
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += x
+	}
+	if sum == x*float64(n) {
+		t.Skip("platform folds repeated addition; pick another constant")
+	}
+	tbl := table.New(table.NewSchema(table.Column{Name: "f", Type: table.Float}))
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow(table.FloatValue(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rowCtx, vecCtx := ctxFor(t, "t", tbl, encoding.Options{})
+	build := func() engine.Node {
+		agg, err := engine.NewAggregate(&engine.Scan{Name: "t", Sch: tbl.Schema}, nil,
+			[]engine.AggSpec{{Func: engine.AggSum, Arg: &engine.ColRef{Idx: 0}, Name: "s"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	want, err := build().Run(rowCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Stats{}
+	got, err := Lower(build(), st).Run(vecCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, gf := want.Cols[0].Floats[0], got.Cols[0].Floats[0]
+	if math.Float64bits(wf) != math.Float64bits(gf) {
+		t.Fatalf("SUM mismatch: row engine %v (%x), kernels %v (%x)",
+			wf, math.Float64bits(wf), gf, math.Float64bits(gf))
+	}
+}

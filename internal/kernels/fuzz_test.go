@@ -1,0 +1,96 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// FuzzPredTranslate drives the code-space predicate translator: an
+// arbitrary byte string becomes a column, an operator and a literal; the
+// chunk-level evaluation (dictionary codes, RLE runs, or decoded values —
+// whichever the auto-selected codec produces) must agree row for row with
+// direct scalar evaluation, and must never panic.
+func FuzzPredTranslate(f *testing.F) {
+	f.Add([]byte{0}, uint8(0), int64(5), false)
+	f.Add([]byte{1, 1, 1, 9, 9, 200, 3}, uint8(2), int64(2), false)
+	f.Add([]byte("hello world repeated strings"), uint8(4), int64(7), true)
+	f.Add([]byte{255, 0, 255, 0}, uint8(6), int64(0), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, opByte uint8, litSeed int64, asStr bool) {
+		// Build a column from the fuzz bytes.
+		vec := &table.Vector{Type: table.Int}
+		if asStr {
+			vec.Type = table.Str
+			for i := 0; i < len(data); i += 3 {
+				j := i + 3
+				if j > len(data) {
+					j = len(data)
+				}
+				vec.Strs = append(vec.Strs, string(data[i:j]))
+			}
+		} else {
+			for _, b := range data {
+				vec.Ints = append(vec.Ints, int64(b)%17-8)
+			}
+		}
+		n := vec.Len()
+		sch := table.NewSchema(table.Column{Name: "c", Type: vec.Type})
+		tbl := &table.Table{Schema: sch, Cols: []*table.Vector{vec}}
+
+		var lit table.Value
+		if asStr {
+			lit = table.StrValue(string(rune('a' + byte(litSeed)%26)))
+			if litSeed%3 == 0 && n > 0 {
+				lit = table.StrValue(vec.Strs[int(uint64(litSeed)%uint64(n))])
+			}
+		} else {
+			lit = table.IntValue(litSeed%17 - 8)
+		}
+
+		var pred engine.Expr
+		cr := &engine.ColRef{Idx: 0}
+		ops := []engine.BinOp{engine.OpEq, engine.OpNe, engine.OpLt, engine.OpLe, engine.OpGt, engine.OpGe}
+		if opByte%7 == 6 {
+			pred = &engine.InList{E: cr, List: []table.Value{lit, lit}}
+		} else {
+			pred = &engine.Bin{Op: ops[opByte%7%6], L: cr, R: &engine.Lit{V: lit}}
+		}
+
+		p, ok := Compile(pred, sch)
+		if !ok {
+			t.Fatalf("type-safe predicate failed to compile: %v", pred)
+		}
+
+		// Chunk the column with a size that forces multiple chunks, then
+		// evaluate per chunk and compare with direct scalar evaluation.
+		chunkRows := 1 + int(uint8(litSeed))%7
+		ct, err := encoding.FromTable(tbl, encoding.Options{ChunkRows: chunkRows})
+		if err != nil {
+			t.Fatalf("FromTable: %v", err)
+		}
+		st := &Stats{}
+		got := make([]bool, 0, n)
+		for g, rows := range ct.RowGroups() {
+			cc := newChunkCtx(ct, g, rows, st)
+			bm, err := p.eval(cc)
+			if err != nil {
+				t.Fatalf("eval: %v", err)
+			}
+			for i := 0; i < rows; i++ {
+				got = append(got, bm.get(i))
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("evaluated %d rows, want %d", len(got), n)
+		}
+		for i := 0; i < n; i++ {
+			if want := p.matches(vec.Value(i)); got[i] != want {
+				t.Fatalf("row %d: chunk eval %v, scalar eval %v (pred %v, value %v)",
+					i, got[i], want, p, vec.Value(i))
+			}
+		}
+	})
+}

@@ -1,0 +1,434 @@
+// Package kernels is S/C's compressed-execution subsystem: vectorized
+// Filter/Aggregate/Scan operators that run directly on encoding.Compressed
+// chunks without decompressing them first.
+//
+// The row engine (internal/engine) pays a full-column decode before it
+// touches a single value. The kernels instead work per aligned row group
+// (one chunk per column) and keep data encoded as long as possible:
+//
+//   - equality, IN and range predicates on dictionary chunks compare
+//     bit-packed codes — ranges go through the sorted-dictionary code map,
+//     so a predicate touches the entry table once and then only codes;
+//   - predicates on run-length chunks are decided once per run;
+//   - COUNT/SUM/GROUP BY consume RLE runs without expanding them, through
+//     the row engine's own AggAcc accumulator so results stay
+//     byte-identical;
+//   - selection vectors flow between the filter and aggregate/materialize
+//     stages, and values are materialized only for rows that survive
+//     (late materialization) — a chunk whose selection is empty is skipped
+//     without decoding any column.
+//
+// Lower rewrites supported Filter/Aggregate subtrees of an engine plan
+// onto kernel operators. Every kernel operator keeps its original
+// row-engine subtree and falls back to it — byte-identically — whenever a
+// table is not available in chunked form (plain catalog entries, legacy v1
+// files, misaligned chunk boundaries).
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// Stats counts what the kernels saved during one plan execution. The
+// controller copies them into NodeMetrics and emits them as a KernelDone
+// event.
+type Stats struct {
+	// Lowered is the number of plan operators rewritten onto kernels.
+	Lowered int64
+	// Fallbacks is the number of kernel operator executions that fell back
+	// to the row engine (input not available in chunked form).
+	Fallbacks int64
+	// ChunksSkipped counts column-chunks never touched at all: their rows
+	// were eliminated by the selection vector or the column by the
+	// operator's projection.
+	ChunksSkipped int64
+	// CodeFilteredRows counts rows whose predicate verdict was computed in
+	// code space (dictionary codes or RLE runs) without materializing the
+	// row's value.
+	CodeFilteredRows int64
+	// DecodesAvoided counts column-chunks served from their encoded form
+	// (dictionary lookups, run walks) where the row engine would have paid
+	// a full chunk decode.
+	DecodesAvoided int64
+	// DecodedBytes is the raw bytes the kernels did materialize, full
+	// chunk decodes and late-materialized survivors alike.
+	DecodedBytes int64
+}
+
+// --- selection bitmap ---
+
+// bitmap is a fixed-size row-selection vector over one row group.
+type bitmap struct {
+	n     int
+	words []uint64
+}
+
+func newBitmap(n int) *bitmap {
+	return &bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// clampTail zeroes the unused bits of the last word.
+func (b *bitmap) clampTail() {
+	if r := b.n & 63; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= ^uint64(0) >> uint(64-r)
+	}
+}
+
+func (b *bitmap) set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+func (b *bitmap) get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// setRange sets rows [lo, hi).
+func (b *bitmap) setRange(lo, hi int) {
+	for i := lo; i < hi && i&63 != 0; i++ {
+		b.set(i)
+	}
+	if lo&63 != 0 {
+		lo = (lo | 63) + 1
+	}
+	for ; lo+64 <= hi; lo += 64 {
+		b.words[lo>>6] = ^uint64(0)
+	}
+	for ; lo < hi; lo++ {
+		b.set(lo)
+	}
+}
+
+func (b *bitmap) and(o *bitmap) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+func (b *bitmap) or(o *bitmap) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+func (b *bitmap) not() {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	b.clampTail()
+}
+
+func (b *bitmap) count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+func (b *bitmap) none() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bitmap) all() bool { return b.count() == b.n }
+
+// --- per-row-group evaluation context ---
+
+// colState is the cached per-column chunk state of one row group.
+type colState struct {
+	parsed bool
+	dict   *encoding.DictView
+	runs   []encoding.Run
+	vec    *table.Vector // fully decoded values
+}
+
+// chunkCtx evaluates one aligned row group. Parsed and decoded forms are
+// cached per column so predicate evaluation and output materialization
+// share work: a column decoded for the predicate is reused by the gather.
+type chunkCtx struct {
+	ct    *encoding.Compressed
+	group int
+	rows  int
+	st    *Stats
+	cols  []colState
+}
+
+func newChunkCtx(ct *encoding.Compressed, group, rows int, st *Stats) *chunkCtx {
+	return &chunkCtx{ct: ct, group: group, rows: rows, st: st, cols: make([]colState, len(ct.Cols))}
+}
+
+func (cc *chunkCtx) chunk(col int) encoding.Chunk { return cc.ct.Cols[col][cc.group] }
+
+func (cc *chunkCtx) colType(col int) table.Type { return cc.ct.Schema.Cols[col].Type }
+
+// parse classifies the column's chunk without decoding values: dictionary
+// chunks expose their entry table and codes, RLE chunks their runs. Other
+// codecs leave the state unparsed; callers use vector() for those.
+func (cc *chunkCtx) parse(col int) (*colState, error) {
+	cs := &cc.cols[col]
+	if cs.parsed || cs.vec != nil {
+		return cs, nil
+	}
+	ch := cc.chunk(col)
+	switch ch.Codec {
+	case encoding.Dict:
+		dv, err := encoding.ParseDict(ch, cc.colType(col))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := dv.Codes(); err != nil {
+			return nil, err
+		}
+		cs.dict = dv
+	case encoding.RLE:
+		runs, err := encoding.ParseRuns(ch, cc.colType(col))
+		if err != nil {
+			return nil, err
+		}
+		cs.runs = runs
+	}
+	cs.parsed = true
+	return cs, nil
+}
+
+// vector returns the fully decoded values of the column's chunk, caching
+// the result and counting the decoded bytes.
+func (cc *chunkCtx) vector(col int) (*table.Vector, error) {
+	cs := &cc.cols[col]
+	if cs.vec != nil {
+		return cs.vec, nil
+	}
+	vec, err := encoding.DecodeChunk(cc.chunk(col), cc.colType(col))
+	if err != nil {
+		return nil, err
+	}
+	cs.vec = vec
+	cc.st.DecodedBytes += vec.ByteSize()
+	return vec, nil
+}
+
+// accessor returns a function yielding the column's value at increasing
+// row indexes, materializing as little as possible: decoded vectors and
+// dictionary lookups are random access, RLE runs advance a cursor.
+func (cc *chunkCtx) accessor(col int) (func(i int) table.Value, error) {
+	cs, err := cc.parse(col)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case cs.vec != nil:
+		return cs.vec.Value, nil
+	case cs.dict != nil:
+		codes, _ := cs.dict.Codes()
+		dv := cs.dict
+		return func(i int) table.Value { return dv.Value(int(codes[i])) }, nil
+	case cs.runs != nil:
+		runs := cs.runs
+		runIdx, runStart := 0, 0
+		return func(i int) table.Value {
+			if i < runStart {
+				runIdx, runStart = 0, 0
+			}
+			for i >= runStart+runs[runIdx].Len {
+				runStart += runs[runIdx].Len
+				runIdx++
+			}
+			return runs[runIdx].Val
+		}, nil
+	default:
+		vec, err := cc.vector(col)
+		if err != nil {
+			return nil, err
+		}
+		return vec.Value, nil
+	}
+}
+
+// finish settles the row group's counters: column-chunks never touched
+// were skipped outright, chunks touched only in their encoded form avoided
+// a decode the row engine would have paid.
+func (cc *chunkCtx) finish() {
+	for i := range cc.cols {
+		cs := &cc.cols[i]
+		switch {
+		case cs.vec != nil:
+			// Fully decoded; DecodedBytes was counted at decode time.
+		case cs.parsed:
+			cc.st.DecodesAvoided++
+		default:
+			cc.st.ChunksSkipped++
+		}
+	}
+}
+
+// materialize appends the selected rows of every column to out, decoding
+// only what the selection and each chunk's encoding demand.
+func (cc *chunkCtx) materialize(out *table.Table, sel *bitmap) error {
+	if sel.none() {
+		return nil
+	}
+	full := sel.all()
+	for ci := range cc.cols {
+		cs, err := cc.parse(ci)
+		if err != nil {
+			return err
+		}
+		dst := out.Cols[ci]
+		switch {
+		case cs.vec != nil:
+			if full {
+				appendAll(dst, cs.vec)
+			} else {
+				appendSelected(cc.st, dst, cs.vec, sel)
+			}
+		case cs.dict != nil:
+			codes, _ := cs.dict.Codes()
+			for i := 0; i < cc.rows; i++ {
+				if !full && !sel.get(i) {
+					continue
+				}
+				appendValue(cc.st, dst, cs.dict.Value(int(codes[i])))
+			}
+		case cs.runs != nil:
+			pos := 0
+			for _, r := range cs.runs {
+				for i := pos; i < pos+r.Len; i++ {
+					if !full && !sel.get(i) {
+						continue
+					}
+					appendValue(cc.st, dst, r.Val)
+				}
+				pos += r.Len
+			}
+		default:
+			vec, err := cc.vector(ci)
+			if err != nil {
+				return err
+			}
+			if full {
+				appendAll(dst, vec)
+			} else {
+				appendSelected(cc.st, dst, vec, sel)
+			}
+		}
+	}
+	return nil
+}
+
+// appendAll bulk-appends a whole decoded chunk (bytes already counted at
+// decode time).
+func appendAll(dst, src *table.Vector) {
+	switch src.Type {
+	case table.Int:
+		dst.Ints = append(dst.Ints, src.Ints...)
+	case table.Float:
+		dst.Floats = append(dst.Floats, src.Floats...)
+	default:
+		dst.Strs = append(dst.Strs, src.Strs...)
+	}
+}
+
+// appendSelected gathers the selected rows of a decoded chunk (bytes
+// already counted at decode time).
+func appendSelected(st *Stats, dst, src *table.Vector, sel *bitmap) {
+	for i := 0; i < sel.n; i++ {
+		if !sel.get(i) {
+			continue
+		}
+		switch src.Type {
+		case table.Int:
+			dst.Ints = append(dst.Ints, src.Ints[i])
+		case table.Float:
+			dst.Floats = append(dst.Floats, src.Floats[i])
+		default:
+			dst.Strs = append(dst.Strs, src.Strs[i])
+		}
+	}
+}
+
+// appendValue late-materializes one surviving value, counting the bytes
+// that actually had to be produced.
+func appendValue(st *Stats, dst *table.Vector, v table.Value) {
+	switch dst.Type {
+	case table.Int:
+		dst.Ints = append(dst.Ints, v.I)
+		st.DecodedBytes += 8
+	case table.Float:
+		dst.Floats = append(dst.Floats, v.F)
+		st.DecodedBytes += 8
+	default:
+		dst.Strs = append(dst.Strs, v.S)
+		st.DecodedBytes += int64(len(v.S)) + 16
+	}
+}
+
+// resolveChunked resolves a scan's table in compressed chunked form, or
+// returns nil when the kernel must fall back to the row engine: no
+// compressed resolver, table not chunked, schema mismatch (the fallback
+// surfaces the identical error), or misaligned chunk boundaries.
+func resolveChunked(ctx *engine.Context, sc *engine.Scan) (*encoding.Compressed, []int) {
+	if ctx == nil || ctx.ResolveCompressed == nil {
+		return nil, nil
+	}
+	ct, err := ctx.ResolveCompressed(sc.Name)
+	if err != nil || ct == nil {
+		return nil, nil
+	}
+	if !ct.Schema.Equal(sc.Sch) {
+		return nil, nil
+	}
+	groups := ct.RowGroups()
+	if groups == nil {
+		return nil, nil
+	}
+	return ct, groups
+}
+
+// --- FilterScan ---
+
+// FilterScan is a fused Filter∘Scan kernel: it resolves the scanned table
+// in chunked form, evaluates the compiled predicate per row group — in
+// code space where the chunk encoding allows — and late-materializes only
+// the surviving rows. Output is byte-identical to Orig, the row-engine
+// subtree it replaced, which also serves as the runtime fallback.
+type FilterScan struct {
+	Scan *engine.Scan
+	Pred *Pred
+	Orig engine.Node
+	St   *Stats
+}
+
+// Schema implements engine.Node.
+func (f *FilterScan) Schema() table.Schema { return f.Scan.Sch }
+
+// String implements engine.Node.
+func (f *FilterScan) String() string {
+	return fmt.Sprintf("KernelFilterScan(%s, %s)", f.Scan.Name, f.Pred)
+}
+
+// Run implements engine.Node.
+func (f *FilterScan) Run(ctx *engine.Context) (*table.Table, error) {
+	ct, groups := resolveChunked(ctx, f.Scan)
+	if ct == nil {
+		f.St.Fallbacks++
+		return f.Orig.Run(ctx)
+	}
+	out := table.New(f.Scan.Sch)
+	for g, rows := range groups {
+		cc := newChunkCtx(ct, g, rows, f.St)
+		sel, err := f.Pred.eval(cc)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+		}
+		if err := cc.materialize(out, sel); err != nil {
+			return nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+		}
+		cc.finish()
+	}
+	return out, nil
+}

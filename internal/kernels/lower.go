@@ -1,0 +1,232 @@
+package kernels
+
+import (
+	"sort"
+
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// Lower rewrites the supported subtrees of an engine plan onto kernel
+// operators and returns the (possibly new) root. The lowering rules:
+//
+//	Filter(Scan)            → FilterScan        predicate compiles
+//	Filter(FilterScan)      → FilterScan        conjunction fused
+//	Filter(HashJoin)        → pushdown          every conjunct compiles;
+//	                                            one-sided conjuncts move
+//	                                            below the join and may then
+//	                                            fuse with a scan
+//	Aggregate(Scan)         → AggScan           always (argument errors
+//	                                            reproduce row-engine order)
+//	Aggregate(FilterScan)   → AggScan           selection vector flows in
+//
+// Everything else keeps its row-engine operator, with children lowered
+// recursively. Each kernel operator retains its original subtree and falls
+// back to it at run time when the scanned table is not available in
+// chunked form, so results are byte-identical either way.
+func Lower(root engine.Node, st *Stats) engine.Node {
+	switch n := root.(type) {
+	case *engine.Filter:
+		n.Input = Lower(n.Input, st)
+		switch in := n.Input.(type) {
+		case *engine.Scan:
+			if p, ok := Compile(n.Pred, in.Sch); ok {
+				st.Lowered++
+				return &FilterScan{Scan: in, Pred: p, Orig: n, St: st}
+			}
+		case *FilterScan:
+			if p, ok := Compile(n.Pred, in.Scan.Sch); ok {
+				st.Lowered++
+				fused := &Pred{kind: predAnd, kids: []*Pred{in.Pred, p}}
+				return &FilterScan{Scan: in.Scan, Pred: fused, Orig: n, St: st}
+			}
+		case *engine.HashJoin:
+			if nn := pushdown(n, in, st); nn != nil {
+				return nn
+			}
+		}
+		return n
+	case *engine.Aggregate:
+		n.Input = Lower(n.Input, st)
+		switch in := n.Input.(type) {
+		case *engine.Scan:
+			if need, ok := aggNeeds(n, in.Sch); ok {
+				st.Lowered++
+				return &AggScan{Scan: in, Agg: n, Orig: n, need: need, St: st}
+			}
+		case *FilterScan:
+			if need, ok := aggNeeds(n, in.Scan.Sch); ok {
+				st.Lowered++
+				return &AggScan{Scan: in.Scan, Pred: in.Pred, Agg: n, Orig: n, need: need, St: st}
+			}
+		}
+		return n
+	case *engine.Project:
+		n.Input = Lower(n.Input, st)
+		return n
+	case *engine.Sort:
+		n.Input = Lower(n.Input, st)
+		return n
+	case *engine.Limit:
+		n.Input = Lower(n.Input, st)
+		return n
+	case *engine.HashJoin:
+		n.Left = Lower(n.Left, st)
+		n.Right = Lower(n.Right, st)
+		return n
+	case *engine.UnionAll:
+		for i := range n.Inputs {
+			n.Inputs[i] = Lower(n.Inputs[i], st)
+		}
+		return n
+	}
+	return root
+}
+
+// aggNeeds returns the ascending set of input columns the aggregation
+// reads: group-by keys plus every column referenced by an aggregate
+// argument. It reports false when an argument contains an expression form
+// it cannot analyze.
+func aggNeeds(a *engine.Aggregate, sch table.Schema) ([]int, bool) {
+	set := make(map[int]bool)
+	for _, g := range a.GroupBy {
+		if g < 0 || g >= sch.NumCols() {
+			return nil, false
+		}
+		set[g] = true
+	}
+	for _, spec := range a.Aggs {
+		if spec.Arg == nil {
+			continue
+		}
+		if !collectCols(spec.Arg, sch, set) {
+			return nil, false
+		}
+	}
+	need := make([]int, 0, len(set))
+	for c := range set {
+		need = append(need, c)
+	}
+	sort.Ints(need)
+	return need, true
+}
+
+// collectCols records every column an expression reads, reporting false on
+// expression forms outside the engine's closed set (a custom Expr could
+// observe columns invisibly, so it blocks lowering).
+func collectCols(e engine.Expr, sch table.Schema, set map[int]bool) bool {
+	switch v := e.(type) {
+	case *engine.ColRef:
+		if v.Idx < 0 || v.Idx >= sch.NumCols() {
+			return false
+		}
+		set[v.Idx] = true
+		return true
+	case *engine.Lit:
+		return true
+	case *engine.Bin:
+		return collectCols(v.L, sch, set) && collectCols(v.R, sch, set)
+	case *engine.Not:
+		return collectCols(v.E, sch, set)
+	case *engine.InList:
+		return collectCols(v.E, sch, set)
+	}
+	return false
+}
+
+// pushdown moves one-sided conjuncts of a Filter above a HashJoin below
+// the join, where they can fuse with a scan kernel. It only fires when
+// every conjunct compiles (compiled predicates cannot error, so filtering
+// before the join is observationally identical to filtering after it: an
+// inner equi-join preserves input row order, and conjuncts that stay
+// above keep their original relative order). Returns nil when nothing
+// moved.
+func pushdown(f *engine.Filter, hj *engine.HashJoin, st *Stats) engine.Node {
+	joined := hj.Schema()
+	leftW := hj.Left.Schema().NumCols()
+	conjs := splitAnd(f.Pred)
+	var leftPs, rightPs, residual []engine.Expr
+	for _, c := range conjs {
+		if _, ok := Compile(c, joined); !ok {
+			return nil
+		}
+		set := make(map[int]bool)
+		if !collectCols(c, joined, set) {
+			return nil
+		}
+		side := 0 // -1 left, 1 right, 0 mixed or column-free
+		for col := range set {
+			s := -1
+			if col >= leftW {
+				s = 1
+			}
+			if side == 0 {
+				side = s
+			} else if side != s {
+				side = 2 // mixed
+				break
+			}
+		}
+		switch side {
+		case -1:
+			leftPs = append(leftPs, c)
+		case 1:
+			rightPs = append(rightPs, rebaseCols(c, -leftW))
+		default:
+			residual = append(residual, c)
+		}
+	}
+	if len(leftPs) == 0 && len(rightPs) == 0 {
+		return nil
+	}
+	if len(leftPs) > 0 {
+		hj.Left = Lower(&engine.Filter{Input: hj.Left, Pred: andAll(leftPs)}, st)
+	}
+	if len(rightPs) > 0 {
+		hj.Right = Lower(&engine.Filter{Input: hj.Right, Pred: andAll(rightPs)}, st)
+	}
+	if len(residual) == 0 {
+		return hj
+	}
+	f.Pred = andAll(residual)
+	f.Input = hj
+	return f
+}
+
+// splitAnd flattens a conjunction into its conjuncts in evaluation order.
+func splitAnd(e engine.Expr) []engine.Expr {
+	if b, ok := e.(*engine.Bin); ok && b.Op == engine.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []engine.Expr{e}
+}
+
+// andAll rebuilds a left-associative conjunction, preserving the
+// conjuncts' evaluation order.
+func andAll(es []engine.Expr) engine.Expr {
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &engine.Bin{Op: engine.OpAnd, L: out, R: e}
+	}
+	return out
+}
+
+// rebaseCols returns a copy of the expression with every column index
+// shifted by delta (pushing a predicate below a join re-bases right-side
+// columns into the right input's schema). The input is not mutated — it
+// may be shared with the fallback subtree.
+func rebaseCols(e engine.Expr, delta int) engine.Expr {
+	switch v := e.(type) {
+	case *engine.ColRef:
+		return &engine.ColRef{Idx: v.Idx + delta, Name: v.Name}
+	case *engine.Lit:
+		return v
+	case *engine.Bin:
+		return &engine.Bin{Op: v.Op, L: rebaseCols(v.L, delta), R: rebaseCols(v.R, delta)}
+	case *engine.Not:
+		return &engine.Not{E: rebaseCols(v.E, delta)}
+	case *engine.InList:
+		return &engine.InList{E: rebaseCols(v.E, delta), List: v.List}
+	}
+	return e
+}

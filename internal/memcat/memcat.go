@@ -130,6 +130,20 @@ func (c *Catalog) GetEntry(name string) (Entry, bool) {
 	return e.e, true
 }
 
+// Peek returns the named entry without decoding it and without touching
+// the hit/miss counters. The vectorized resolver probes with it before
+// deciding whether the read will be served from the catalog (counted by
+// GetEntry) or from the kernels' chunked path.
+func (c *Catalog) Peek(name string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, false
+	}
+	return e.e, true
+}
+
 // Delete frees the named table.
 func (c *Catalog) Delete(name string) error {
 	c.mu.Lock()

@@ -37,10 +37,17 @@ const (
 	// and storage. Fields: Node, Step, Bytes (raw in-memory size), Encoded
 	// (compressed size), Ratio, Elapsed (encode time).
 	EncodeDone
-	// DecodeDone: a compressed Memory Catalog entry was decompressed to
-	// serve a read. Fields: Node, Bytes (decoded in-memory size), Encoded
-	// (compressed size), Ratio, Elapsed (decode time).
+	// DecodeDone: a compressed Memory Catalog entry or a chunked storage
+	// file was decompressed in full to serve a read. Fields: Node, Bytes
+	// (decoded in-memory size), Encoded (compressed size), Ratio, Elapsed
+	// (decode time).
 	DecodeDone
+	// KernelDone: a node's plan ran (at least partly) on the
+	// compressed-execution kernels. Fields: Node, Step, Lowered (operators
+	// served by kernels), Fallbacks (kernel executions that reverted to
+	// the row engine), ChunksSkipped, CodeFilteredRows, DecodesAvoided,
+	// Bytes (raw bytes the kernels materialized).
+	KernelDone
 )
 
 // String returns the kind's canonical name.
@@ -62,6 +69,8 @@ func (k Kind) String() string {
 		return "EncodeDone"
 	case DecodeDone:
 		return "DecodeDone"
+	case KernelDone:
+		return "KernelDone"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -84,6 +93,13 @@ type Event struct {
 	Iteration int           // IterationDone: 1-based iteration number
 	Score     float64       // IterationDone: flagged speedup score, seconds
 	Err       error         // NodeDone: execution error, if any
+
+	// Compressed-execution kernel counters (KernelDone).
+	Lowered          int64 // plan operators served by kernels
+	Fallbacks        int64 // kernel executions that reverted to the row engine
+	ChunksSkipped    int64 // column-chunks eliminated without decoding
+	CodeFilteredRows int64 // rows filtered on encoded codes/runs
+	DecodesAvoided   int64 // column-chunk decodes avoided
 }
 
 // Observer receives events. Implementations must be safe for concurrent use:

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+)
+
+// TestEncodingModelChargesCodecCPU: with an encoding model, the run pays
+// encode CPU for every output and decode CPU for every output read, so
+// the total cannot be shorter than the pure byte-count win suggests.
+func TestEncodingModelChargesCodecCPU(t *testing.T) {
+	w := chainWorkload()
+	plan := planFor(w)
+	cfg := defaultCfg()
+
+	base, err := Run(context.Background(), w, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EncodeSeconds != 0 || base.DecodeSeconds != 0 || base.DecodedBytes != 0 {
+		t.Fatalf("codec accounting leaked into an unencoded run: %+v", base)
+	}
+
+	// Free codec, ratio 2: strictly faster (half the bytes move).
+	cfg.Encoding = &EncodingModel{
+		Ratio: 2,
+		Costs: map[encoding.CodecID]CodecCost{encoding.Raw: {EncodeBPS: 1e18, DecodeBPS: 1e18}},
+	}
+	free, err := Run(context.Background(), w, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Total >= base.Total {
+		t.Fatalf("free compression did not speed up the run: %f >= %f", free.Total, base.Total)
+	}
+	if free.BytesWritten >= base.BytesWritten {
+		t.Fatalf("compression did not shrink written bytes: %d >= %d", free.BytesWritten, base.BytesWritten)
+	}
+
+	// Same ratio with a very slow codec: the CPU cost must show up.
+	cfg.Encoding = &EncodingModel{
+		Ratio: 2,
+		Costs: map[encoding.CodecID]CodecCost{encoding.Raw: {EncodeBPS: 50e6, DecodeBPS: 50e6}},
+	}
+	slow, err := Run(context.Background(), w, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.EncodeSeconds <= 0 || slow.DecodeSeconds <= 0 {
+		t.Fatalf("slow codec charged no CPU: %+v", slow)
+	}
+	if slow.Total <= free.Total {
+		t.Fatalf("slow codec not slower than free codec: %f <= %f", slow.Total, free.Total)
+	}
+
+	// Kernels (decoded fraction < 1) pay less decode than full decode.
+	cfg.Encoding.DecodedFrac = 0.25
+	kern, err := Run(context.Background(), w, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kern.DecodeSeconds >= slow.DecodeSeconds {
+		t.Fatalf("partial decode not cheaper: %f >= %f", kern.DecodeSeconds, slow.DecodeSeconds)
+	}
+	if kern.DecodedBytes >= slow.DecodedBytes {
+		t.Fatalf("partial decode materialized as many bytes: %d >= %d", kern.DecodedBytes, slow.DecodedBytes)
+	}
+	if kern.Total >= slow.Total {
+		t.Fatalf("kernels not faster than decode-then-execute: %f >= %f", kern.Total, slow.Total)
+	}
+}
+
+// TestEncodingModelCatalogAccounting: compressed entries charge the
+// Memory Catalog at encoded size, so the same budget holds more.
+func TestEncodingModelCatalogAccounting(t *testing.T) {
+	w := chainWorkload()
+	plan := planFor(w, 0, 1)
+	cfg := defaultCfg()
+	cfg.Memory = gb + gb/2 // fits one raw output, not two
+
+	raw, err := Run(context.Background(), w, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Fallbacks == 0 {
+		t.Fatal("expected a fallback with raw outputs exceeding the budget")
+	}
+
+	cfg.Encoding = &EncodingModel{Ratio: 3}
+	comp, err := Run(context.Background(), w, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Fallbacks != 0 {
+		t.Fatalf("compressed outputs should fit: %d fallbacks", comp.Fallbacks)
+	}
+	if comp.PeakMemory >= raw.PeakMemory {
+		t.Fatalf("compressed peak %d not below raw peak %d", comp.PeakMemory, raw.PeakMemory)
+	}
+}
+
+// TestEncodingModelMix: the effective throughput of a mix is the weighted
+// harmonic mean of the per-codec coefficients.
+func TestEncodingModelMix(t *testing.T) {
+	m := &EncodingModel{
+		Costs: map[encoding.CodecID]CodecCost{
+			encoding.Raw:  {EncodeBPS: 100, DecodeBPS: 400},
+			encoding.Dict: {EncodeBPS: 50, DecodeBPS: 200},
+		},
+		Mix: map[encoding.CodecID]float64{encoding.Raw: 0.5, encoding.Dict: 0.5},
+	}
+	// Harmonic mean of 100 and 50 = 66.67; of 400 and 200 = 266.67.
+	if got := m.effectiveBPS(false); got < 66 || got > 67 {
+		t.Fatalf("effective encode BPS = %f, want ~66.7", got)
+	}
+	if got := m.effectiveBPS(true); got < 266 || got > 267 {
+		t.Fatalf("effective decode BPS = %f, want ~266.7", got)
+	}
+	// Nil mix falls back to the Raw coefficients.
+	m.Mix = nil
+	if got := m.effectiveBPS(false); got != 100 {
+		t.Fatalf("nil-mix encode BPS = %f, want 100", got)
+	}
+}

@@ -23,6 +23,7 @@ type config struct {
 	deviceSet     bool
 	sizeGuess     int64
 	encoding      *encoding.Options
+	vectorized    bool
 	err           error
 }
 
@@ -166,6 +167,31 @@ func WithEncoding(opts EncodingOptions) Option {
 		o := opts
 		c.encoding = &o
 	}
+}
+
+// WithVectorized enables the compressed-execution kernels for the
+// session: supported Filter and Aggregate subtrees of each node's plan run
+// directly on encoded column chunks instead of decode-then-execute.
+// Equality, IN and range predicates on dictionary-encoded columns compare
+// bit-packed codes (ranges via a sorted-dictionary code map), COUNT/SUM/
+// GROUP BY consume run-length runs without expanding them, and values are
+// materialized only for rows that survive filtering (late
+// materialization). Inputs resolve as per-chunk lazy readers, so a
+// flagged compressed MV no longer pays a whole-table decode on every
+// read. Results are byte-identical to the row engine: unsupported plan
+// shapes and non-chunked inputs fall back transparently.
+//
+// Kernels engage on chunked inputs, so pair this with WithEncoding:
+//
+//	ref, err := sc.New(mvs, store,
+//		sc.WithEncoding(sc.EncodingOptions{}),
+//		sc.WithVectorized(true),
+//	)
+//
+// KernelDone events report chunks skipped, rows filtered in code space
+// and decodes avoided per node.
+func WithVectorized(enabled bool) Option {
+	return func(c *config) { c.vectorized = enabled }
 }
 
 // WithSizeGuess sets the output-size assumption, in bytes, for nodes that

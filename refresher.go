@@ -173,6 +173,7 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 		Obs:         obs.Multi(metrics.NewRecorder(r.md), r.cfg.observer),
 		Concurrency: r.cfg.concurrency,
 		Encoding:    r.cfg.encoding,
+		Vectorized:  r.cfg.vectorized,
 	}
 	return ctl.Run(ctx, r.workload, r.graph, plan)
 }

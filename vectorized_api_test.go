@@ -1,0 +1,88 @@
+package sc_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	sc "github.com/shortcircuit-db/sc"
+)
+
+// TestWithVectorizedEndToEnd runs a full refresh session with compressed
+// execution on: materialized MVs must match the plain session row for row
+// and the event stream must carry kernel telemetry.
+func TestWithVectorizedEndToEnd(t *testing.T) {
+	mvs := []sc.MV{
+		// enriched is itself an MV, so downstream scans read chunked data
+		// (the base table is legacy v1 and exercises the fallback).
+		{Name: "enriched", SQL: `SELECT user_id, kind, value FROM events`},
+		{Name: "clicks", SQL: `SELECT user_id, value FROM enriched WHERE kind = 'click'`},
+		{Name: "by_user", SQL: `SELECT user_id, SUM(value) AS total, COUNT(*) AS n FROM clicks GROUP BY user_id`},
+		{Name: "big", SQL: `SELECT user_id, total FROM by_user WHERE total > 100 ORDER BY total DESC`},
+	}
+	run := func(opts ...sc.Option) sc.Store {
+		store := sc.NewMemStore()
+		baseTables(t, store)
+		ref, err := sc.New(mvs, store, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Refresh(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+
+	var mu sync.Mutex
+	var kernelEvents int
+	var codeRows int64
+	obs := sc.ObserverFunc(func(e sc.Event) {
+		if e.Kind != sc.KernelDone {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		kernelEvents++
+		codeRows += e.CodeFilteredRows
+		if e.Lowered <= 0 {
+			t.Errorf("KernelDone with Lowered=%d", e.Lowered)
+		}
+	})
+
+	plain := run(sc.WithMemory(1 << 20))
+	vec := run(sc.WithMemory(1<<20),
+		sc.WithEncoding(sc.EncodingOptions{}),
+		sc.WithVectorized(true),
+		sc.WithObserver(obs),
+	)
+
+	for _, mv := range []string{"enriched", "clicks", "by_user", "big"} {
+		a, err := sc.LoadTable(plain, mv)
+		if err != nil {
+			t.Fatalf("load %s (plain): %v", mv, err)
+		}
+		b, err := sc.LoadTable(vec, mv)
+		if err != nil {
+			t.Fatalf("load %s (vectorized): %v", mv, err)
+		}
+		if a.NumRows() != b.NumRows() || !a.Schema.Equal(b.Schema) {
+			t.Fatalf("%s: shape differs with vectorized on", mv)
+		}
+		for r := 0; r < a.NumRows(); r++ {
+			ra, rb := a.Row(r), b.Row(r)
+			for c := range ra {
+				if ra[c] != rb[c] {
+					t.Fatalf("%s row %d col %d differs: %v vs %v", mv, r, c, ra[c], rb[c])
+				}
+			}
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if kernelEvents == 0 {
+		t.Fatal("no KernelDone events reached the observer")
+	}
+	if codeRows == 0 {
+		t.Fatal("no rows were filtered in code space")
+	}
+}
