@@ -68,9 +68,15 @@ type KernelsRun struct {
 	ChunksSkipped    int64   `json:"chunks_skipped,omitempty"`
 	CodeFilteredRows int64   `json:"code_filtered_rows,omitempty"`
 	DecodesAvoided   int64   `json:"decodes_avoided,omitempty"`
+	JoinBuildRows    int64   `json:"join_build_rows,omitempty"`
+	JoinProbeRows    int64   `json:"join_probe_rows,omitempty"`
 	PeakMemoryBytes  int64   `json:"peak_memory_bytes"`
-	FlaggedNodes     int     `json:"flagged_nodes"`
-	Fallbacks        int     `json:"fallbacks"`
+	// PeakDecodedBytes is the decoded-view cache high-water mark: droppable
+	// derived state on top of the compressed catalog residency, so total
+	// footprint peaks at up to peak_memory_bytes + peak_decoded_bytes.
+	PeakDecodedBytes int64 `json:"peak_decoded_bytes,omitempty"`
+	FlaggedNodes     int   `json:"flagged_nodes"`
+	Fallbacks        int   `json:"fallbacks"`
 }
 
 // KernelsReport is the machine-readable result of the benchmark. The
@@ -95,6 +101,8 @@ type kernelCounters struct {
 	chunksSkipped  atomic.Int64
 	codeRows       atomic.Int64
 	decodesAvoided atomic.Int64
+	joinBuildRows  atomic.Int64
+	joinProbeRows  atomic.Int64
 }
 
 func (k *kernelCounters) OnEvent(e obs.Event) {
@@ -106,6 +114,8 @@ func (k *kernelCounters) OnEvent(e obs.Event) {
 		k.chunksSkipped.Add(e.ChunksSkipped)
 		k.codeRows.Add(e.CodeFilteredRows)
 		k.decodesAvoided.Add(e.DecodesAvoided)
+		k.joinBuildRows.Add(e.JoinBuildRows)
+		k.joinProbeRows.Add(e.JoinProbeRows)
 	}
 }
 
@@ -130,8 +140,8 @@ func Kernels(ctx context.Context, w io.Writer, cfg KernelsConfig) error {
 
 	t.printf("Kernels benchmark: TPC-DS sf %.1f (%.1f MB base), Memory Catalog %.1f MB\n",
 		cfg.ScaleFactor, float64(ds.TotalBytes())/1e6, float64(memory)/1e6)
-	t.printf("\n%-12s %-8s %12s %12s %10s %10s %10s %12s\n",
-		"workload", "mode", "written", "decoded", "wall", "skipped", "avoided", "code rows")
+	t.printf("\n%-12s %-8s %12s %12s %10s %10s %10s %12s %12s\n",
+		"workload", "mode", "written", "decoded", "wall", "skipped", "avoided", "code rows", "probe rows")
 
 	auto := encoding.Options{Mode: encoding.ModeAuto}
 	modes := []struct {
@@ -154,10 +164,10 @@ func Kernels(ctx context.Context, w io.Writer, cfg KernelsConfig) error {
 		stores[m.name] = store
 		rawOut = rawBytes
 		report.Runs = append(report.Runs, *run)
-		t.printf("%-12s %-8s %12d %12d %10s %10d %10d %12d\n",
+		t.printf("%-12s %-8s %12d %12d %10s %10d %10d %12d %12d\n",
 			run.Workload, run.Mode, run.BytesWritten, run.DecodedBytes,
 			time.Duration(run.WallSeconds*float64(time.Second)).Round(time.Millisecond),
-			run.ChunksSkipped, run.DecodesAvoided, run.CodeFilteredRows)
+			run.ChunksSkipped, run.DecodesAvoided, run.CodeFilteredRows, run.JoinProbeRows)
 	}
 
 	// Correctness across modes: all three runs materialized the same MVs.
@@ -315,7 +325,10 @@ func kernelsRealRun(ctx context.Context, cfg KernelsConfig, ds *tpcds.Dataset, m
 		ChunksSkipped:    counters.chunksSkipped.Load(),
 		CodeFilteredRows: counters.codeRows.Load(),
 		DecodesAvoided:   counters.decodesAvoided.Load(),
+		JoinBuildRows:    counters.joinBuildRows.Load(),
+		JoinProbeRows:    counters.joinProbeRows.Load(),
 		PeakMemoryBytes:  res.PeakMemory,
+		PeakDecodedBytes: res.PeakDecodedCache,
 		FlaggedNodes:     len(plan.FlaggedIDs()),
 		Fallbacks:        res.FallbackWrites,
 	}, store2, rawBytes, nil

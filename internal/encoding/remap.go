@@ -1,0 +1,128 @@
+package encoding
+
+import "github.com/shortcircuit-db/sc/internal/table"
+
+// This file implements the dictionary-remap views behind the kernel-side
+// hash join (internal/kernels): every chunk of a dictionary-encoded column
+// carries its own local entry table, so joining two columns in code space
+// needs a translation of chunk-local codes into one shared key space. A
+// KeyDict is that shared space; RemapAdd/RemapLookup translate a chunk's
+// dictionary through it. The intersection property is what makes the join
+// cheap: a probe-side entry absent from the build side maps to -1, and
+// every row carrying that code is dropped before any value materializes.
+
+// KeyDict is a growing dictionary of join-key values shared across chunks
+// (and across both join inputs). Ids are dense, assigned in insertion
+// order; only equality of ids is meaningful. It holds INT or STRING keys —
+// the types the dict codec encodes; float keys stay on the row engine,
+// which owns their NaN/negative-zero bucketing.
+type KeyDict struct {
+	typ  table.Type
+	ints map[int64]int
+	strs map[string]int
+}
+
+// NewKeyDict returns an empty key dictionary for the given key type.
+func NewKeyDict(t table.Type) *KeyDict {
+	kd := &KeyDict{typ: t}
+	if t == table.Int {
+		kd.ints = make(map[int64]int)
+	} else {
+		kd.strs = make(map[string]int)
+	}
+	return kd
+}
+
+// Len returns the number of distinct keys seen.
+func (kd *KeyDict) Len() int {
+	if kd.typ == table.Int {
+		return len(kd.ints)
+	}
+	return len(kd.strs)
+}
+
+// AddInt interns an int key, returning its id.
+func (kd *KeyDict) AddInt(x int64) int {
+	id, ok := kd.ints[x]
+	if !ok {
+		id = len(kd.ints)
+		kd.ints[x] = id
+	}
+	return id
+}
+
+// AddStr interns a string key, returning its id.
+func (kd *KeyDict) AddStr(s string) int {
+	id, ok := kd.strs[s]
+	if !ok {
+		id = len(kd.strs)
+		kd.strs[s] = id
+	}
+	return id
+}
+
+// Add interns a value of the dictionary's type, returning its id.
+func (kd *KeyDict) Add(v table.Value) int {
+	if kd.typ == table.Int {
+		return kd.AddInt(v.I)
+	}
+	return kd.AddStr(v.S)
+}
+
+// Lookup returns the id of a value, or -1 when it was never added — the
+// probe-side signal that no build row can match.
+func (kd *KeyDict) Lookup(v table.Value) int {
+	if kd.typ == table.Int {
+		if id, ok := kd.ints[v.I]; ok {
+			return id
+		}
+		return -1
+	}
+	if id, ok := kd.strs[v.S]; ok {
+		return id
+	}
+	return -1
+}
+
+// RemapAdd translates the chunk's dictionary into kd's shared key space,
+// inserting entries kd has not seen: out[localCode] is the shared id of the
+// entry. Build sides of a code-space hash join use it, touching each
+// distinct value once regardless of how many rows carry it.
+func (d *DictView) RemapAdd(kd *KeyDict) []int {
+	out := make([]int, d.Card())
+	if d.Type == table.Int {
+		for code, x := range d.Ints {
+			out[code] = kd.AddInt(x)
+		}
+	} else {
+		for code, s := range d.Strs {
+			out[code] = kd.AddStr(s)
+		}
+	}
+	return out
+}
+
+// RemapLookup is RemapAdd without insertion: local codes whose entry is
+// absent from kd map to -1. This is the dictionary-intersection view — a
+// probe row whose code remaps to -1 is dropped before any decode.
+func (d *DictView) RemapLookup(kd *KeyDict) []int {
+	out := make([]int, d.Card())
+	if d.Type == table.Int {
+		for code, x := range d.Ints {
+			if id, ok := kd.ints[x]; ok {
+				out[code] = id
+			} else {
+				out[code] = -1
+			}
+		}
+	} else {
+		for code, s := range d.Strs {
+			if id, ok := kd.strs[s]; ok {
+				out[code] = id
+			} else {
+				out[code] = -1
+			}
+		}
+	}
+	return out
+}

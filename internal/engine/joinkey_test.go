@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// floatTable builds a one-float-column table plus an int payload column.
+func floatTable(t *testing.T, vals ...float64) *table.Table {
+	t.Helper()
+	tb := table.New(table.NewSchema(
+		table.Column{Name: "k", Type: table.Float},
+		table.Column{Name: "p", Type: table.Int},
+	))
+	for i, f := range vals {
+		if err := tb.AppendRow(table.FloatValue(f), table.IntValue(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func ctxTables(tabs map[string]*table.Table) *Context {
+	return &Context{Resolve: func(name string) (*table.Table, error) {
+		t, ok := tabs[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown table %q", name)
+		}
+		return t, nil
+	}}
+}
+
+// TestJoinKeyNegativeZero pins the -0.0 fix: OpEq compares -0.0 and 0.0
+// equal, so a hash join on float keys must match them too.
+func TestJoinKeyNegativeZero(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	left := floatTable(t, negZero, 1.5)
+	right := floatTable(t, 0.0, 1.5, negZero)
+	j := &HashJoin{
+		Left:     &Scan{Name: "L", Sch: left.Schema},
+		Right:    &Scan{Name: "R", Sch: right.Schema},
+		LeftKeys: []int{0}, RightKeys: []int{0},
+	}
+	out, err := j.Run(ctxTables(map[string]*table.Table{"L": left, "R": right}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 (-0.0) matches right rows 0 and 2; row 1 (1.5) matches right
+	// row 1: three output rows, in probe order then build order.
+	if out.NumRows() != 3 {
+		t.Fatalf("join produced %d rows, want 3 (is -0.0 matching 0.0?)", out.NumRows())
+	}
+	wantPairs := [][2]int64{{0, 0}, {0, 2}, {1, 1}}
+	for i, w := range wantPairs {
+		if out.Cols[1].Ints[i] != w[0] || out.Cols[3].Ints[i] != w[1] {
+			t.Fatalf("row %d: got pair (%d,%d), want %v",
+				i, out.Cols[1].Ints[i], out.Cols[3].Ints[i], w)
+		}
+	}
+}
+
+// TestGroupKeyNegativeZero: -0.0 and 0.0 land in one group-by bucket, keyed
+// by the first-seen value.
+func TestGroupKeyNegativeZero(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	tb := floatTable(t, negZero, 0.0, negZero, 2.0)
+	agg, err := NewAggregate(&Scan{Name: "t", Sch: tb.Schema}, []int{0},
+		[]AggSpec{{Func: AggCount, Name: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := agg.Run(ctxTables(map[string]*table.Table{"t": tb}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("got %d groups, want 2 (zero bucket + 2.0)", out.NumRows())
+	}
+	if got := out.Cols[1].Ints[0]; got != 3 {
+		t.Fatalf("zero bucket count = %d, want 3", got)
+	}
+	// The group key is the first-appearance value: -0.0, bit for bit.
+	if bits := math.Float64bits(out.Cols[0].Floats[0]); bits != math.Float64bits(negZero) {
+		t.Fatalf("zero-bucket key bits = %x, want -0.0", bits)
+	}
+}
+
+// TestJoinKeyNaN locks the NaN key semantics: Value.Compare reports NaN
+// equal to every float (so OpEq does too), but join/group keys bucket all
+// NaNs together and apart from ordinary numbers — NaN keys join NaN keys
+// and nothing else. This asymmetry predates the -0.0 fix and is pinned here
+// so a future change to either side is a deliberate decision.
+func TestJoinKeyNaN(t *testing.T) {
+	nan := math.NaN()
+	left := floatTable(t, nan, 3.0)
+	right := floatTable(t, 3.0, nan, nan)
+	j := &HashJoin{
+		Left:     &Scan{Name: "L", Sch: left.Schema},
+		Right:    &Scan{Name: "R", Sch: right.Schema},
+		LeftKeys: []int{0}, RightKeys: []int{0},
+	}
+	out, err := j.Run(ctxTables(map[string]*table.Table{"L": left, "R": right}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN matches the two NaN build rows; 3.0 matches 3.0.
+	if out.NumRows() != 3 {
+		t.Fatalf("join produced %d rows, want 3", out.NumRows())
+	}
+	wantPairs := [][2]int64{{0, 1}, {0, 2}, {1, 0}}
+	for i, w := range wantPairs {
+		if out.Cols[1].Ints[i] != w[0] || out.Cols[3].Ints[i] != w[1] {
+			t.Fatalf("row %d: got pair (%d,%d), want %v",
+				i, out.Cols[1].Ints[i], out.Cols[3].Ints[i], w)
+		}
+	}
+
+	// And in group-by: one bucket for all NaNs, one for 3.0.
+	agg, err := NewAggregate(&Scan{Name: "t", Sch: right.Schema}, []int{0},
+		[]AggSpec{{Func: AggCount, Name: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gout, err := agg.Run(ctxTables(map[string]*table.Table{"t": right}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gout.NumRows() != 2 {
+		t.Fatalf("got %d groups, want 2", gout.NumRows())
+	}
+}
+
+// oldAppendKey is the fmt-based key encoding this PR replaced, kept here so
+// the benchmark documents the speedup of the strconv path.
+func oldAppendKey(b *strings.Builder, v table.Value) {
+	switch v.Type {
+	case table.Int:
+		fmt.Fprintf(b, "i%d|", v.I)
+	case table.Float:
+		fmt.Fprintf(b, "f%g|", v.F)
+	default:
+		fmt.Fprintf(b, "s%d:%s|", len(v.S), v.S)
+	}
+}
+
+func benchKeyValues() []table.Value {
+	return []table.Value{
+		table.IntValue(123456789),
+		table.FloatValue(98.75),
+		table.StrValue("category-name"),
+	}
+}
+
+func BenchmarkJoinKeyFprintf(b *testing.B) {
+	vals := benchKeyValues()
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		for _, v := range vals {
+			oldAppendKey(&sb, v)
+		}
+	}
+}
+
+func BenchmarkJoinKeyStrconv(b *testing.B) {
+	vals := benchKeyValues()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for _, v := range vals {
+			buf = appendKey(buf, v)
+		}
+	}
+}
+
+// BenchmarkHashJoinRun measures the row-engine join fallback end to end:
+// a 20k-row probe side against a 2k-row build side on a string+int key.
+func BenchmarkHashJoinRun(b *testing.B) {
+	mk := func(n, card int) *table.Table {
+		tb := table.New(table.NewSchema(
+			table.Column{Name: "ks", Type: table.Str},
+			table.Column{Name: "ki", Type: table.Int},
+			table.Column{Name: "pay", Type: table.Float},
+		))
+		for i := 0; i < n; i++ {
+			_ = tb.AppendRow(
+				table.StrValue(fmt.Sprintf("cat-%d", i%card)),
+				table.IntValue(int64(i%card)),
+				table.FloatValue(float64(i)),
+			)
+		}
+		return tb
+	}
+	left, right := mk(20000, 512), mk(2000, 512)
+	ctx := ctxTables(map[string]*table.Table{"L": left, "R": right})
+	j := &HashJoin{
+		Left:     &Scan{Name: "L", Sch: left.Schema},
+		Right:    &Scan{Name: "R", Sch: right.Schema},
+		LeftKeys: []int{0, 1}, RightKeys: []int{0, 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

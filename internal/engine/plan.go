@@ -3,7 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/table"
@@ -198,21 +198,21 @@ func (j *HashJoin) Run(ctx *Context) (*table.Table, error) {
 		return nil, err
 	}
 	build := make(map[string][]int)
-	var key strings.Builder
+	var key []byte
 	for i := 0; i < right.NumRows(); i++ {
-		key.Reset()
+		key = key[:0]
 		for _, c := range j.RightKeys {
-			appendKey(&key, right.Cols[c].Value(i))
+			key = appendKey(key, right.Cols[c].Value(i))
 		}
-		build[key.String()] = append(build[key.String()], i)
+		build[string(key)] = append(build[string(key)], i)
 	}
 	var leftIdx, rightIdx []int
 	for i := 0; i < left.NumRows(); i++ {
-		key.Reset()
+		key = key[:0]
 		for _, c := range j.LeftKeys {
-			appendKey(&key, left.Cols[c].Value(i))
+			key = appendKey(key, left.Cols[c].Value(i))
 		}
-		for _, r := range build[key.String()] {
+		for _, r := range build[string(key)] {
 			leftIdx = append(leftIdx, i)
 			rightIdx = append(rightIdx, r)
 		}
@@ -230,16 +230,33 @@ func (j *HashJoin) String() string {
 	return fmt.Sprintf("HashJoin(keys=%v=%v)", j.LeftKeys, j.RightKeys)
 }
 
-// appendKey encodes a value unambiguously into a join/group key.
-func appendKey(b *strings.Builder, v table.Value) {
+// appendKey encodes a value unambiguously into a join/group key, bucketing
+// values together when OpEq compares them equal: negative zero folds into
+// positive zero (-0.0 == 0.0; the %g formatting this replaced split them).
+// NaN is the deliberate exception — Value.Compare reports NaN equal to
+// EVERY float, which no hash key can express, so keys bucket all NaNs
+// together and apart from ordinary numbers; TestJoinKeyNaN pins that
+// asymmetry. Keys build with strconv into a caller-reused buffer instead
+// of allocating through fmt.Fprintf per value.
+func appendKey(b []byte, v table.Value) []byte {
 	switch v.Type {
 	case table.Int:
-		fmt.Fprintf(b, "i%d|", v.I)
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, v.I, 10)
 	case table.Float:
-		fmt.Fprintf(b, "f%g|", v.F)
+		f := v.F
+		if f == 0 {
+			f = 0 // fold -0.0 into +0.0: OpEq compares them equal
+		}
+		b = append(b, 'f')
+		b = strconv.AppendFloat(b, f, 'g', -1, 64)
 	default:
-		fmt.Fprintf(b, "s%d:%s|", len(v.S), v.S)
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.S)), 10)
+		b = append(b, ':')
+		b = append(b, v.S...)
 	}
+	return append(b, '|')
 }
 
 // --- Aggregate ---
@@ -343,7 +360,7 @@ type AggAcc struct {
 	a      *Aggregate
 	groups map[string]*aggGroup
 	order  []string
-	key    strings.Builder
+	key    []byte // reused group-key buffer
 	// sumFLive marks specs whose float accumulator is output-relevant, so
 	// AddRepeat knows when it must reproduce bit-exact repeated addition
 	// and when a closed form suffices.
@@ -361,16 +378,18 @@ func (a *Aggregate) NewAcc() *AggAcc {
 	return acc
 }
 
-// group finds or creates the group for the current input row.
+// group finds or creates the group for the current input row. The map
+// lookup converts the key buffer without allocating; a string key is only
+// materialized once per distinct group.
 func (acc *AggAcc) group(row []table.Value) *aggGroup {
 	a := acc.a
-	acc.key.Reset()
+	acc.key = acc.key[:0]
 	for _, g := range a.GroupBy {
-		appendKey(&acc.key, row[g])
+		acc.key = appendKey(acc.key, row[g])
 	}
-	k := acc.key.String()
-	grp, ok := acc.groups[k]
+	grp, ok := acc.groups[string(acc.key)]
 	if !ok {
+		k := string(acc.key)
 		keyRow := make([]table.Value, len(a.GroupBy))
 		for gi, g := range a.GroupBy {
 			keyRow[gi] = row[g]

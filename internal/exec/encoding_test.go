@@ -242,3 +242,24 @@ func TestEncodingConcurrentRunIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeOncePerResidentEntry is the repeated-read regression: mv_daily
+// is flagged and read by two downstream nodes, which used to cost two full
+// decodes and two full-size DecodeDone events. With the catalog's
+// decoded-view cache the second read is served without decoding, so exactly
+// one DecodeDone arrives — and it reports the bytes actually decoded.
+func TestDecodeOncePerResidentEntry(t *testing.T) {
+	log := &eventLog{}
+	runWide(t, &encoding.Options{}, log)
+	decs := log.byKind(obs.DecodeDone)
+	if len(decs) != 1 {
+		t.Fatalf("DecodeDone events = %d, want 1 (one decode for two downstream readers)", len(decs))
+	}
+	e := decs[0]
+	if e.Node != "mv_daily" {
+		t.Fatalf("DecodeDone for %q, want mv_daily", e.Node)
+	}
+	if e.Bytes <= 0 || e.Encoded <= 0 || e.Bytes <= e.Encoded {
+		t.Fatalf("DecodeDone Bytes=%d Encoded=%d: want actual decode work", e.Bytes, e.Encoded)
+	}
+}

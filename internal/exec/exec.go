@@ -102,6 +102,8 @@ type NodeMetrics struct {
 	CodeFilteredRows int64 // rows filtered on encoded codes/runs
 	DecodesAvoided   int64 // column-chunk decodes avoided
 	KernelBytes      int64 // raw bytes the kernels materialized
+	JoinBuildRows    int64 // rows hashed into code-space join build tables
+	JoinProbeRows    int64 // rows probed against code-space join build tables
 }
 
 // RunResult aggregates a refresh run.
@@ -110,6 +112,10 @@ type RunResult struct {
 	Nodes          []NodeMetrics // in plan order (completed nodes only, on error)
 	FallbackWrites int           // flagged outputs that did not fit in memory
 	PeakMemory     int64         // Memory Catalog high-water mark
+	// PeakDecodedCache is the high-water mark of the catalog's decoded-view
+	// cache — droppable derived state bounded separately from the catalog
+	// budget. Total memory footprint peaks at up to PeakMemory plus this.
+	PeakDecodedCache int64
 }
 
 // TotalRead sums the nodes' input read times.
@@ -336,6 +342,7 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 	res.Total = time.Since(start)
 	if c.Mem != nil {
 		res.PeakMemory = c.Mem.Peak()
+		res.PeakDecodedCache = c.Mem.DecodedCachePeak()
 	}
 	return res, runErr
 }
@@ -407,22 +414,28 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 		t0 := time.Now()
 		defer func() { readTime += time.Since(t0) }()
 		if c.Mem != nil {
-			if e, ok := c.Mem.GetEntry(name); ok {
-				d0 := time.Now()
-				t, err := e.Table()
-				if err == nil {
-					if ct, compressed := e.(*encoding.Compressed); compressed {
-						obs.Emit(c.Obs, obs.Event{
-							Kind: obs.DecodeDone, Node: name, Step: step,
-							Bytes: ct.RawBytes, Encoded: ct.SizeBytes(),
-							Ratio: ct.Ratio(), Elapsed: time.Since(d0),
-						})
+			d0 := time.Now()
+			if t, info, ok := c.Mem.GetTable(name); ok {
+				// DecodeDone reports the decode work this read actually
+				// performed: reads served from the catalog's decoded-view
+				// cache decode nothing and emit nothing, so k downstream
+				// readers of one flagged MV no longer look like k full
+				// decodes.
+				if info.Decoded > 0 {
+					ratio := 1.0
+					if info.Encoded > 0 {
+						ratio = float64(info.Decoded) / float64(info.Encoded)
 					}
-					m.MemReads++
-					return t, nil
+					obs.Emit(c.Obs, obs.Event{
+						Kind: obs.DecodeDone, Node: name, Step: step,
+						Bytes: info.Decoded, Encoded: info.Encoded,
+						Ratio: ratio, Elapsed: time.Since(d0),
+					})
 				}
-				// Undecodable resident entry: fall back to storage below.
+				m.MemReads++
+				return t, nil
 			}
+			// Not resident (or undecodable): fall back to storage below.
 		}
 		data, err := readObject(name)
 		if err != nil {
@@ -501,11 +514,14 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 		m.CodeFilteredRows = kst.CodeFilteredRows
 		m.DecodesAvoided = kst.DecodesAvoided
 		m.KernelBytes = kst.DecodedBytes
+		m.JoinBuildRows = kst.JoinBuildRows
+		m.JoinProbeRows = kst.JoinProbeRows
 		obs.Emit(c.Obs, obs.Event{
 			Kind: obs.KernelDone, Node: spec.Name, Step: step,
 			Lowered: kst.Lowered, Fallbacks: kst.Fallbacks,
 			ChunksSkipped:    kst.ChunksSkipped,
 			CodeFilteredRows: kst.CodeFilteredRows, DecodesAvoided: kst.DecodesAvoided,
+			JoinBuildRows: kst.JoinBuildRows, JoinProbeRows: kst.JoinProbeRows,
 			Bytes: kst.DecodedBytes,
 		})
 	}

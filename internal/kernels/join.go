@@ -1,0 +1,366 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// JoinSide is one input of a HashJoinScan: the scanned table plus the
+// compiled filter that was fused below the join, if any. The join applies
+// the filter itself, so its row numbering matches the filtered table the
+// row engine would have built.
+type JoinSide struct {
+	Scan *engine.Scan
+	Pred *Pred // nil when the side is unfiltered
+}
+
+// HashJoinScan is a kernel-side inner equi-join that probes dictionary
+// codes instead of materialized values. Both sides resolve in chunked form;
+// each chunk's local dictionary codes are remapped through a shared
+// encoding.KeyDict (one per key position), so the build table is keyed by
+// dense shared ids rather than strings:
+//
+//   - the build (right) side hashes its selected rows by shared key id —
+//     for dictionary chunks each distinct value is interned once, however
+//     many rows carry it;
+//   - the probe (left) side translates each chunk's dictionary against the
+//     build side's keys (dictionary intersection): codes whose entry exists
+//     only on the probe side remap to -1 and their rows drop before any
+//     column decodes;
+//   - only the surviving (leftRow, rightRow) pairs late-materialize, in the
+//     row engine's exact output order (probe order, then build order).
+//
+// Key columns must be INT or STRING with equal types on both sides — the
+// types the dict codec encodes, and the types whose value equality matches
+// the row engine's key encoding exactly. Float keys (NaN and signed-zero
+// bucketing) stay on the row engine. Output is byte-identical to Orig, the
+// row-engine subtree, which doubles as the runtime fallback.
+//
+// A parent projection that only drops, duplicates or permutes columns can
+// fuse into the join (Proj non-nil): joined columns nothing projects are
+// never materialized — a dropped probe-side column is read for no row, a
+// dropped build-side chunk is skipped outright.
+type HashJoinScan struct {
+	Left, Right         JoinSide
+	LeftKeys, RightKeys []int
+	// Proj maps each output column to a joined column (left columns first,
+	// then right), fused from a parent columns-only projection. Nil means
+	// the join's natural output.
+	Proj []int
+	// Sch is the output schema: the joined schema, or the projected one.
+	Sch  table.Schema
+	Orig engine.Node // HashJoin, or Project(HashJoin…) when Proj is fused
+	St   *Stats
+}
+
+// Schema implements engine.Node.
+func (j *HashJoinScan) Schema() table.Schema { return j.Sch }
+
+// String implements engine.Node.
+func (j *HashJoinScan) String() string {
+	return fmt.Sprintf("KernelHashJoinScan(%s⋈%s, keys=%v=%v)",
+		j.Left.Scan.Name, j.Right.Scan.Name, j.LeftKeys, j.RightKeys)
+}
+
+// joinGroup is the retained state of one processed row group: its chunk
+// context plus the mapping from selected-row ordinals back to local rows.
+type joinGroup struct {
+	cc   *chunkCtx
+	base int     // ordinal of the group's first selected row
+	sel  []int32 // selected local rows in order; nil when every row selected
+	n    int     // selected rows in the group
+}
+
+// outCol wires one output column to a side-local source column.
+type outCol struct{ out, src int }
+
+// localRow maps a selected-row ordinal back to the group-local row index.
+func (g *joinGroup) localRow(ord int) int {
+	if g.sel == nil {
+		return ord - g.base
+	}
+	return int(g.sel[ord-g.base])
+}
+
+// Run implements engine.Node.
+func (j *HashJoinScan) Run(ctx *engine.Context) (*table.Table, error) {
+	lct, lgroups := resolveChunked(ctx, j.Left.Scan)
+	rct, rgroups := resolveChunked(ctx, j.Right.Scan)
+	if lct == nil || rct == nil {
+		j.St.Fallbacks++
+		return j.Orig.Run(ctx)
+	}
+	out, err := j.runChunked(lct, lgroups, rct, rgroups)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.Scan.Name, j.Right.Scan.Name, err)
+	}
+	return out, nil
+}
+
+func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*table.Table, error) {
+	nKeys := len(j.RightKeys)
+	kds := make([]*encoding.KeyDict, nKeys)
+	for p, rc := range j.RightKeys {
+		kds[p] = encoding.NewKeyDict(j.Right.Scan.Sch.Cols[rc].Type)
+	}
+
+	// Build phase: hash every selected right row by its composite of shared
+	// key ids. Right groups stay alive (with whatever they parsed or
+	// decoded) until the surviving rows materialize.
+	build := make(map[string][]int)
+	rightGroups := make([]*joinGroup, 0, len(rgroups))
+	scratch := make([]byte, 8*nKeys)
+	total := 0
+	for g, rows := range rgroups {
+		cc := newChunkCtx(rct, g, rows, j.St)
+		jg := &joinGroup{cc: cc, base: total}
+		var sel *bitmap
+		if j.Right.Pred != nil {
+			var err error
+			sel, err = j.Right.Pred.eval(cc)
+			if err != nil {
+				return nil, err
+			}
+			if sel.none() {
+				cc.finish()
+				rightGroups = append(rightGroups, jg)
+				continue
+			}
+			if !sel.all() {
+				jg.sel = make([]int32, 0, sel.count())
+			} else {
+				sel = nil
+			}
+		}
+		ids := make([]func(int) int, nKeys)
+		for p, rc := range j.RightKeys {
+			fn, err := keyReader(cc, rc, kds[p], true)
+			if err != nil {
+				return nil, err
+			}
+			ids[p] = fn
+		}
+		for i := 0; i < rows; i++ {
+			if sel != nil && !sel.get(i) {
+				continue
+			}
+			for p := range ids {
+				binary.LittleEndian.PutUint64(scratch[8*p:], uint64(ids[p](i)))
+			}
+			matches := build[string(scratch)]
+			build[string(scratch)] = append(matches, total)
+			if jg.sel != nil {
+				jg.sel = append(jg.sel, int32(i))
+			}
+			total++
+			jg.n++
+		}
+		rightGroups = append(rightGroups, jg)
+	}
+	j.St.JoinBuildRows += int64(total)
+
+	// Output layout: each output column reads one joined column, either the
+	// join's natural output or the fused projection. Joined columns nothing
+	// reads are never materialized.
+	leftW := j.Left.Scan.Sch.NumCols()
+	proj := j.Proj
+	if proj == nil {
+		proj = make([]int, leftW+j.Right.Scan.Sch.NumCols())
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	var leftOut, rightOut []outCol
+	for oc, jc := range proj {
+		if jc < leftW {
+			leftOut = append(leftOut, outCol{oc, jc})
+		} else {
+			rightOut = append(rightOut, outCol{oc, jc - leftW})
+		}
+	}
+
+	// Probe phase: translate each left chunk's codes against the build-side
+	// keys and emit surviving pairs. Left values materialize inline —
+	// pairs for one group are contiguous and their left rows non-decreasing,
+	// so appends stay in output order and RLE cursors never rewind.
+	out := table.New(j.Sch)
+	var rightIdx []int // build-side ordinals per output row
+	probed := 0
+	for g, rows := range lgroups {
+		cc := newChunkCtx(lct, g, rows, j.St)
+		var sel *bitmap
+		if j.Left.Pred != nil {
+			var err error
+			sel, err = j.Left.Pred.eval(cc)
+			if err != nil {
+				return nil, err
+			}
+			if sel.none() {
+				cc.finish()
+				continue
+			}
+			if sel.all() {
+				sel = nil
+			}
+		}
+		ids := make([]func(int) int, nKeys)
+		for p, lc := range j.LeftKeys {
+			fn, err := keyReader(cc, lc, kds[p], false)
+			if err != nil {
+				return nil, err
+			}
+			ids[p] = fn
+		}
+		// Column readers are built only when the group's first match
+		// arrives: a group whose keys all miss never touches its
+		// non-key chunks.
+		var readers []func(int) table.Value
+		var counted []bool
+	rowLoop:
+		for i := 0; i < rows; i++ {
+			if sel != nil && !sel.get(i) {
+				continue
+			}
+			probed++
+			for p := range ids {
+				id := ids[p](i)
+				if id < 0 {
+					continue rowLoop // key exists only on the probe side
+				}
+				binary.LittleEndian.PutUint64(scratch[8*p:], uint64(id))
+			}
+			matches := build[string(scratch)]
+			if len(matches) == 0 {
+				continue
+			}
+			if readers == nil {
+				readers = make([]func(int) table.Value, len(leftOut))
+				counted = make([]bool, len(leftOut))
+				for k, oc := range leftOut {
+					fn, cnt, err := cc.reader(oc.src)
+					if err != nil {
+						return nil, err
+					}
+					readers[k], counted[k] = fn, cnt
+				}
+			}
+			for _, r := range matches {
+				for k, oc := range leftOut {
+					v := readers[k](i)
+					dst := out.Cols[oc.out]
+					if counted[k] {
+						switch dst.Type {
+						case table.Int:
+							dst.Ints = append(dst.Ints, v.I)
+						case table.Float:
+							dst.Floats = append(dst.Floats, v.F)
+						default:
+							dst.Strs = append(dst.Strs, v.S)
+						}
+					} else {
+						appendValue(j.St, dst, v)
+					}
+				}
+				rightIdx = append(rightIdx, r)
+			}
+		}
+		cc.finish()
+	}
+	j.St.JoinProbeRows += int64(probed)
+
+	if err := j.gatherRight(out, rightOut, rightIdx, rightGroups); err != nil {
+		return nil, err
+	}
+	for _, jg := range rightGroups {
+		if jg.n > 0 { // empty-selection groups finished during the build
+			jg.cc.finish()
+		}
+	}
+	return out, nil
+}
+
+// gatherRight scatters the build-side rows of the surviving pairs into the
+// projected right output columns. Output positions are bucketed per right
+// row group and visited in local-row order, so each group's chunks are read
+// once, monotonically, decoding only what the survivors demand.
+func (j *HashJoinScan) gatherRight(out *table.Table, rightOut []outCol, rightIdx []int, groups []*joinGroup) error {
+	nPairs := len(rightIdx)
+	for _, oc := range rightOut {
+		dst := out.Cols[oc.out]
+		switch dst.Type {
+		case table.Int:
+			dst.Ints = make([]int64, nPairs)
+		case table.Float:
+			dst.Floats = make([]float64, nPairs)
+		default:
+			dst.Strs = make([]string, nPairs)
+		}
+	}
+	if nPairs == 0 {
+		return nil
+	}
+	// Bucket output positions by right group (ordinals are dense per group).
+	byGroup := make([][]int, len(groups))
+	for pos, ord := range rightIdx {
+		g := sort.Search(len(groups), func(k int) bool {
+			return groups[k].base+groups[k].n > ord
+		})
+		byGroup[g] = append(byGroup[g], pos)
+	}
+	for g, positions := range byGroup {
+		if len(positions) == 0 {
+			continue
+		}
+		jg := groups[g]
+		sort.Slice(positions, func(a, b int) bool {
+			return jg.localRow(rightIdx[positions[a]]) < jg.localRow(rightIdx[positions[b]])
+		})
+		for _, oc := range rightOut {
+			fn, counted, err := jg.cc.reader(oc.src)
+			if err != nil {
+				return err
+			}
+			dst := out.Cols[oc.out]
+			for _, pos := range positions {
+				setValue(j.St, dst, pos, fn(jg.localRow(rightIdx[pos])), counted)
+			}
+		}
+	}
+	return nil
+}
+
+// keyReader returns a per-row shared-key-id lookup for one key column of a
+// row group. Dictionary chunks remap their entry table through kd — once
+// per distinct value, with add selecting build-side interning versus
+// probe-side intersection (absent entries yield -1). Other codecs read the
+// key column through the chunk's cheapest accessor (RLE runs advance a
+// cursor; everything else decodes just this column) and intern per row.
+func keyReader(cc *chunkCtx, col int, kd *encoding.KeyDict, add bool) (func(i int) int, error) {
+	cs, err := cc.parse(col)
+	if err != nil {
+		return nil, err
+	}
+	if cs.dict != nil {
+		var ids []int
+		if add {
+			ids = cs.dict.RemapAdd(kd)
+		} else {
+			ids = cs.dict.RemapLookup(kd)
+		}
+		codes, _ := cs.dict.Codes()
+		return func(i int) int { return ids[codes[i]] }, nil
+	}
+	fn, err := cc.accessor(col)
+	if err != nil {
+		return nil, err
+	}
+	if add {
+		return func(i int) int { return kd.Add(fn(i)) }, nil
+	}
+	return func(i int) int { return kd.Lookup(fn(i)) }, nil
+}

@@ -58,6 +58,14 @@ type Stats struct {
 	// DecodedBytes is the raw bytes the kernels did materialize, full
 	// chunk decodes and late-materialized survivors alike.
 	DecodedBytes int64
+	// JoinBuildRows counts rows hashed into a join build table in code
+	// space (dictionary codes remapped through the shared key dictionary,
+	// or key-column-only reads) without materializing the full row.
+	JoinBuildRows int64
+	// JoinProbeRows counts rows probed against a code-space join build
+	// table; probe rows whose key is absent from the build-side dictionary
+	// are dropped before any column decodes.
+	JoinProbeRows int64
 }
 
 // --- selection bitmap ---
@@ -249,6 +257,18 @@ func (cc *chunkCtx) accessor(col int) (func(i int) table.Value, error) {
 	}
 }
 
+// reader is accessor plus a flag telling the caller whether the values come
+// from a fully decoded vector — whose bytes were already counted at decode
+// time — or are late-materialized (dictionary/RLE reads) and must be
+// counted per surviving value.
+func (cc *chunkCtx) reader(col int) (func(i int) table.Value, bool, error) {
+	fn, err := cc.accessor(col)
+	if err != nil {
+		return nil, false, err
+	}
+	return fn, cc.cols[col].vec != nil, nil
+}
+
 // finish settles the row group's counters: column-chunks never touched
 // were skipped outright, chunks touched only in their encoded form avoided
 // a decode the row engine would have paid.
@@ -272,49 +292,58 @@ func (cc *chunkCtx) materialize(out *table.Table, sel *bitmap) error {
 	if sel.none() {
 		return nil
 	}
-	full := sel.all()
 	for ci := range cc.cols {
-		cs, err := cc.parse(ci)
-		if err != nil {
+		if err := cc.materializeCol(out.Cols[ci], ci, sel); err != nil {
 			return err
 		}
-		dst := out.Cols[ci]
-		switch {
-		case cs.vec != nil:
-			if full {
-				appendAll(dst, cs.vec)
-			} else {
-				appendSelected(cc.st, dst, cs.vec, sel)
+	}
+	return nil
+}
+
+// materializeCol appends the selected rows of one column to dst. A nil
+// selection means every row. The Project-passthrough kernel uses it to
+// materialize only the projected columns, in output order.
+func (cc *chunkCtx) materializeCol(dst *table.Vector, ci int, sel *bitmap) error {
+	full := sel == nil || sel.all()
+	cs, err := cc.parse(ci)
+	if err != nil {
+		return err
+	}
+	switch {
+	case cs.vec != nil:
+		if full {
+			appendAll(dst, cs.vec)
+		} else {
+			appendSelected(cc.st, dst, cs.vec, sel)
+		}
+	case cs.dict != nil:
+		codes, _ := cs.dict.Codes()
+		for i := 0; i < cc.rows; i++ {
+			if !full && !sel.get(i) {
+				continue
 			}
-		case cs.dict != nil:
-			codes, _ := cs.dict.Codes()
-			for i := 0; i < cc.rows; i++ {
+			appendValue(cc.st, dst, cs.dict.Value(int(codes[i])))
+		}
+	case cs.runs != nil:
+		pos := 0
+		for _, r := range cs.runs {
+			for i := pos; i < pos+r.Len; i++ {
 				if !full && !sel.get(i) {
 					continue
 				}
-				appendValue(cc.st, dst, cs.dict.Value(int(codes[i])))
+				appendValue(cc.st, dst, r.Val)
 			}
-		case cs.runs != nil:
-			pos := 0
-			for _, r := range cs.runs {
-				for i := pos; i < pos+r.Len; i++ {
-					if !full && !sel.get(i) {
-						continue
-					}
-					appendValue(cc.st, dst, r.Val)
-				}
-				pos += r.Len
-			}
-		default:
-			vec, err := cc.vector(ci)
-			if err != nil {
-				return err
-			}
-			if full {
-				appendAll(dst, vec)
-			} else {
-				appendSelected(cc.st, dst, vec, sel)
-			}
+			pos += r.Len
+		}
+	default:
+		vec, err := cc.vector(ci)
+		if err != nil {
+			return err
+		}
+		if full {
+			appendAll(dst, vec)
+		} else {
+			appendSelected(cc.st, dst, vec, sel)
 		}
 	}
 	return nil
@@ -364,6 +393,28 @@ func appendValue(st *Stats, dst *table.Vector, v table.Value) {
 	default:
 		dst.Strs = append(dst.Strs, v.S)
 		st.DecodedBytes += int64(len(v.S)) + 16
+	}
+}
+
+// setValue scatters one surviving value into a pre-sized vector; counted
+// marks values served from an already-counted decoded chunk.
+func setValue(st *Stats, dst *table.Vector, pos int, v table.Value, counted bool) {
+	switch dst.Type {
+	case table.Int:
+		dst.Ints[pos] = v.I
+		if !counted {
+			st.DecodedBytes += 8
+		}
+	case table.Float:
+		dst.Floats[pos] = v.F
+		if !counted {
+			st.DecodedBytes += 8
+		}
+	default:
+		dst.Strs[pos] = v.S
+		if !counted {
+			st.DecodedBytes += int64(len(v.S)) + 16
+		}
 	}
 }
 

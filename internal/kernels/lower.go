@@ -14,11 +14,18 @@ import (
 //	Filter(FilterScan)      → FilterScan        conjunction fused
 //	Filter(HashJoin)        → pushdown          every conjunct compiles;
 //	                                            one-sided conjuncts move
-//	                                            below the join and may then
-//	                                            fuse with a scan
+//	                                            below the join, may fuse
+//	                                            with a scan, and the join
+//	                                            itself may then lower
+//	HashJoin(side, side)    → HashJoinScan      both sides Scan/FilterScan
+//	                                            and every key column pair
+//	                                            shares an INT or STRING type
 //	Aggregate(Scan)         → AggScan           always (argument errors
 //	                                            reproduce row-engine order)
 //	Aggregate(FilterScan)   → AggScan           selection vector flows in
+//	Project(Scan)           → ProjectScan       only ColRef outputs (drop,
+//	                                            duplicate or permute)
+//	Project(FilterScan)     → ProjectScan       selection vector flows in
 //
 // Everything else keeps its row-engine operator, with children lowered
 // recursively. Each kernel operator retains its original subtree and falls
@@ -27,6 +34,14 @@ import (
 func Lower(root engine.Node, st *Stats) engine.Node {
 	switch n := root.(type) {
 	case *engine.Filter:
+		if hj, ok := n.Input.(*engine.HashJoin); ok {
+			if nn := pushdown(n, hj, st); nn != nil {
+				return nn
+			}
+			// Nothing moved: lower the join in place, keep the filter.
+			n.Input = Lower(hj, st)
+			return n
+		}
 		n.Input = Lower(n.Input, st)
 		switch in := n.Input.(type) {
 		case *engine.Scan:
@@ -41,6 +56,9 @@ func Lower(root engine.Node, st *Stats) engine.Node {
 				return &FilterScan{Scan: in.Scan, Pred: fused, Orig: n, St: st}
 			}
 		case *engine.HashJoin:
+			// A join that surfaced only after lowering the input (e.g. an
+			// inner filter fully pushed its conjuncts down and dissolved)
+			// still deserves this filter's pushdown.
 			if nn := pushdown(n, in, st); nn != nil {
 				return nn
 			}
@@ -63,6 +81,32 @@ func Lower(root engine.Node, st *Stats) engine.Node {
 		return n
 	case *engine.Project:
 		n.Input = Lower(n.Input, st)
+		switch in := n.Input.(type) {
+		case *engine.Scan:
+			if cols, ok := projectCols(n, in.Sch); ok {
+				st.Lowered++
+				return &ProjectScan{Scan: in, Cols: cols, Sch: n.Schema(), Orig: n, St: st}
+			}
+		case *FilterScan:
+			if cols, ok := projectCols(n, in.Scan.Sch); ok {
+				st.Lowered++
+				return &ProjectScan{Scan: in.Scan, Pred: in.Pred, Cols: cols, Sch: n.Schema(), Orig: n, St: st}
+			}
+		case *HashJoinScan:
+			// Fuse a columns-only projection into the join: joined columns
+			// the projection drops never materialize — build-side chunks
+			// nothing reads are skipped outright. The fused kernel keeps
+			// this Project node as its fallback, so a non-chunked run still
+			// evaluates Project(HashJoin) on the row engine.
+			if cols, ok := projectCols(n, in.Sch); ok && in.Proj == nil {
+				st.Lowered++
+				fused := *in
+				fused.Proj = cols
+				fused.Sch = n.Schema()
+				fused.Orig = n
+				return &fused
+			}
+		}
 		return n
 	case *engine.Sort:
 		n.Input = Lower(n.Input, st)
@@ -73,6 +117,10 @@ func Lower(root engine.Node, st *Stats) engine.Node {
 	case *engine.HashJoin:
 		n.Left = Lower(n.Left, st)
 		n.Right = Lower(n.Right, st)
+		if js := lowerJoin(n, st); js != nil {
+			st.Lowered++
+			return js
+		}
 		return n
 	case *engine.UnionAll:
 		for i := range n.Inputs {
@@ -81,6 +129,53 @@ func Lower(root engine.Node, st *Stats) engine.Node {
 		return n
 	}
 	return root
+}
+
+// lowerJoin rewrites a HashJoin whose (already lowered) sides are plain
+// scans or fused filter-scans onto the code-space join kernel. It declines
+// — returning nil, keeping the row engine — when a key column pair differs
+// in type or is FLOAT: float keys fall back so the row engine's NaN and
+// signed-zero bucketing stays authoritative, and the kernel's shared key
+// dictionary only ever holds the types the dict codec encodes.
+func lowerJoin(hj *engine.HashJoin, st *Stats) *HashJoinScan {
+	if len(hj.LeftKeys) == 0 || len(hj.LeftKeys) != len(hj.RightKeys) {
+		return nil
+	}
+	left, ok := joinSideOf(hj.Left)
+	if !ok {
+		return nil
+	}
+	right, ok := joinSideOf(hj.Right)
+	if !ok {
+		return nil
+	}
+	for p := range hj.LeftKeys {
+		lc, rc := hj.LeftKeys[p], hj.RightKeys[p]
+		if lc < 0 || lc >= left.Scan.Sch.NumCols() || rc < 0 || rc >= right.Scan.Sch.NumCols() {
+			return nil
+		}
+		lt, rt := left.Scan.Sch.Cols[lc].Type, right.Scan.Sch.Cols[rc].Type
+		if lt != rt || lt == table.Float {
+			return nil
+		}
+	}
+	return &HashJoinScan{
+		Left: left, Right: right,
+		LeftKeys: hj.LeftKeys, RightKeys: hj.RightKeys,
+		Sch:  hj.Schema(),
+		Orig: hj, St: st,
+	}
+}
+
+// joinSideOf extracts the scan and optional fused filter of a join input.
+func joinSideOf(n engine.Node) (JoinSide, bool) {
+	switch v := n.(type) {
+	case *engine.Scan:
+		return JoinSide{Scan: v}, true
+	case *FilterScan:
+		return JoinSide{Scan: v.Scan, Pred: v.Pred}, true
+	}
+	return JoinSide{}, false
 }
 
 // aggNeeds returns the ascending set of input columns the aggregation
@@ -181,15 +276,26 @@ func pushdown(f *engine.Filter, hj *engine.HashJoin, st *Stats) engine.Node {
 	}
 	if len(leftPs) > 0 {
 		hj.Left = Lower(&engine.Filter{Input: hj.Left, Pred: andAll(leftPs)}, st)
+	} else {
+		hj.Left = Lower(hj.Left, st)
 	}
 	if len(rightPs) > 0 {
 		hj.Right = Lower(&engine.Filter{Input: hj.Right, Pred: andAll(rightPs)}, st)
+	} else {
+		hj.Right = Lower(hj.Right, st)
+	}
+	// With the sides settled, the join itself may lower onto the code-space
+	// kernel (the pushed-down filters ride along as side predicates).
+	var joinNode engine.Node = hj
+	if js := lowerJoin(hj, st); js != nil {
+		st.Lowered++
+		joinNode = js
 	}
 	if len(residual) == 0 {
-		return hj
+		return joinNode
 	}
 	f.Pred = andAll(residual)
-	f.Input = hj
+	f.Input = joinNode
 	return f
 }
 

@@ -1,0 +1,250 @@
+package memcat
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// countingEntry wraps a table behind a decode counter, standing in for a
+// compressed entry whose Table() call is expensive.
+type countingEntry struct {
+	t       *table.Table
+	decodes *atomic.Int64
+}
+
+func (e countingEntry) SizeBytes() int64 { return e.t.ByteSize() / 4 }
+func (e countingEntry) Table() (*table.Table, error) {
+	e.decodes.Add(1)
+	return e.t, nil
+}
+
+func compressedOf(t *testing.T, tb *table.Table) *encoding.Compressed {
+	t.Helper()
+	ct, err := encoding.FromTable(tb, encoding.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// TestDecodeOnceForConsecutiveReads is the regression test for the
+// re-decode amplification: k consecutive reads of a compressed entry must
+// pay exactly one decode, and the ReadInfo must say so.
+func TestDecodeOnceForConsecutiveReads(t *testing.T) {
+	c := New(1 << 20)
+	tb := intTable(t, 500)
+	if err := c.PutEntry("mv", compressedOf(t, tb)); err != nil {
+		t.Fatal(err)
+	}
+	t1, info1, ok := c.GetTable("mv")
+	if !ok {
+		t.Fatal("first read missed")
+	}
+	if !info1.Compressed || info1.Cached || info1.Decoded != tb.ByteSize() {
+		t.Fatalf("first read info = %+v, want a full decode of %d bytes", info1, tb.ByteSize())
+	}
+	if info1.Encoded <= 0 || info1.Encoded >= tb.ByteSize() {
+		t.Fatalf("Encoded = %d, want compressed footprint", info1.Encoded)
+	}
+	for i := 0; i < 3; i++ {
+		t2, info2, ok := c.GetTable("mv")
+		if !ok {
+			t.Fatal("repeat read missed")
+		}
+		if !info2.Cached || info2.Decoded != 0 {
+			t.Fatalf("repeat read info = %+v, want cached with zero decode", info2)
+		}
+		if t2 != t1 {
+			t.Fatal("repeat read returned a different decoded view")
+		}
+	}
+	if c.DecodedCacheUsed() != tb.ByteSize() {
+		t.Fatalf("DecodedCacheUsed = %d, want %d", c.DecodedCacheUsed(), tb.ByteSize())
+	}
+}
+
+// TestDecodedViewDiesWithEntry: Delete and replacement both invalidate.
+func TestDecodedViewDiesWithEntry(t *testing.T) {
+	c := New(1 << 20)
+	tb := intTable(t, 100)
+	if err := c.PutEntry("mv", compressedOf(t, tb)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.GetTable("mv"); !ok {
+		t.Fatal("read missed")
+	}
+	if c.DecodedCacheUsed() == 0 {
+		t.Fatal("view was not cached")
+	}
+	if err := c.Delete("mv"); err != nil {
+		t.Fatal(err)
+	}
+	if c.DecodedCacheUsed() != 0 {
+		t.Fatalf("DecodedCacheUsed = %d after Delete, want 0", c.DecodedCacheUsed())
+	}
+
+	if err := c.PutEntry("mv", compressedOf(t, tb)); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, _ := c.GetTable("mv"); info.Cached {
+		t.Fatal("read after re-Put served a stale view")
+	}
+	other := intTable(t, 50)
+	if err := c.PutEntry("mv", compressedOf(t, other)); err != nil {
+		t.Fatal(err)
+	}
+	got, info, ok := c.GetTable("mv")
+	if !ok || info.Cached || got.NumRows() != 50 {
+		t.Fatalf("replacement read: rows=%d cached=%v", got.NumRows(), info.Cached)
+	}
+}
+
+// TestDecodedBudgetBounds: a zero budget disables caching; a small budget
+// evicts least-recently-used views to stay within bound.
+func TestDecodedBudgetBounds(t *testing.T) {
+	c := New(1 << 20)
+	c.SetDecodedBudget(0)
+	tb := intTable(t, 200)
+	if err := c.PutEntry("mv", compressedOf(t, tb)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, info, _ := c.GetTable("mv"); info.Cached || info.Decoded == 0 {
+			t.Fatalf("read %d: budget 0 must decode every time, info=%+v", i, info)
+		}
+	}
+	if c.DecodedCacheUsed() != 0 {
+		t.Fatalf("DecodedCacheUsed = %d with zero budget", c.DecodedCacheUsed())
+	}
+
+	// Budget fits exactly one view: reading a second entry evicts the
+	// first (LRU), and re-reading the first decodes again.
+	size := tb.ByteSize()
+	c2 := New(1 << 20)
+	c2.SetDecodedBudget(size + size/2)
+	if err := c2.PutEntry("a", compressedOf(t, tb)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.PutEntry("b", compressedOf(t, tb)); err != nil {
+		t.Fatal(err)
+	}
+	c2.GetTable("a")
+	c2.GetTable("b")
+	if used := c2.DecodedCacheUsed(); used > size+size/2 {
+		t.Fatalf("DecodedCacheUsed = %d exceeds budget", used)
+	}
+	if _, info, _ := c2.GetTable("a"); info.Cached {
+		t.Fatal("a's view survived past the budget")
+	}
+}
+
+// TestDecodeSingleFlight: concurrent readers of one entry share a single
+// decode.
+func TestDecodeSingleFlight(t *testing.T) {
+	c := New(1 << 20)
+	tb := intTable(t, 100)
+	var decodes atomic.Int64
+	if err := c.PutEntry("mv", countingEntry{t: tb, decodes: &decodes}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, ok := c.GetTable("mv"); !ok {
+				t.Error("concurrent read missed")
+			}
+		}()
+	}
+	wg.Wait()
+	if n := decodes.Load(); n != 1 {
+		t.Fatalf("entry decoded %d times under concurrent reads, want 1", n)
+	}
+}
+
+// TestGetDecodeFailureCountsMiss preserves Get's contract: an undecodable
+// entry reads as a miss so callers fall back to storage.
+func TestGetDecodeFailureCountsMiss(t *testing.T) {
+	c := New(1 << 20)
+	bad := &encoding.Compressed{
+		Schema: table.NewSchema(table.Column{Name: "x", Type: table.Int}),
+		NRows:  3,
+		Cols:   [][]encoding.Chunk{{{Codec: encoding.Raw, Rows: 3, Data: []byte{1}}}},
+	}
+	if err := c.PutEntry("bad", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("undecodable entry served a table")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 0, 1", hits, misses)
+	}
+}
+
+// TestOversizedViewSkipsSingleFlight: an entry whose decoded view exceeds
+// the budget must not serialize later readers behind a useless single
+// flight — every read decodes, nothing is cached, and the peak stays 0.
+func TestOversizedViewSkipsSingleFlight(t *testing.T) {
+	c := New(1 << 20)
+	tb := intTable(t, 100)
+	var decodes atomic.Int64
+	if err := c.PutEntry("big", countingEntry{t: tb, decodes: &decodes}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetDecodedBudget(tb.ByteSize() - 1)
+	for i := 0; i < 4; i++ {
+		if _, info, ok := c.GetTable("big"); !ok || info.Cached || info.Decoded == 0 {
+			t.Fatalf("read %d: info=%+v, want a real decode", i, info)
+		}
+	}
+	if n := decodes.Load(); n != 4 {
+		t.Fatalf("decodes = %d, want 4 (no caching possible)", n)
+	}
+	if c.DecodedCacheUsed() != 0 || c.DecodedCachePeak() != 0 {
+		t.Fatalf("cache used=%d peak=%d for an oversized view, want 0",
+			c.DecodedCacheUsed(), c.DecodedCachePeak())
+	}
+	// Replacing the entry clears the skip marker: a smaller entry caches.
+	small := intTable(t, 10)
+	if err := c.PutEntry("big", compressedOf(t, small)); err != nil {
+		t.Fatal(err)
+	}
+	c.GetTable("big")
+	if _, info, _ := c.GetTable("big"); !info.Cached {
+		t.Fatal("replacement entry did not cache")
+	}
+}
+
+// TestDecodedCachePeakTracksHighWater: the decoded peak reports the
+// cache's own high-water mark, separate from the catalog's Peak().
+func TestDecodedCachePeakTracksHighWater(t *testing.T) {
+	c := New(1 << 20)
+	a, b := intTable(t, 100), intTable(t, 200)
+	if err := c.PutEntry("a", compressedOf(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutEntry("b", compressedOf(t, b)); err != nil {
+		t.Fatal(err)
+	}
+	c.GetTable("a")
+	c.GetTable("b")
+	want := a.ByteSize() + b.ByteSize()
+	if got := c.DecodedCachePeak(); got != want {
+		t.Fatalf("DecodedCachePeak = %d, want %d", got, want)
+	}
+	_ = c.Delete("a")
+	_ = c.Delete("b")
+	if got := c.DecodedCachePeak(); got != want {
+		t.Fatalf("DecodedCachePeak dropped to %d after deletes, want sticky %d", got, want)
+	}
+	if c.DecodedCacheUsed() != 0 {
+		t.Fatalf("DecodedCacheUsed = %d after deletes", c.DecodedCacheUsed())
+	}
+}

@@ -6,7 +6,9 @@
 // Entries are either plain tables or compressed columnar representations
 // (internal/encoding). Compressed entries are accounted against the budget
 // at their compressed footprint — so the knapsack keeps more MVs resident —
-// and are decompressed lazily on Get.
+// and are decompressed lazily on Get. Decoded views are reused across
+// consecutive reads through a bounded, LRU-evicted cache (see GetTable), so
+// an entry read by k downstream nodes pays one decode, not k.
 package memcat
 
 import (
@@ -49,6 +51,18 @@ type Catalog struct {
 	entries  map[string]*entryT
 	// counters
 	hits, misses int64
+
+	// Decoded-view cache: compressed entries re-decoded in full on every
+	// Get would charge k downstream readers k full decodes (and k
+	// full-size DecodeDone events), so GetTable keeps recently decoded
+	// views, bounded by decBudget bytes and evicted least-recently-used.
+	// Views are derived, droppable state — they are not accounted against
+	// the catalog capacity, and an entry's view dies with the entry.
+	decBudget int64
+	decUsed   int64
+	decPeak   int64
+	decSeq    int64
+	dec       map[string]*decView
 }
 
 type entryT struct {
@@ -56,12 +70,34 @@ type entryT struct {
 	size int64 // e.SizeBytes() captured at Put, so accounting never drifts
 }
 
-// New returns a catalog with the given byte capacity.
+// decView caches one entry's decoded table. Its mutex single-flights the
+// decode: concurrent readers of the same entry wait for the first decode
+// instead of each paying one. The t/size/seq/skip fields are guarded by
+// the catalog mutex (eviction must not need the per-view lock).
+type decView struct {
+	mu   sync.Mutex
+	t    *table.Table
+	size int64
+	seq  int64
+	// skip marks an entry whose decoded view was measured and found over
+	// budget: later readers decode in parallel instead of pointlessly
+	// serializing behind a single flight that can never cache.
+	skip bool
+}
+
+// New returns a catalog with the given byte capacity. The decoded-view
+// cache budget defaults to the same capacity; SetDecodedBudget overrides
+// it.
 func New(capacity int64) *Catalog {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Catalog{capacity: capacity, entries: make(map[string]*entryT)}
+	return &Catalog{
+		capacity:  capacity,
+		entries:   make(map[string]*entryT),
+		decBudget: capacity,
+		dec:       make(map[string]*decView),
+	}
 }
 
 // Capacity returns the configured byte capacity.
@@ -90,6 +126,7 @@ func (c *Catalog) PutEntry(name string, e Entry) error {
 			ErrNoSpace, name, size, c.capacity-(c.used-old), c.capacity)
 	}
 	c.entries[name] = &entryT{e: e, size: size}
+	c.dropDecodedLocked(name) // a replaced entry's decoded view is stale
 	c.used += size - old
 	if c.used > c.peak {
 		c.peak = c.used
@@ -101,19 +138,192 @@ func (c *Catalog) PutEntry(name string, e Entry) error {
 // lazily. A decode failure counts as a miss, so callers transparently fall
 // back to their storage path.
 func (c *Catalog) Get(name string) (*table.Table, bool) {
-	e, ok := c.GetEntry(name)
+	t, _, ok := c.GetTable(name)
+	return t, ok
+}
+
+// ReadInfo reports what serving a GetTable actually cost, so observers can
+// account decode work instead of assuming every read of a compressed entry
+// paid a full decode.
+type ReadInfo struct {
+	// Compressed reports whether the entry is stored in encoded form.
+	Compressed bool
+	// Cached reports whether the read was served from the decoded-view
+	// cache without decoding anything.
+	Cached bool
+	// Decoded is the raw bytes this read actually decoded: zero for plain
+	// entries and decoded-view hits.
+	Decoded int64
+	// Encoded is the entry's accounted (compressed) footprint; zero for
+	// plain entries.
+	Encoded int64
+}
+
+// GetTable is Get plus cost attribution. Reads of compressed entries go
+// through the decoded-view cache: the first read decodes (concurrent
+// readers of the same entry wait on that one decode rather than repeating
+// it) and the view is kept, LRU-evicted under the decoded budget, until the
+// entry is deleted or replaced. Consecutive reads — the k downstream nodes
+// of a flagged MV — report Cached with zero Decoded bytes.
+func (c *Catalog) GetTable(name string) (*table.Table, ReadInfo, bool) {
+	c.mu.Lock()
+	ent, ok := c.entries[name]
 	if !ok {
-		return nil, false
+		c.misses++
+		c.mu.Unlock()
+		return nil, ReadInfo{}, false
 	}
-	t, err := e.Table()
+	c.hits++
+	if pe, plain := ent.e.(plainEntry); plain {
+		c.mu.Unlock()
+		return pe.t, ReadInfo{}, true
+	}
+	info := ReadInfo{Compressed: true, Encoded: ent.size}
+	if c.decBudget == 0 {
+		// Caching disabled: decode outside any lock so concurrent readers
+		// keep decoding in parallel, exactly as before the cache existed.
+		c.mu.Unlock()
+		return c.decodeUncached(ent, info)
+	}
+	dv := c.dec[name]
+	if dv == nil {
+		dv = &decView{}
+		c.dec[name] = dv
+	}
+	skip := dv.skip
+	c.mu.Unlock()
+	if skip {
+		// Known not to fit the decoded budget: single-flighting would
+		// serialize readers behind a decode that can never be shared.
+		return c.decodeUncached(ent, info)
+	}
+
+	dv.mu.Lock()
+	defer dv.mu.Unlock()
+	c.mu.Lock()
+	if dv.t != nil {
+		t := dv.t
+		c.decSeq++
+		dv.seq = c.decSeq
+		c.mu.Unlock()
+		info.Cached = true
+		return t, info, true
+	}
+	c.mu.Unlock()
+
+	t, err := ent.e.Table()
+	if err != nil {
+		c.mu.Lock()
+		c.hits--
+		c.misses++
+		if c.dec[name] == dv && dv.t == nil {
+			delete(c.dec, name)
+		}
+		c.mu.Unlock()
+		return nil, ReadInfo{}, false
+	}
+	info.Decoded = t.ByteSize()
+	c.mu.Lock()
+	// Cache only while this entry is still the resident one (it may have
+	// been deleted or replaced during the decode) and the view fits; an
+	// over-budget view marks the entry so later readers skip the flight.
+	if c.entries[name] == ent && c.dec[name] == dv {
+		if info.Decoded <= c.decBudget {
+			c.evictDecodedLocked(c.decBudget - info.Decoded)
+			dv.t, dv.size = t, info.Decoded
+			c.decSeq++
+			dv.seq = c.decSeq
+			c.decUsed += dv.size
+			if c.decUsed > c.decPeak {
+				c.decPeak = c.decUsed
+			}
+		} else {
+			dv.skip = true
+		}
+	}
+	c.mu.Unlock()
+	return t, info, true
+}
+
+// decodeUncached serves a read that bypasses the decoded-view cache. The
+// entry was already counted as a hit; a decode failure re-books it as a
+// miss, matching Get's contract.
+func (c *Catalog) decodeUncached(ent *entryT, info ReadInfo) (*table.Table, ReadInfo, bool) {
+	t, err := ent.e.Table()
 	if err != nil {
 		c.mu.Lock()
 		c.hits--
 		c.misses++
 		c.mu.Unlock()
-		return nil, false
+		return nil, ReadInfo{}, false
 	}
-	return t, true
+	info.Decoded = t.ByteSize()
+	return t, info, true
+}
+
+// SetDecodedBudget bounds the decoded-view cache (0 disables it), evicting
+// immediately if the cache is over the new budget.
+func (c *Catalog) SetDecodedBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	c.decBudget = n
+	c.evictDecodedLocked(n)
+	c.mu.Unlock()
+}
+
+// DecodedCacheUsed returns the bytes currently held by the decoded-view
+// cache (derived state, accounted separately from Used).
+func (c *Catalog) DecodedCacheUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decUsed
+}
+
+// DecodedCachePeak returns the decoded-view cache's high-water mark. It is
+// reported separately from Peak() on purpose: the catalog budget bounds
+// compressed residency (the S/C knapsack's currency), while the decoded
+// cache is droppable derived state with its own bound — consumers that
+// care about total footprint should add the two peaks.
+func (c *Catalog) DecodedCachePeak() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decPeak
+}
+
+// evictDecodedLocked drops least-recently-used decoded views until the
+// cache holds at most target bytes. Views currently being decoded (t still
+// nil) carry no bytes and are skipped. Callers hold c.mu.
+func (c *Catalog) evictDecodedLocked(target int64) {
+	for c.decUsed > target {
+		victim := ""
+		var oldest int64
+		for name, dv := range c.dec {
+			if dv.t == nil {
+				continue
+			}
+			if victim == "" || dv.seq < oldest {
+				victim, oldest = name, dv.seq
+			}
+		}
+		if victim == "" {
+			return
+		}
+		c.dropDecodedLocked(victim)
+	}
+}
+
+// dropDecodedLocked removes one decoded view. Callers hold c.mu.
+func (c *Catalog) dropDecodedLocked(name string) {
+	dv, ok := c.dec[name]
+	if !ok {
+		return
+	}
+	if dv.t != nil {
+		c.decUsed -= dv.size
+	}
+	delete(c.dec, name)
 }
 
 // GetEntry returns the named entry without decoding it. Callers that only
@@ -144,7 +354,7 @@ func (c *Catalog) Peek(name string) (Entry, bool) {
 	return e.e, true
 }
 
-// Delete frees the named table.
+// Delete frees the named table and its cached decoded view.
 func (c *Catalog) Delete(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -154,6 +364,7 @@ func (c *Catalog) Delete(name string) error {
 	}
 	c.used -= e.size
 	delete(c.entries, name)
+	c.dropDecodedLocked(name)
 	return nil
 }
 

@@ -46,6 +46,7 @@ const (
 	// compressed-execution kernels. Fields: Node, Step, Lowered (operators
 	// served by kernels), Fallbacks (kernel executions that reverted to
 	// the row engine), ChunksSkipped, CodeFilteredRows, DecodesAvoided,
+	// JoinBuildRows/JoinProbeRows (hash-join work done in code space),
 	// Bytes (raw bytes the kernels materialized).
 	KernelDone
 )
@@ -100,6 +101,8 @@ type Event struct {
 	ChunksSkipped    int64 // column-chunks eliminated without decoding
 	CodeFilteredRows int64 // rows filtered on encoded codes/runs
 	DecodesAvoided   int64 // column-chunk decodes avoided
+	JoinBuildRows    int64 // rows hashed into code-space join build tables
+	JoinProbeRows    int64 // rows probed against code-space join build tables
 }
 
 // Observer receives events. Implementations must be safe for concurrent use:
