@@ -1,0 +1,142 @@
+package sc_test
+
+import (
+	"context"
+	"testing"
+
+	sc "github.com/shortcircuit-db/sc"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// chunkedMVs is a join-over-join pipeline with an aggregate on top: the
+// shape the compressed intermediate pipeline keeps in code space end to
+// end.
+func chunkedMVs() []sc.MV {
+	return []sc.MV{
+		{Name: "joined2", SQL: `
+			SELECT s.item AS item, s.amount AS amount, c.cat AS cat, r.fee AS fee
+			FROM sales s
+			JOIN cats c ON s.item = c.item
+			JOIN rates r ON s.item = r.item`},
+		{Name: "cat_counts", SQL: `SELECT cat, COUNT(*) AS n FROM joined2 GROUP BY cat`},
+	}
+}
+
+func chunkedStore(t *testing.T) sc.Store {
+	t.Helper()
+	st := sc.NewMemStore()
+	sales := table.New(table.NewSchema(
+		table.Column{Name: "item", Type: table.Str},
+		table.Column{Name: "amount", Type: table.Int},
+	))
+	for i := 0; i < 300; i++ {
+		sales.Cols[0].Strs = append(sales.Cols[0].Strs, []string{"pen", "ink", "pad"}[i%3])
+		sales.Cols[1].Ints = append(sales.Cols[1].Ints, int64(i%7))
+	}
+	cats := table.New(table.NewSchema(
+		table.Column{Name: "item", Type: table.Str},
+		table.Column{Name: "cat", Type: table.Str},
+	))
+	rates := table.New(table.NewSchema(
+		table.Column{Name: "item", Type: table.Str},
+		table.Column{Name: "fee", Type: table.Int},
+	))
+	for i, item := range []string{"pen", "ink"} {
+		cats.Cols[0].Strs = append(cats.Cols[0].Strs, item)
+		cats.Cols[1].Strs = append(cats.Cols[1].Strs, "c-"+item)
+		rates.Cols[0].Strs = append(rates.Cols[0].Strs, item)
+		rates.Cols[1].Ints = append(rates.Cols[1].Ints, int64(i+1))
+	}
+	for name, tb := range map[string]*table.Table{"sales": sales, "cats": cats, "rates": rates} {
+		if err := sc.SaveTableChunked(st, name, tb, sc.EncodingOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestSessionDictCacheAcrossRuns: a vectorized+encoded session must (a)
+// materialize the same MVs as the row engine and (b) report dictionary
+// reuse on the second refresh; WithSessionDictCache(false) must not.
+func TestSessionDictCacheAcrossRuns(t *testing.T) {
+	ctx := context.Background()
+
+	rowStore := chunkedStore(t)
+	rowRef, err := sc.New(chunkedMVs(), rowStore, sc.WithEncoding(sc.EncodingOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rowRef.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(opts ...sc.Option) (*sc.Refresher, sc.Store) {
+		st := chunkedStore(t)
+		ref, err := sc.New(chunkedMVs(), st,
+			append([]sc.Option{sc.WithEncoding(sc.EncodingOptions{}), sc.WithVectorized(true)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ref, st
+	}
+
+	ref, st := run()
+	reusedAt := func(res *sc.RunResult) int64 {
+		var total int64
+		for _, n := range res.Nodes {
+			total += n.DictReused
+		}
+		return total
+	}
+	res1, err := ref.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res1.Nodes {
+		if n.KernelFallbacks != 0 {
+			t.Fatalf("node %s fell back to the row engine: %+v", n.Name, n)
+		}
+	}
+	res2, err := ref.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reusedAt(res2) == 0 {
+		t.Fatal("second Run reports no dictionary reuse")
+	}
+
+	// Same MVs as the row engine, value for value.
+	for _, mv := range chunkedMVs() {
+		want, err := sc.LoadTable(rowStore, mv.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.LoadTable(st, mv.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.NumRows() == 0 || want.NumRows() != got.NumRows() || !want.Schema.Equal(got.Schema) {
+			t.Fatalf("MV %q: shape differs (%d vs %d rows)", mv.Name, want.NumRows(), got.NumRows())
+		}
+		for r := 0; r < want.NumRows(); r++ {
+			for c := range want.Cols {
+				if want.Cols[c].Value(r) != got.Cols[c].Value(r) {
+					t.Fatalf("MV %q row %d col %d differs", mv.Name, r, c)
+				}
+			}
+		}
+	}
+
+	// Disabled cache: no reuse on repeated runs.
+	off, _ := run(sc.WithSessionDictCache(false))
+	if _, err := off.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resOff, err := off.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reusedAt(resOff) != 0 {
+		t.Fatal("WithSessionDictCache(false) still reused dictionaries")
+	}
+}

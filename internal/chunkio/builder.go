@@ -1,0 +1,519 @@
+package chunkio
+
+import (
+	"fmt"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// Counters reports what one Builder did, in units the kernel Stats and the
+// benchmark JSON surface directly.
+type Counters struct {
+	// Passthrough counts column-chunks reused verbatim from the source —
+	// zero encode and zero decode work.
+	Passthrough int64
+	// CodeChunks counts column-chunks emitted from gathered dictionary
+	// codes: values never materialized, the dictionary was remapped instead
+	// of rebuilt.
+	CodeChunks int64
+	// Reencoded counts column-chunks encoded from materialized values with
+	// per-chunk codec auto-selection — the work the code-space paths avoid.
+	Reencoded int64
+	// DictReused counts code-space chunks whose every dictionary entry
+	// predated the current run: the session cache supplied the whole
+	// dictionary and the chunk's encode was pure id gathering.
+	DictReused int64
+	// MaterializedBytes counts raw bytes the builder itself had to
+	// materialize (code→value conversions on dictionary overflow). Bytes
+	// decoded by the caller before appending are the caller's to count.
+	MaterializedBytes int64
+}
+
+// Builder assembles one compressed table incrementally. Columns advance in
+// lockstep: between flush points every column must receive the same number
+// of rows (the selection the kernels apply is shared across columns), which
+// is what keeps the emitted chunk boundaries aligned — RowGroups on the
+// result never returns nil, so downstream kernels can consume it directly.
+//
+// Appenders pick the cheapest representation the source allows:
+//
+//	PassGroup    whole chunks, reused verbatim (full-selection groups)
+//	AppendDict   gathered dictionary codes, remapped through the shared dict
+//	AppendRuns   RLE runs; INT/STRING run values intern to codes
+//	AppendVector decoded values (gathered by selection)
+//	AppendValue  one decoded value (late materialization)
+//	AppendCode   one shared-dictionary id (code-space joins; see Remap)
+//
+// Callers should invoke FlushFull at row-aligned points (for instance after
+// each input row group) to bound pending memory; Finish flushes the
+// remainder and returns the table.
+type Builder struct {
+	sch    table.Schema
+	opts   encoding.Options
+	sess   *Session
+	target int
+	cols   []colBuf
+	out    [][]encoding.Chunk
+	nrows  int
+	raw    int64
+
+	// Counters accumulates this builder's work; read it after Finish.
+	Counters Counters
+}
+
+// colBuf is one column's pending state: gathered shared-dictionary codes
+// (code space) until something forces materialized values (value space).
+// The mode resets to code space after every flush.
+type colBuf struct {
+	typ    table.Type
+	shared *Shared       // nil for FLOAT columns
+	warm   bool          // shared holds entries from an earlier run
+	codes  []int32       // pending shared ids (code space)
+	vals   *table.Vector // pending values (value space; non-nil once active)
+	dense  []int32       // scratch for code densification, grow-only
+	// entSize memoizes each shared id's raw footprint as this builder
+	// learns it (Remap, interning), so per-row accounting in AppendCode
+	// never takes the shared dictionary's lock.
+	entSize []int64
+}
+
+// noteSize memoizes one shared id's raw footprint.
+func (cb *colBuf) noteSize(id int32, sz int64) {
+	for int(id) >= len(cb.entSize) {
+		cb.entSize = append(cb.entSize, 0)
+	}
+	cb.entSize[id] = sz
+}
+
+func (cb *colBuf) pending() int {
+	if cb.vals != nil {
+		return cb.vals.Len()
+	}
+	return len(cb.codes)
+}
+
+// NewBuilder returns a builder for one producer's output. opts supplies the
+// codec policy for re-encoded chunks and the target chunk size. sess may be
+// nil (no cross-run dictionary reuse); producer keys the session
+// dictionaries and should uniquely identify the operator within the
+// pipeline (e.g. "node#2").
+func NewBuilder(sch table.Schema, opts encoding.Options, sess *Session, producer string) *Builder {
+	target := opts.ChunkRows
+	if target <= 0 {
+		target = encoding.DefaultChunkRows
+	}
+	if target > encoding.MaxChunkRows {
+		target = encoding.MaxChunkRows
+	}
+	b := &Builder{
+		sch:    sch,
+		opts:   opts,
+		sess:   sess,
+		target: target,
+		cols:   make([]colBuf, len(sch.Cols)),
+		out:    make([][]encoding.Chunk, len(sch.Cols)),
+	}
+	for ci, col := range sch.Cols {
+		cb := &b.cols[ci]
+		cb.typ = col.Type
+		if col.Type == table.Int || col.Type == table.Str {
+			if sess != nil {
+				cb.shared = sess.shared(producer, ci, col, sess.MaxEntries)
+			} else {
+				cb.shared = NewShared(col.Type, 0)
+			}
+			cb.warm = cb.shared.Base() > 0
+		}
+	}
+	return b
+}
+
+// PassGroup appends one aligned row group verbatim: chunk(ci) supplies each
+// column's encoded chunk, reused as-is. Pending gathered rows are flushed
+// first so chunk boundaries stay aligned across columns. Every chunk must
+// hold exactly rows rows.
+func (b *Builder) PassGroup(chunk func(ci int) encoding.Chunk, rows int) error {
+	if rows == 0 {
+		return nil
+	}
+	if err := b.flush(); err != nil {
+		return err
+	}
+	for ci := range b.cols {
+		ch := chunk(ci)
+		if ch.Rows != rows {
+			return fmt.Errorf("chunkio: passthrough chunk has %d rows, group has %d", ch.Rows, rows)
+		}
+		rb, err := encoding.ChunkRawBytes(ch, b.cols[ci].typ)
+		if err != nil {
+			return err
+		}
+		b.out[ci] = append(b.out[ci], ch)
+		b.raw += rb
+		b.Counters.Passthrough++
+	}
+	b.nrows += rows
+	return nil
+}
+
+// Remap translates a source chunk's dictionary into the column's shared
+// dictionary, for use with AppendCode. It returns nil, false when the
+// column cannot take codes right now — FLOAT column, value space already
+// active for the pending chunk, or dictionary overflow — in which case the
+// caller appends values instead.
+func (b *Builder) Remap(ci int, dv *encoding.DictView) ([]int32, bool) {
+	cb := &b.cols[ci]
+	if cb.shared == nil || cb.vals != nil {
+		return nil, false
+	}
+	ids, ok := cb.shared.remapDict(dv)
+	if !ok {
+		return nil, false
+	}
+	for c, sz := range entrySizes(dv) {
+		cb.noteSize(ids[c], sz)
+	}
+	return ids, true
+}
+
+// AppendCode appends one row by shared-dictionary id (from Remap). If the
+// column has fallen to value space since the remap, the id is materialized
+// through the shared dictionary instead.
+func (b *Builder) AppendCode(ci int, id int32) {
+	cb := &b.cols[ci]
+	if cb.vals != nil {
+		v := cb.shared.Value(id)
+		b.Counters.MaterializedBytes += valueSizeOf(v)
+		b.pushVal(cb, v)
+		return
+	}
+	cb.codes = append(cb.codes, id)
+	if int(id) < len(cb.entSize) {
+		b.raw += cb.entSize[id] // memoized: no lock on the per-row path
+	} else {
+		b.raw += cb.shared.valueSize(id)
+	}
+}
+
+// AppendDict appends the selected rows of a dictionary-encoded source
+// chunk: the source dictionary is remapped once through the shared
+// dictionary and the selected codes flow through without materializing any
+// value. sel lists the selected local rows ascending; nil selects all. On
+// dictionary overflow the rows are materialized and appended as values.
+func (b *Builder) AppendDict(ci int, dv *encoding.DictView, sel []int32) error {
+	codes, err := dv.Codes()
+	if err != nil {
+		return err
+	}
+	cb := &b.cols[ci]
+	if ids, ok := b.Remap(ci, dv); ok {
+		sizes := entrySizes(dv)
+		if sel == nil {
+			for _, c := range codes {
+				cb.codes = append(cb.codes, ids[c])
+				b.raw += sizes[c]
+			}
+		} else {
+			for _, i := range sel {
+				c := codes[i]
+				cb.codes = append(cb.codes, ids[c])
+				b.raw += sizes[c]
+			}
+		}
+		return nil
+	}
+	// Overflow or value space: late-materialize the selected entries.
+	if sel == nil {
+		for _, c := range codes {
+			b.appendMaterialized(cb, dv.Value(int(c)))
+		}
+	} else {
+		for _, i := range sel {
+			b.appendMaterialized(cb, dv.Value(int(codes[i])))
+		}
+	}
+	return nil
+}
+
+// AppendRuns appends the selected rows of a run-length source chunk. INT
+// and STRING run values intern into the shared dictionary (once per run)
+// so the rows stay in code space; FLOAT runs and overflow append values.
+func (b *Builder) AppendRuns(ci int, runs []encoding.Run, sel []int32) error {
+	cb := &b.cols[ci]
+	k := 0 // cursor into sel
+	pos := 0
+	for _, r := range runs {
+		end := pos + r.Len
+		n := r.Len
+		if sel != nil {
+			n = 0
+			for k < len(sel) && int(sel[k]) < end {
+				k++
+				n++
+			}
+		}
+		if n > 0 {
+			b.appendRepeat(cb, r.Val, n)
+		}
+		pos = end
+	}
+	return nil
+}
+
+// AppendVector appends the selected rows of a decoded source vector. When
+// the column's shared dictionary is warm (holds entries from an earlier
+// run), INT and STRING values intern to codes — yesterday's dictionary
+// turns the encode into id lookups; otherwise, and for FLOAT, the values
+// buffer for re-encoding with codec auto-selection.
+func (b *Builder) AppendVector(ci int, vec *table.Vector, sel []int32) error {
+	cb := &b.cols[ci]
+	if sel == nil {
+		n := vec.Len()
+		for i := 0; i < n; i++ {
+			b.appendAuto(cb, vec.Value(i))
+		}
+		return nil
+	}
+	for _, i := range sel {
+		b.appendAuto(cb, vec.Value(int(i)))
+	}
+	return nil
+}
+
+// AppendValue appends one decoded value (late materialization), interning
+// through a warm shared dictionary when possible.
+func (b *Builder) AppendValue(ci int, v table.Value) {
+	b.appendAuto(&b.cols[ci], v)
+}
+
+// appendAuto routes one value: warm dictionaries intern in code space,
+// everything else buffers in value space. Raw bytes are counted here.
+func (b *Builder) appendAuto(cb *colBuf, v table.Value) {
+	b.raw += valueSizeOf(v)
+	if cb.vals == nil && cb.shared != nil && cb.warm {
+		if id, ok := cb.shared.Add(v); ok {
+			cb.noteSize(id, valueSizeOf(v))
+			cb.codes = append(cb.codes, id)
+			return
+		}
+	}
+	b.pushVal(cb, v)
+}
+
+// appendRepeat appends one value n times, interning once when possible.
+func (b *Builder) appendRepeat(cb *colBuf, v table.Value, n int) {
+	b.raw += valueSizeOf(v) * int64(n)
+	if cb.vals == nil && cb.shared != nil {
+		if id, ok := cb.shared.Add(v); ok {
+			cb.noteSize(id, valueSizeOf(v))
+			for i := 0; i < n; i++ {
+				cb.codes = append(cb.codes, id)
+			}
+			return
+		}
+	}
+	b.materializePending(cb)
+	for i := 0; i < n; i++ {
+		appendToVec(cb.vals, v)
+	}
+}
+
+// appendMaterialized appends one value the caller materialized for the
+// builder's sake (overflow paths), counting it.
+func (b *Builder) appendMaterialized(cb *colBuf, v table.Value) {
+	b.raw += valueSizeOf(v)
+	b.Counters.MaterializedBytes += valueSizeOf(v)
+	b.pushVal(cb, v)
+}
+
+// pushVal appends one value in value space, converting pending codes
+// first.
+func (b *Builder) pushVal(cb *colBuf, v table.Value) {
+	b.materializePending(cb)
+	appendToVec(cb.vals, v)
+}
+
+// materializePending converts a column's pending codes into values — the
+// dictionary overflowed mid-build, so the chunk finishes in value space.
+func (b *Builder) materializePending(cb *colBuf) {
+	if cb.vals == nil {
+		cb.vals = &table.Vector{Type: cb.typ}
+	}
+	if len(cb.codes) == 0 {
+		return
+	}
+	for _, id := range cb.codes {
+		v := cb.shared.Value(id)
+		b.Counters.MaterializedBytes += valueSizeOf(v)
+		appendToVec(cb.vals, v)
+	}
+	cb.codes = cb.codes[:0]
+}
+
+// FlushFull emits the pending rows as target-sized chunks once the target
+// chunk size is reached. Call it at row-aligned points.
+func (b *Builder) FlushFull() error {
+	if len(b.cols) > 0 && b.cols[0].pending() >= b.target {
+		return b.flush()
+	}
+	return nil
+}
+
+// flush emits every column's pending rows as aligned chunks, splitting at
+// the target chunk size (a caller may buffer a whole output — the join's
+// scatter phase does — and still get bounded, aligned chunks out).
+func (b *Builder) flush() error {
+	n := -1
+	for ci := range b.cols {
+		p := b.cols[ci].pending()
+		if n < 0 {
+			n = p
+		} else if p != n {
+			return fmt.Errorf("chunkio: column %d has %d pending rows, column 0 has %d", ci, p, n)
+		}
+	}
+	if n <= 0 {
+		return nil
+	}
+	for lo := 0; lo < n; lo += b.target {
+		hi := lo + b.target
+		if hi > n {
+			hi = n
+		}
+		for ci := range b.cols {
+			ch, err := b.emitCol(&b.cols[ci], lo, hi)
+			if err != nil {
+				return fmt.Errorf("chunkio: column %q: %w", b.sch.Cols[ci].Name, err)
+			}
+			b.out[ci] = append(b.out[ci], ch)
+		}
+		b.nrows += hi - lo
+	}
+	for ci := range b.cols {
+		cb := &b.cols[ci]
+		cb.codes = cb.codes[:0]
+		cb.vals = nil
+	}
+	return nil
+}
+
+// emitCol encodes rows [lo, hi) of one column's pending buffer.
+func (b *Builder) emitCol(cb *colBuf, lo, hi int) (encoding.Chunk, error) {
+	if cb.vals != nil {
+		ch, err := encoding.EncodeChunk(vecSlice(cb.vals, lo, hi), b.opts)
+		if err != nil {
+			return encoding.Chunk{}, err
+		}
+		b.Counters.Reencoded++
+		b.seed(cb, ch)
+		return ch, nil
+	}
+	window := cb.codes[lo:hi]
+	ints, strs, codes, maxUsed := cb.shared.dense(window, &cb.dense)
+	// A drifting column can intern to a dictionary worse than what codec
+	// auto-selection would pick (near-unique values). Interned values fall
+	// back to re-encoding then; gathered codes from a real dict source
+	// (card bounded by the source encoder's choice) stay dictionary.
+	if cb.warm && len(codes) > 0 && (len(ints)+len(strs)) > len(codes)/2+1 {
+		vec := &table.Vector{Type: cb.typ}
+		for _, id := range window {
+			appendToVec(vec, cb.shared.Value(id))
+		}
+		ch, err := encoding.EncodeChunk(vec, b.opts)
+		if err != nil {
+			return encoding.Chunk{}, err
+		}
+		b.Counters.Reencoded++
+		return ch, nil
+	}
+	ch, err := encoding.BuildDictChunk(cb.typ, ints, strs, codes)
+	if err != nil {
+		return encoding.Chunk{}, err
+	}
+	b.Counters.CodeChunks++
+	if int(maxUsed) < cb.shared.Base() {
+		b.Counters.DictReused++
+	}
+	return ch, nil
+}
+
+// seed warms the shared dictionary from a re-encoded chunk that codec
+// auto-selection decided is dictionary material, so the next run's encode
+// of this column can run as pure id lookups.
+func (b *Builder) seed(cb *colBuf, ch encoding.Chunk) {
+	if b.sess == nil || cb.shared == nil || ch.Codec != encoding.Dict {
+		return
+	}
+	if dv, err := encoding.ParseDict(ch, cb.typ); err == nil {
+		cb.shared.remapDict(dv)
+	}
+}
+
+// Finish flushes the remainder and returns the assembled table. The
+// builder must not be reused afterwards.
+func (b *Builder) Finish() (*encoding.Compressed, error) {
+	if err := b.flush(); err != nil {
+		return nil, err
+	}
+	ct := &encoding.Compressed{
+		Schema:   b.sch,
+		NRows:    b.nrows,
+		Cols:     b.out,
+		RawBytes: b.raw,
+	}
+	if err := ct.Validate(); err != nil {
+		return nil, fmt.Errorf("chunkio: %w", err)
+	}
+	return ct, nil
+}
+
+// --- small helpers ---
+
+// vecSlice views rows [lo, hi) of a vector without copying.
+func vecSlice(v *table.Vector, lo, hi int) *table.Vector {
+	out := &table.Vector{Type: v.Type}
+	switch v.Type {
+	case table.Int:
+		out.Ints = v.Ints[lo:hi]
+	case table.Float:
+		out.Floats = v.Floats[lo:hi]
+	default:
+		out.Strs = v.Strs[lo:hi]
+	}
+	return out
+}
+
+func appendToVec(dst *table.Vector, v table.Value) {
+	switch dst.Type {
+	case table.Int:
+		dst.Ints = append(dst.Ints, v.I)
+	case table.Float:
+		dst.Floats = append(dst.Floats, v.F)
+	default:
+		dst.Strs = append(dst.Strs, v.S)
+	}
+}
+
+func valueSizeOf(v table.Value) int64 {
+	if v.Type == table.Str {
+		return int64(len(v.S)) + 16
+	}
+	return 8
+}
+
+// entrySizes precomputes the raw footprint of each dictionary entry so
+// per-row accounting during a gather is an array read.
+func entrySizes(dv *encoding.DictView) []int64 {
+	out := make([]int64, dv.Card())
+	if dv.Type == table.Int {
+		for i := range out {
+			out[i] = 8
+		}
+		return out
+	}
+	for i, s := range dv.Strs {
+		out[i] = int64(len(s)) + 16
+	}
+	return out
+}

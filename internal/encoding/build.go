@@ -1,0 +1,131 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// This file is the encode-side companion of views.go: where views.go lets
+// the kernels *read* chunk payloads structurally, these helpers let the
+// streaming re-encoder (internal/chunkio) *write* chunks without taking a
+// detour through materialized values — a dictionary chunk can be built
+// straight from gathered codes, and the codec auto-selection that FromTable
+// applies per chunk is exposed for re-encoded intermediates.
+
+// EncodeChunk encodes one column vector as a single chunk using the
+// options' codec policy — the same per-chunk auto-selection FromTable
+// applies. Intermediate-result re-encoders use it for chunks that had to
+// materialize values.
+func EncodeChunk(v *table.Vector, opts Options) (Chunk, error) {
+	return encodeChunk(v, opts)
+}
+
+// BuildDictChunk builds a Dict chunk directly from an entry table and
+// per-row codes, skipping the value hashing dictCodec.Encode would pay.
+// Entries must be in first-use order with every entry referenced by at
+// least one code (so the dictionary is never larger than the chunk), which
+// is exactly what a dense remap of shared-dictionary ids produces. The
+// payload is byte-identical to what dictCodec.Encode would emit for the
+// equivalent value sequence.
+func BuildDictChunk(typ table.Type, ints []int64, strs []string, codes []uint64) (Chunk, error) {
+	var card int
+	var buf []byte
+	switch typ {
+	case table.Int:
+		card = len(ints)
+		buf = appendUvarint(buf, uint64(card))
+		for _, x := range ints {
+			buf = appendVarint(buf, x)
+		}
+	case table.Str:
+		card = len(strs)
+		buf = appendUvarint(buf, uint64(card))
+		for _, s := range strs {
+			buf = appendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	default:
+		return Chunk{}, fmt.Errorf("%w: dict on %s", ErrUnsupported, typ)
+	}
+	if card == 0 || card > len(codes) {
+		return Chunk{}, fmt.Errorf("%w: %d dict entries for %d rows", ErrCorrupt, card, len(codes))
+	}
+	width := bits.Len64(uint64(card - 1))
+	for _, c := range codes {
+		if c >= uint64(card) {
+			return Chunk{}, fmt.Errorf("%w: dict code out of range", ErrCorrupt)
+		}
+	}
+	buf = append(buf, byte(width))
+	buf = append(buf, packBits(codes, width)...)
+	return Chunk{Codec: Dict, Rows: len(codes), Data: buf}, nil
+}
+
+// ChunkRawBytes computes the in-memory footprint (table.Vector.ByteSize) of
+// a chunk's decoded form without materializing a single string: fixed-width
+// types are 8 bytes per row, and string payloads are walked for their
+// lengths only. Chunk-passthrough pipelines use it to keep raw-size
+// accounting (optimizer observations, compression ratios) consistent with
+// the row engine's.
+func ChunkRawBytes(ch Chunk, t table.Type) (int64, error) {
+	if t == table.Int || t == table.Float {
+		return int64(ch.Rows) * 8, nil
+	}
+	switch ch.Codec {
+	case Raw:
+		var n int64
+		rows := 0
+		for off := 0; off < len(ch.Data); {
+			l, k := binary.Uvarint(ch.Data[off:])
+			if k <= 0 {
+				return 0, fmt.Errorf("%w: bad string length", ErrCorrupt)
+			}
+			off += k
+			if l > uint64(len(ch.Data)-off) {
+				return 0, fmt.Errorf("%w: string overruns payload", ErrCorrupt)
+			}
+			off += int(l)
+			n += int64(l) + 16
+			rows++
+		}
+		if rows != ch.Rows {
+			return 0, fmt.Errorf("%w: %d strings, want %d", ErrCorrupt, rows, ch.Rows)
+		}
+		return n, nil
+	case RLE:
+		runs, err := ParseRuns(ch, t)
+		if err != nil {
+			return 0, err
+		}
+		var n int64
+		for _, r := range runs {
+			n += int64(r.Len) * (int64(len(r.Val.S)) + 16)
+		}
+		return n, nil
+	case Dict:
+		dv, err := ParseDict(ch, t)
+		if err != nil {
+			return 0, err
+		}
+		codes, err := dv.Codes()
+		if err != nil {
+			return 0, err
+		}
+		var n int64
+		for _, c := range codes {
+			n += int64(len(dv.Strs[c])) + 16
+		}
+		return n, nil
+	default:
+		// No other codec encodes strings; a full decode keeps this total
+		// rather than failing on layouts this walker does not know.
+		vec, err := DecodeChunk(ch, t)
+		if err != nil {
+			return 0, err
+		}
+		return vec.ByteSize(), nil
+	}
+}

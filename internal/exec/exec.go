@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/colfmt"
 	"github.com/shortcircuit-db/sc/internal/core"
 	"github.com/shortcircuit-db/sc/internal/dag"
@@ -104,6 +105,12 @@ type NodeMetrics struct {
 	KernelBytes      int64 // raw bytes the kernels materialized
 	JoinBuildRows    int64 // rows hashed into code-space join build tables
 	JoinProbeRows    int64 // rows probed against code-space join build tables
+
+	// Compressed intermediate pipeline counters (zero unless the node's
+	// output left a kernel as chunks).
+	ChunksPassed    int64 // output chunks passed through or emitted from codes
+	ReencodedChunks int64 // output chunks re-encoded from materialized values
+	DictReused      int64 // output chunks served by the session dictionary cache
 }
 
 // RunResult aggregates a refresh run.
@@ -164,6 +171,12 @@ type Controller struct {
 	// Most effective together with Encoding (which makes catalog entries
 	// and stored files chunked).
 	Vectorized bool
+	// Chunked, when non-nil (and Vectorized), carries the session
+	// dictionary cache across refresh runs: kernel outputs emitted as
+	// compressed chunks reuse the previous run's dictionaries instead of
+	// rebuilding them. A single Session must not be shared by overlapping
+	// Run invocations.
+	Chunked *chunkio.Session
 }
 
 // flaggedState tracks the two release conditions of a flagged output
@@ -220,6 +233,7 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 	}
 	start := time.Now()
 	n := g.Len()
+	c.Chunked.BeginRun() // nil-safe; snapshots the dictionary-reuse baseline
 
 	rs := &runState{
 		c:       c,
@@ -380,7 +394,13 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 	var kst *kernels.Stats
 	if c.Vectorized {
 		kst = &kernels.Stats{}
-		planNode = kernels.Lower(planNode, kst)
+		opts := encoding.Options{}
+		if c.Encoding != nil {
+			opts = *c.Encoding
+		}
+		planNode = kernels.LowerEnv(planNode, kst, &kernels.Env{
+			Session: c.Chunked, Node: spec.Name, Opts: opts,
+		})
 	}
 
 	// Execute with a resolver that tracks where inputs came from and
@@ -476,12 +496,14 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 			t0 := time.Now()
 			defer func() { readTime += time.Since(t0) }()
 			if c.Mem != nil {
-				if e, ok := c.Mem.Peek(name); ok {
-					if ct, compressed := e.(*encoding.Compressed); compressed {
-						c.Mem.GetEntry(name) // count the hit the row path would have counted
-						m.MemReads++
-						return ct, nil
-					}
+				// GetCompressed counts the hit and serves the chunks without
+				// ever touching the decoded-view cache: an entry consumed
+				// only in chunk form stays out of the decoded budget.
+				if ct, _, ok := c.Mem.GetCompressed(name); ok {
+					m.MemReads++
+					return ct, nil
+				}
+				if _, ok := c.Mem.Peek(name); ok {
 					return nil, nil // plain resident entry: row path is cheaper
 				}
 			}
@@ -498,15 +520,32 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 	}
 
 	t0 := time.Now()
-	out, err := planNode.Run(ectx)
+	var out *table.Table
+	var ct *encoding.Compressed
+	if co, chunked := planNode.(kernels.ChunkedOp); chunked && c.Encoding != nil {
+		// Chunked-output root: the kernel's compressed chunks go straight
+		// into the Memory Catalog and the storage format — the output never
+		// materializes as rows and never pays the encode-from-rows round
+		// trip. A kernel fallback returns the row-engine table instead (ct
+		// nil), which takes the classic path below.
+		ct, out, err = co.RunChunked(ectx)
+	} else {
+		out, err = planNode.Run(ectx)
+	}
 	if err != nil {
 		return m, fmt.Errorf("exec: node %q: %w", spec.Name, err)
 	}
 	m.ComputeTime = time.Since(t0) - readTime
 	m.ReadTime = readTime
-	m.OutputBytes = out.ByteSize()
-	m.Rows = out.NumRows()
-	rs.schemas.learn(spec.Name, out.Schema)
+	if ct != nil {
+		m.OutputBytes = ct.RawBytes
+		m.Rows = ct.NRows
+		rs.schemas.learn(spec.Name, ct.Schema)
+	} else {
+		m.OutputBytes = out.ByteSize()
+		m.Rows = out.NumRows()
+		rs.schemas.learn(spec.Name, out.Schema)
+	}
 	if kst != nil && kst.Lowered > 0 {
 		m.LoweredOps = kst.Lowered
 		m.KernelFallbacks = kst.Fallbacks
@@ -516,13 +555,18 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 		m.KernelBytes = kst.DecodedBytes
 		m.JoinBuildRows = kst.JoinBuildRows
 		m.JoinProbeRows = kst.JoinProbeRows
+		m.ChunksPassed = kst.ChunksPassed
+		m.ReencodedChunks = kst.ReencodedChunks
+		m.DictReused = kst.DictReused
 		obs.Emit(c.Obs, obs.Event{
 			Kind: obs.KernelDone, Node: spec.Name, Step: step,
 			Lowered: kst.Lowered, Fallbacks: kst.Fallbacks,
 			ChunksSkipped:    kst.ChunksSkipped,
 			CodeFilteredRows: kst.CodeFilteredRows, DecodesAvoided: kst.DecodesAvoided,
 			JoinBuildRows: kst.JoinBuildRows, JoinProbeRows: kst.JoinProbeRows,
-			Bytes: kst.DecodedBytes,
+			ChunksPassed: kst.ChunksPassed, ReencodedChunks: kst.ReencodedChunks,
+			DictReused: kst.DictReused,
+			Bytes:      kst.DecodedBytes,
 		})
 	}
 
@@ -530,14 +574,16 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 		return m, err
 	}
 	var encoded []byte
-	var ct *encoding.Compressed
 	e0 := time.Now()
-	if c.Encoding != nil {
+	switch {
+	case ct != nil:
+		encoded, err = colfmt.EncodeCompressed(ct)
+	case c.Encoding != nil:
 		ct, err = encoding.FromTable(out, *c.Encoding)
 		if err == nil {
 			encoded, err = colfmt.EncodeCompressed(ct)
 		}
-	} else {
+	default:
 		encoded, err = colfmt.Encode(out)
 	}
 	if err != nil {

@@ -23,12 +23,29 @@ import (
 //   - otherwise values are read through late-materializing accessors
 //     (dictionary lookups stay in code space) for selected rows only.
 type AggScan struct {
-	Scan *engine.Scan
-	Pred *Pred // nil when the subtree had no filter
-	Agg  *engine.Aggregate
-	Orig engine.Node
-	need []int // columns the aggregation reads, ascending
-	St   *Stats
+	Scan  *engine.Scan
+	Inner ChunkedOp // set instead of Scan: aggregate an upstream kernel's chunked output
+	Pred  *Pred     // nil when the subtree had no filter; only with Scan
+	Agg   *engine.Aggregate
+	Orig  engine.Node
+	need  []int // columns the aggregation reads, ascending
+	St    *Stats
+}
+
+// inSchema returns the aggregated input's schema.
+func (a *AggScan) inSchema() table.Schema {
+	if a.Inner != nil {
+		return a.Inner.Schema()
+	}
+	return a.Scan.Sch
+}
+
+// label names the input for error messages and plan display.
+func (a *AggScan) label() string {
+	if a.Inner != nil {
+		return "(" + a.Inner.String() + ")"
+	}
+	return a.Scan.Name
 }
 
 // Schema implements engine.Node.
@@ -36,18 +53,38 @@ func (a *AggScan) Schema() table.Schema { return a.Agg.Schema() }
 
 // String implements engine.Node.
 func (a *AggScan) String() string {
-	return fmt.Sprintf("KernelAggScan(%s, cols=%v)", a.Scan.Name, a.need)
+	return fmt.Sprintf("KernelAggScan(%s, cols=%v)", a.label(), a.need)
 }
 
 // Run implements engine.Node.
 func (a *AggScan) Run(ctx *engine.Context) (*table.Table, error) {
-	ct, groups := resolveChunked(ctx, a.Scan)
-	if ct == nil {
-		a.St.Fallbacks++
-		return a.Orig.Run(ctx)
+	var ct *encoding.Compressed
+	var groups []int
+	if a.Inner != nil {
+		// Aggregate an upstream kernel's chunked output — a GROUP BY over a
+		// join tree stays in code space. An inner row-engine fallback is
+		// absorbed by accumulating its table directly (the subtree never
+		// re-executes; AggAcc makes the result byte-identical either way).
+		ict, t, err := a.Inner.RunChunked(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ict == nil {
+			return a.accumulateTable(t)
+		}
+		ct, groups = ict, ict.RowGroups()
+		if groups == nil {
+			return nil, fmt.Errorf("kernels: aggregate %s: misaligned chunked input", a.label())
+		}
+	} else {
+		ct, groups = resolveChunked(ctx, a.Scan)
+		if ct == nil {
+			a.St.Fallbacks++
+			return a.Orig.Run(ctx)
+		}
 	}
 	acc := a.Agg.NewAcc()
-	row := make([]table.Value, len(a.Scan.Sch.Cols))
+	row := make([]table.Value, a.inSchema().NumCols())
 	for g, rows := range groups {
 		cc := newChunkCtx(ct, g, rows, a.St)
 		var sel *bitmap
@@ -55,7 +92,7 @@ func (a *AggScan) Run(ctx *engine.Context) (*table.Table, error) {
 			var err error
 			sel, err = a.Pred.eval(cc)
 			if err != nil {
-				return nil, fmt.Errorf("kernels: aggregate %q: %w", a.Scan.Name, err)
+				return nil, fmt.Errorf("kernels: aggregate %s: %w", a.label(), err)
 			}
 			if sel.none() {
 				cc.finish()
@@ -66,6 +103,23 @@ func (a *AggScan) Run(ctx *engine.Context) (*table.Table, error) {
 			return nil, err
 		}
 		cc.finish()
+	}
+	return acc.Result()
+}
+
+// accumulateTable folds a materialized input through the accumulator in
+// row order — the absorption path for an inner operator that fell back.
+func (a *AggScan) accumulateTable(t *table.Table) (*table.Table, error) {
+	acc := a.Agg.NewAcc()
+	row := make([]table.Value, t.Schema.NumCols())
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		for _, c := range a.need {
+			row[c] = t.Cols[c].Value(i)
+		}
+		if err := acc.Add(row); err != nil {
+			return nil, err
+		}
 	}
 	return acc.Result()
 }
@@ -95,7 +149,7 @@ func (a *AggScan) addGroup(cc *chunkCtx, acc *engine.AggAcc, row []table.Value, 
 	for k, c := range a.need {
 		r, err := cc.accessor(c)
 		if err != nil {
-			return fmt.Errorf("kernels: aggregate %q: %w", a.Scan.Name, err)
+			return fmt.Errorf("kernels: aggregate %s: %w", a.label(), err)
 		}
 		readers[k] = r
 	}

@@ -1,0 +1,147 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/shortcircuit-db/sc/internal/chunkio"
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/engine"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+// This file implements the chunked-output mode of the scan-shaped kernels:
+// instead of materializing a *table.Table, FilterScan and ProjectScan can
+// emit their result as encoding.Compressed chunks through a chunkio.Builder
+// — full-selection row groups pass through verbatim, partial selections
+// gather dictionary codes or RLE runs in code space, and only chunks with
+// no cheaper path decode and re-encode. A downstream kernel (a join probing
+// this output, the controller storing it) then consumes the chunks without
+// the encode-from-rows round trip.
+
+// appendColumn appends the selected rows of one source column to the
+// builder's output column dst, in the cheapest space the chunk's encoding
+// allows. sel lists selected local rows ascending; nil selects every row.
+func appendColumn(b *chunkio.Builder, cc *chunkCtx, dst, src int, sel []int32) error {
+	cs, err := cc.parse(src)
+	if err != nil {
+		return err
+	}
+	switch {
+	case cs.vec != nil:
+		return b.AppendVector(dst, cs.vec, sel)
+	case cs.dict != nil:
+		return b.AppendDict(dst, cs.dict, sel)
+	case cs.runs != nil:
+		return b.AppendRuns(dst, cs.runs, sel)
+	default:
+		vec, err := cc.vector(src) // counts the decode, as the gather path does
+		if err != nil {
+			return err
+		}
+		return b.AppendVector(dst, vec, sel)
+	}
+}
+
+// RunChunked implements ChunkedOp: the filter's surviving rows leave as
+// compressed chunks. Row groups the predicate passes whole are reused
+// verbatim; partially selected groups gather codes, runs or values per
+// column.
+func (f *FilterScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *table.Table, error) {
+	ct, groups := resolveChunked(ctx, f.Scan)
+	if ct == nil {
+		f.St.Fallbacks++
+		t, err := f.Orig.Run(ctx)
+		return nil, t, err
+	}
+	b := f.Env.builderFor(f.Scan.Sch, f.ID)
+	for g, rows := range groups {
+		cc := newChunkCtx(ct, g, rows, f.St)
+		sel, err := f.Pred.eval(cc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+		}
+		switch {
+		case sel.none():
+			// Nothing survives: no column beyond the predicate's is touched.
+		case sel.all():
+			if err := b.PassGroup(func(ci int) encoding.Chunk { return cc.chunk(ci) }, rows); err != nil {
+				return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+			}
+			for ci := range cc.cols {
+				cc.markPassed(ci)
+			}
+		default:
+			idxs := sel.indexes()
+			for ci := range cc.cols {
+				if err := appendColumn(b, cc, ci, ci, idxs); err != nil {
+					return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+				}
+			}
+			if err := b.FlushFull(); err != nil {
+				return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+			}
+		}
+		cc.finish()
+	}
+	out, err := b.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+	}
+	f.St.addBuilder(b.Counters)
+	return out, nil, nil
+}
+
+// RunChunked implements ChunkedOp: projected columns leave as compressed
+// chunks — dropped columns are never touched, and without a filter the kept
+// columns pass through without even a parse.
+func (p *ProjectScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *table.Table, error) {
+	ct, groups := resolveChunked(ctx, p.Scan)
+	if ct == nil {
+		p.St.Fallbacks++
+		t, err := p.Orig.Run(ctx)
+		return nil, t, err
+	}
+	b := p.Env.builderFor(p.Sch, p.ID)
+	for g, rows := range groups {
+		cc := newChunkCtx(ct, g, rows, p.St)
+		var idxs []int32
+		if p.Pred != nil {
+			sel, err := p.Pred.eval(cc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
+			}
+			if sel.none() {
+				cc.finish()
+				continue
+			}
+			if !sel.all() {
+				idxs = sel.indexes()
+			}
+		}
+		if idxs == nil {
+			err := b.PassGroup(func(oc int) encoding.Chunk { return cc.chunk(p.Cols[oc]) }, rows)
+			if err != nil {
+				return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
+			}
+			for _, ic := range p.Cols {
+				cc.markPassed(ic)
+			}
+		} else {
+			for oc, ic := range p.Cols {
+				if err := appendColumn(b, cc, oc, ic, idxs); err != nil {
+					return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
+				}
+			}
+			if err := b.FlushFull(); err != nil {
+				return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
+			}
+		}
+		cc.finish()
+	}
+	out, err := b.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
+	}
+	p.St.addBuilder(b.Counters)
+	return out, nil, nil
+}

@@ -5,25 +5,44 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/engine"
 	"github.com/shortcircuit-db/sc/internal/table"
 )
 
-// JoinSide is one input of a HashJoinScan: the scanned table plus the
-// compiled filter that was fused below the join, if any. The join applies
-// the filter itself, so its row numbering matches the filtered table the
-// row engine would have built.
+// JoinSide is one input of a HashJoinScan: either a scanned table (with the
+// compiled filter that was fused below the join, if any) or an upstream
+// kernel operator consumed in chunked-output mode — which is how a join
+// probes another join's output without either side materializing.
 type JoinSide struct {
-	Scan *engine.Scan
-	Pred *Pred // nil when the side is unfiltered
+	Scan  *engine.Scan
+	Pred  *Pred     // nil when the side is unfiltered; only with Scan
+	Inner ChunkedOp // set instead of Scan when the side is a kernel operator
+}
+
+// Schema returns the side's input schema.
+func (s *JoinSide) Schema() table.Schema {
+	if s.Inner != nil {
+		return s.Inner.Schema()
+	}
+	return s.Scan.Sch
+}
+
+// label names the side for error messages and plan display.
+func (s *JoinSide) label() string {
+	if s.Inner != nil {
+		return "(" + s.Inner.String() + ")"
+	}
+	return s.Scan.Name
 }
 
 // HashJoinScan is a kernel-side inner equi-join that probes dictionary
-// codes instead of materialized values. Both sides resolve in chunked form;
-// each chunk's local dictionary codes are remapped through a shared
-// encoding.KeyDict (one per key position), so the build table is keyed by
-// dense shared ids rather than strings:
+// codes instead of materialized values. Both sides resolve in chunked form
+// — scans through the compressed resolver, inner operators by running them
+// in chunked-output mode; each chunk's local dictionary codes are remapped
+// through a shared encoding.KeyDict (one per key position), so the build
+// table is keyed by dense shared ids rather than strings:
 //
 //   - the build (right) side hashes its selected rows by shared key id —
 //     for dictionary chunks each distinct value is interned once, however
@@ -45,6 +64,10 @@ type JoinSide struct {
 // fuse into the join (Proj non-nil): joined columns nothing projects are
 // never materialized — a dropped probe-side column is read for no row, a
 // dropped build-side chunk is skipped outright.
+//
+// RunChunked emits the surviving pairs as compressed chunks instead of a
+// table: dictionary-encoded output columns travel as remapped codes, so a
+// two-level join tree composes in code space end to end.
 type HashJoinScan struct {
 	Left, Right         JoinSide
 	LeftKeys, RightKeys []int
@@ -56,6 +79,8 @@ type HashJoinScan struct {
 	Sch  table.Schema
 	Orig engine.Node // HashJoin, or Project(HashJoin…) when Proj is fused
 	St   *Stats
+	Env  *Env // chunked-output environment (nil: defaults, no dict cache)
+	ID   int  // stable operator label within the node, keys the dict cache
 }
 
 // Schema implements engine.Node.
@@ -64,7 +89,7 @@ func (j *HashJoinScan) Schema() table.Schema { return j.Sch }
 // String implements engine.Node.
 func (j *HashJoinScan) String() string {
 	return fmt.Sprintf("KernelHashJoinScan(%s⋈%s, keys=%v=%v)",
-		j.Left.Scan.Name, j.Right.Scan.Name, j.LeftKeys, j.RightKeys)
+		j.Left.label(), j.Right.label(), j.LeftKeys, j.RightKeys)
 }
 
 // joinGroup is the retained state of one processed row group: its chunk
@@ -87,38 +112,128 @@ func (g *joinGroup) localRow(ord int) int {
 	return int(g.sel[ord-g.base])
 }
 
+// resolveSides resolves both join inputs in chunked form. Scan sides probe
+// the resolver first: they are cheap, and their failure means the kernel
+// must fall back before any inner operator has executed. Inner sides then
+// run in chunked-output mode; a row-engine fallback inside one is absorbed
+// by re-encoding its table (the subtree never re-executes). ok is false
+// when the join as a whole must fall back to Orig.
+func (j *HashJoinScan) resolveSides(ctx *engine.Context) (lct, rct *encoding.Compressed, lgroups, rgroups []int, ok bool, err error) {
+	if j.Left.Inner == nil {
+		if lct, lgroups = resolveChunked(ctx, j.Left.Scan); lct == nil {
+			return nil, nil, nil, nil, false, nil
+		}
+	}
+	if j.Right.Inner == nil {
+		if rct, rgroups = resolveChunked(ctx, j.Right.Scan); rct == nil {
+			return nil, nil, nil, nil, false, nil
+		}
+	}
+	if j.Left.Inner != nil {
+		if lct, lgroups, err = j.runInner(ctx, j.Left.Inner); err != nil {
+			return nil, nil, nil, nil, false, err
+		}
+	}
+	if j.Right.Inner != nil {
+		if rct, rgroups, err = j.runInner(ctx, j.Right.Inner); err != nil {
+			return nil, nil, nil, nil, false, err
+		}
+	}
+	return lct, rct, lgroups, rgroups, true, nil
+}
+
+// runInner executes an inner operator in chunked-output mode. When it fell
+// back to the row engine, the materialized table is compressed once — the
+// re-encode-hot-intermediates path — so the join above still probes codes.
+func (j *HashJoinScan) runInner(ctx *engine.Context, op ChunkedOp) (*encoding.Compressed, []int, error) {
+	ct, t, err := op.RunChunked(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ct == nil {
+		opts := encoding.Options{}
+		if j.Env != nil {
+			opts = j.Env.Opts
+		}
+		if ct, err = encoding.FromTable(t, opts); err != nil {
+			return nil, nil, err
+		}
+		for _, chunks := range ct.Cols {
+			j.St.ReencodedChunks += int64(len(chunks))
+		}
+	}
+	groups := ct.RowGroups()
+	if groups == nil {
+		// Builder and FromTable outputs are always aligned; guard anyway.
+		return nil, nil, fmt.Errorf("misaligned chunked input from %s", op)
+	}
+	return ct, groups, nil
+}
+
 // Run implements engine.Node.
 func (j *HashJoinScan) Run(ctx *engine.Context) (*table.Table, error) {
-	lct, lgroups := resolveChunked(ctx, j.Left.Scan)
-	rct, rgroups := resolveChunked(ctx, j.Right.Scan)
-	if lct == nil || rct == nil {
+	lct, rct, lgroups, rgroups, ok, err := j.resolveSides(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.label(), j.Right.label(), err)
+	}
+	if !ok {
 		j.St.Fallbacks++
 		return j.Orig.Run(ctx)
 	}
 	out, err := j.runChunked(lct, lgroups, rct, rgroups)
 	if err != nil {
-		return nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.Scan.Name, j.Right.Scan.Name, err)
+		return nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.label(), j.Right.label(), err)
 	}
 	return out, nil
 }
 
-func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*table.Table, error) {
-	nKeys := len(j.RightKeys)
-	kds := make([]*encoding.KeyDict, nKeys)
-	for p, rc := range j.RightKeys {
-		kds[p] = encoding.NewKeyDict(j.Right.Scan.Sch.Cols[rc].Type)
+// RunChunked implements ChunkedOp: the join's output leaves as compressed
+// chunks built from remapped dictionary codes wherever the source chunks
+// allow, materializing values only for columns with no code-space path.
+func (j *HashJoinScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *table.Table, error) {
+	lct, rct, lgroups, rgroups, ok, err := j.resolveSides(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.label(), j.Right.label(), err)
 	}
+	if !ok {
+		j.St.Fallbacks++
+		t, err := j.Orig.Run(ctx)
+		return nil, t, err
+	}
+	ct, err := j.joinChunked(lct, lgroups, rct, rgroups)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.label(), j.Right.label(), err)
+	}
+	return ct, nil, nil
+}
 
-	// Build phase: hash every selected right row by its composite of shared
-	// key ids. Right groups stay alive (with whatever they parsed or
-	// decoded) until the surviving rows materialize.
-	build := make(map[string][]int)
-	rightGroups := make([]*joinGroup, 0, len(rgroups))
-	scratch := make([]byte, 8*nKeys)
-	total := 0
+// buildState is the outcome of the build phase: the shared key space, the
+// hash table of build-row ordinals, and the retained build-side groups.
+type buildState struct {
+	kds     []*encoding.KeyDict
+	build   map[string][]int
+	groups  []*joinGroup
+	scratch []byte
+	total   int
+}
+
+// buildPhase hashes every selected build-side row by its composite of
+// shared key ids. Build groups stay alive (with whatever they parsed or
+// decoded) until the surviving rows materialize.
+func (j *HashJoinScan) buildPhase(rct *encoding.Compressed, rgroups []int) (*buildState, error) {
+	nKeys := len(j.RightKeys)
+	bs := &buildState{
+		kds:     make([]*encoding.KeyDict, nKeys),
+		build:   make(map[string][]int),
+		scratch: make([]byte, 8*nKeys),
+	}
+	rsch := j.Right.Schema()
+	for p, rc := range j.RightKeys {
+		bs.kds[p] = encoding.NewKeyDict(rsch.Cols[rc].Type)
+	}
 	for g, rows := range rgroups {
 		cc := newChunkCtx(rct, g, rows, j.St)
-		jg := &joinGroup{cc: cc, base: total}
+		jg := &joinGroup{cc: cc, base: bs.total}
 		var sel *bitmap
 		if j.Right.Pred != nil {
 			var err error
@@ -128,7 +243,7 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 			}
 			if sel.none() {
 				cc.finish()
-				rightGroups = append(rightGroups, jg)
+				bs.groups = append(bs.groups, jg)
 				continue
 			}
 			if !sel.all() {
@@ -139,7 +254,7 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 		}
 		ids := make([]func(int) int, nKeys)
 		for p, rc := range j.RightKeys {
-			fn, err := keyReader(cc, rc, kds[p], true)
+			fn, err := keyReader(cc, rc, bs.kds[p], true)
 			if err != nil {
 				return nil, err
 			}
@@ -150,32 +265,34 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 				continue
 			}
 			for p := range ids {
-				binary.LittleEndian.PutUint64(scratch[8*p:], uint64(ids[p](i)))
+				binary.LittleEndian.PutUint64(bs.scratch[8*p:], uint64(ids[p](i)))
 			}
-			matches := build[string(scratch)]
-			build[string(scratch)] = append(matches, total)
+			matches := bs.build[string(bs.scratch)]
+			bs.build[string(bs.scratch)] = append(matches, bs.total)
 			if jg.sel != nil {
 				jg.sel = append(jg.sel, int32(i))
 			}
-			total++
+			bs.total++
 			jg.n++
 		}
-		rightGroups = append(rightGroups, jg)
+		bs.groups = append(bs.groups, jg)
 	}
-	j.St.JoinBuildRows += int64(total)
+	j.St.JoinBuildRows += int64(bs.total)
+	return bs, nil
+}
 
-	// Output layout: each output column reads one joined column, either the
-	// join's natural output or the fused projection. Joined columns nothing
-	// reads are never materialized.
-	leftW := j.Left.Scan.Sch.NumCols()
+// outLayout wires each output column to a joined column, either the join's
+// natural output or the fused projection. Joined columns nothing reads are
+// never materialized.
+func (j *HashJoinScan) outLayout() (leftOut, rightOut []outCol) {
+	leftW := j.Left.Schema().NumCols()
 	proj := j.Proj
 	if proj == nil {
-		proj = make([]int, leftW+j.Right.Scan.Sch.NumCols())
+		proj = make([]int, leftW+j.Right.Schema().NumCols())
 		for i := range proj {
 			proj[i] = i
 		}
 	}
-	var leftOut, rightOut []outCol
 	for oc, jc := range proj {
 		if jc < leftW {
 			leftOut = append(leftOut, outCol{oc, jc})
@@ -183,6 +300,16 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 			rightOut = append(rightOut, outCol{oc, jc - leftW})
 		}
 	}
+	return leftOut, rightOut
+}
+
+func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*table.Table, error) {
+	bp, err := j.buildPhase(rct, rgroups)
+	if err != nil {
+		return nil, err
+	}
+	leftOut, rightOut := j.outLayout()
+	nKeys := len(j.LeftKeys)
 
 	// Probe phase: translate each left chunk's codes against the build-side
 	// keys and emit surviving pairs. Left values materialize inline —
@@ -210,7 +337,7 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 		}
 		ids := make([]func(int) int, nKeys)
 		for p, lc := range j.LeftKeys {
-			fn, err := keyReader(cc, lc, kds[p], false)
+			fn, err := keyReader(cc, lc, bp.kds[p], false)
 			if err != nil {
 				return nil, err
 			}
@@ -232,9 +359,9 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 				if id < 0 {
 					continue rowLoop // key exists only on the probe side
 				}
-				binary.LittleEndian.PutUint64(scratch[8*p:], uint64(id))
+				binary.LittleEndian.PutUint64(bp.scratch[8*p:], uint64(id))
 			}
-			matches := build[string(scratch)]
+			matches := bp.build[string(bp.scratch)]
 			if len(matches) == 0 {
 				continue
 			}
@@ -273,10 +400,10 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 	}
 	j.St.JoinProbeRows += int64(probed)
 
-	if err := j.gatherRight(out, rightOut, rightIdx, rightGroups); err != nil {
+	if err := j.gatherRight(out, rightOut, rightIdx, bp.groups); err != nil {
 		return nil, err
 	}
-	for _, jg := range rightGroups {
+	for _, jg := range bp.groups {
 		if jg.n > 0 { // empty-selection groups finished during the build
 			jg.cc.finish()
 		}
@@ -304,7 +431,30 @@ func (j *HashJoinScan) gatherRight(out *table.Table, rightOut []outCol, rightIdx
 	if nPairs == 0 {
 		return nil
 	}
-	// Bucket output positions by right group (ordinals are dense per group).
+	byGroup := bucketByGroup(rightIdx, groups)
+	for g, positions := range byGroup {
+		if len(positions) == 0 {
+			continue
+		}
+		jg := groups[g]
+		for _, oc := range rightOut {
+			fn, counted, err := jg.cc.reader(oc.src)
+			if err != nil {
+				return err
+			}
+			dst := out.Cols[oc.out]
+			for _, pos := range positions {
+				setValue(j.St, dst, pos, fn(jg.localRow(rightIdx[pos])), counted)
+			}
+		}
+	}
+	return nil
+}
+
+// bucketByGroup buckets output positions by right row group (ordinals are
+// dense per group), sorted by group-local row so chunk reads stay
+// monotonic.
+func bucketByGroup(rightIdx []int, groups []*joinGroup) [][]int {
 	byGroup := make([][]int, len(groups))
 	for pos, ord := range rightIdx {
 		g := sort.Search(len(groups), func(k int) bool {
@@ -320,15 +470,216 @@ func (j *HashJoinScan) gatherRight(out *table.Table, rightOut []outCol, rightIdx
 		sort.Slice(positions, func(a, b int) bool {
 			return jg.localRow(rightIdx[positions[a]]) < jg.localRow(rightIdx[positions[b]])
 		})
-		for _, oc := range rightOut {
+	}
+	return byGroup
+}
+
+// joinChunked runs the join emitting compressed chunks: the probe records
+// surviving (left group/row, build ordinal) pairs, and output columns then
+// assemble through a chunkio.Builder — dictionary-encoded source columns as
+// remapped codes, everything else as late-materialized values — in the row
+// engine's exact output order (probe order, then build order).
+func (j *HashJoinScan) joinChunked(lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*encoding.Compressed, error) {
+	bp, err := j.buildPhase(rct, rgroups)
+	if err != nil {
+		return nil, err
+	}
+	leftOut, rightOut := j.outLayout()
+	nKeys := len(j.LeftKeys)
+
+	// Probe phase: record pairs, touching only key columns. Left groups stay
+	// alive until the assembly phase reads the survivors.
+	leftGroups := make([]*joinGroup, 0, len(lgroups))
+	var pairLeft []int64 // left (group << 32 | local row) per output row
+	var pairRight []int  // build-side ordinal per output row
+	probed := 0
+	for g, rows := range lgroups {
+		cc := newChunkCtx(lct, g, rows, j.St)
+		leftGroups = append(leftGroups, &joinGroup{cc: cc})
+		var sel *bitmap
+		if j.Left.Pred != nil {
+			sel, err = j.Left.Pred.eval(cc)
+			if err != nil {
+				return nil, err
+			}
+			if sel.none() {
+				continue
+			}
+			if sel.all() {
+				sel = nil
+			}
+		}
+		ids := make([]func(int) int, nKeys)
+		for p, lc := range j.LeftKeys {
+			fn, err := keyReader(cc, lc, bp.kds[p], false)
+			if err != nil {
+				return nil, err
+			}
+			ids[p] = fn
+		}
+	rowLoop:
+		for i := 0; i < rows; i++ {
+			if sel != nil && !sel.get(i) {
+				continue
+			}
+			probed++
+			for p := range ids {
+				id := ids[p](i)
+				if id < 0 {
+					continue rowLoop
+				}
+				binary.LittleEndian.PutUint64(bp.scratch[8*p:], uint64(id))
+			}
+			for _, r := range bp.build[string(bp.scratch)] {
+				pairLeft = append(pairLeft, int64(g)<<32|int64(i))
+				pairRight = append(pairRight, r)
+			}
+		}
+	}
+	j.St.JoinProbeRows += int64(probed)
+
+	b := j.Env.builderFor(j.Sch, j.ID)
+	for _, oc := range leftOut {
+		if err := j.assembleLeft(b, leftGroups, pairLeft, oc); err != nil {
+			return nil, err
+		}
+	}
+	if err := j.assembleRight(b, bp.groups, pairRight, rightOut); err != nil {
+		return nil, err
+	}
+	for _, jg := range leftGroups {
+		jg.cc.finish()
+	}
+	for _, jg := range bp.groups {
+		if jg.n > 0 {
+			jg.cc.finish()
+		}
+	}
+	ct, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	j.St.addBuilder(b.Counters)
+	return ct, nil
+}
+
+// assembleLeft streams one probe-side output column into the builder. Pairs
+// are in probe order — contiguous per group with non-decreasing local rows
+// — so each group's chunk is remapped (or its reader advanced) once.
+func (j *HashJoinScan) assembleLeft(b *chunkio.Builder, groups []*joinGroup, pairLeft []int64, oc outCol) error {
+	curG := -1
+	var codes []uint64
+	var ids []int32
+	var read func(int) table.Value
+	var counted bool
+	for _, p := range pairLeft {
+		g, i := int(p>>32), int(p&0xffffffff)
+		if g != curG {
+			curG = g
+			cc := groups[g].cc
+			codes, ids, read, counted = nil, nil, nil, false
+			cs, err := cc.parse(oc.src)
+			if err != nil {
+				return err
+			}
+			if cs.dict != nil && cs.vec == nil {
+				if rIds, ok := b.Remap(oc.out, cs.dict); ok {
+					cods, err := cs.dict.Codes()
+					if err != nil {
+						return err
+					}
+					codes, ids = cods, rIds
+				}
+			}
+			if codes == nil {
+				if read, counted, err = cc.reader(oc.src); err != nil {
+					return err
+				}
+			}
+		}
+		if codes != nil {
+			b.AppendCode(oc.out, ids[codes[i]])
+		} else {
+			v := read(i)
+			if !counted {
+				countMaterialized(j.St, v)
+			}
+			b.AppendValue(oc.out, v)
+		}
+	}
+	return nil
+}
+
+// assembleRight scatters the build-side output columns into the builder in
+// output order. A column whose every contributing chunk is dictionary-
+// encoded travels as remapped codes; otherwise values scatter into a
+// pre-sized vector exactly like the materializing gather.
+func (j *HashJoinScan) assembleRight(b *chunkio.Builder, groups []*joinGroup, rightIdx []int, rightOut []outCol) error {
+	nPairs := len(rightIdx)
+	if nPairs == 0 {
+		return nil
+	}
+	byGroup := bucketByGroup(rightIdx, groups)
+	for _, oc := range rightOut {
+		codes := make([]int32, nPairs)
+		inCode := true
+		for g, positions := range byGroup {
+			if len(positions) == 0 {
+				continue
+			}
+			jg := groups[g]
+			cs, err := jg.cc.parse(oc.src)
+			if err != nil {
+				return err
+			}
+			if cs.dict == nil || cs.vec != nil {
+				inCode = false
+				break
+			}
+			ids, ok := b.Remap(oc.out, cs.dict)
+			if !ok {
+				inCode = false
+				break
+			}
+			cods, err := cs.dict.Codes()
+			if err != nil {
+				return err
+			}
+			for _, pos := range positions {
+				codes[pos] = ids[cods[jg.localRow(rightIdx[pos])]]
+			}
+		}
+		if inCode {
+			for _, id := range codes {
+				b.AppendCode(oc.out, id)
+			}
+			continue
+		}
+		typ := j.Sch.Cols[oc.out].Type
+		dst := &table.Vector{Type: typ}
+		switch typ {
+		case table.Int:
+			dst.Ints = make([]int64, nPairs)
+		case table.Float:
+			dst.Floats = make([]float64, nPairs)
+		default:
+			dst.Strs = make([]string, nPairs)
+		}
+		for g, positions := range byGroup {
+			if len(positions) == 0 {
+				continue
+			}
+			jg := groups[g]
 			fn, counted, err := jg.cc.reader(oc.src)
 			if err != nil {
 				return err
 			}
-			dst := out.Cols[oc.out]
 			for _, pos := range positions {
 				setValue(j.St, dst, pos, fn(jg.localRow(rightIdx[pos])), counted)
 			}
+		}
+		if err := b.AppendVector(oc.out, dst, nil); err != nil {
+			return err
 		}
 	}
 	return nil

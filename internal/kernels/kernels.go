@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/engine"
 	"github.com/shortcircuit-db/sc/internal/table"
@@ -66,6 +67,69 @@ type Stats struct {
 	// table; probe rows whose key is absent from the build-side dictionary
 	// are dropped before any column decodes.
 	JoinProbeRows int64
+	// ChunksPassed counts output column-chunks the chunked-output pipeline
+	// passed through verbatim or emitted from gathered codes — intermediate
+	// bytes that never materialized between operators.
+	ChunksPassed int64
+	// ReencodedChunks counts output column-chunks re-encoded from
+	// materialized values with codec auto-selection (chunkio's fallback when
+	// no code-space path applies).
+	ReencodedChunks int64
+	// DictReused counts output chunks whose dictionary was served entirely
+	// by the session dictionary cache — a recurring refresh reusing the
+	// previous run's entries instead of rebuilding them.
+	DictReused int64
+}
+
+// addBuilder folds one chunkio.Builder's counters into the stats. Bytes the
+// builder materialized itself (dictionary-overflow conversions) count as
+// decoded: they became real values.
+func (st *Stats) addBuilder(c chunkio.Counters) {
+	st.ChunksPassed += c.Passthrough + c.CodeChunks
+	st.ReencodedChunks += c.Reencoded
+	st.DictReused += c.DictReused
+	st.DecodedBytes += c.MaterializedBytes
+}
+
+// Env is the chunked-output environment of one node's lowering: the session
+// dictionary cache, the producing node's name (keying that cache) and the
+// codec policy for re-encoded chunks. A nil Env still lets operators emit
+// chunked output — with default options and no cross-run dictionary reuse.
+type Env struct {
+	Session *chunkio.Session
+	Node    string
+	Opts    encoding.Options
+
+	nextID int
+}
+
+// newID labels one chunk-producing operator within the node's plan, so its
+// session dictionaries get a stable key across runs (Lower traverses the
+// same plan shape in the same order every run).
+func (e *Env) newID() int {
+	if e == nil {
+		return 0
+	}
+	e.nextID++
+	return e.nextID
+}
+
+// builderFor returns a Builder for one operator's output.
+func (e *Env) builderFor(sch table.Schema, id int) *chunkio.Builder {
+	if e == nil {
+		return chunkio.NewBuilder(sch, encoding.Options{}, nil, "")
+	}
+	return chunkio.NewBuilder(sch, e.Opts, e.Session, fmt.Sprintf("%s#%d", e.Node, id))
+}
+
+// ChunkedOp is a kernel operator that can emit its output as compressed
+// chunks. RunChunked returns the chunked output when the operator stayed in
+// code space, or the row-engine table when it fell back — never both.
+// Decoding the chunked output yields a table byte-identical to what Run
+// would have returned.
+type ChunkedOp interface {
+	engine.Node
+	RunChunked(ctx *engine.Context) (*encoding.Compressed, *table.Table, error)
 }
 
 // --- selection bitmap ---
@@ -145,6 +209,20 @@ func (b *bitmap) none() bool {
 
 func (b *bitmap) all() bool { return b.count() == b.n }
 
+// indexes lists the selected rows ascending, the form gather-style
+// consumers (chunkio appenders) take.
+func (b *bitmap) indexes() []int32 {
+	out := make([]int32, 0, b.count())
+	for w, word := range b.words {
+		for word != 0 {
+			i := bits.TrailingZeros64(word)
+			out = append(out, int32(w<<6+i))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
 // --- per-row-group evaluation context ---
 
 // colState is the cached per-column chunk state of one row group.
@@ -159,11 +237,12 @@ type colState struct {
 // cached per column so predicate evaluation and output materialization
 // share work: a column decoded for the predicate is reused by the gather.
 type chunkCtx struct {
-	ct    *encoding.Compressed
-	group int
-	rows  int
-	st    *Stats
-	cols  []colState
+	ct     *encoding.Compressed
+	group  int
+	rows   int
+	st     *Stats
+	cols   []colState
+	passed []bool // chunks handed through to a chunked output verbatim
 }
 
 func newChunkCtx(ct *encoding.Compressed, group, rows int, st *Stats) *chunkCtx {
@@ -269,6 +348,16 @@ func (cc *chunkCtx) reader(col int) (func(i int) table.Value, bool, error) {
 	return fn, cc.cols[col].vec != nil, nil
 }
 
+// markPassed records that a column's chunk was handed to a chunked output
+// verbatim — it was neither skipped nor decoded, and the output builder
+// already counted it.
+func (cc *chunkCtx) markPassed(col int) {
+	if cc.passed == nil {
+		cc.passed = make([]bool, len(cc.cols))
+	}
+	cc.passed[col] = true
+}
+
 // finish settles the row group's counters: column-chunks never touched
 // were skipped outright, chunks touched only in their encoded form avoided
 // a decode the row engine would have paid.
@@ -280,6 +369,8 @@ func (cc *chunkCtx) finish() {
 			// Fully decoded; DecodedBytes was counted at decode time.
 		case cs.parsed:
 			cc.st.DecodesAvoided++
+		case cc.passed != nil && cc.passed[i]:
+			// Passed through to the output; the builder counted it.
 		default:
 			cc.st.ChunksSkipped++
 		}
@@ -396,6 +487,16 @@ func appendValue(st *Stats, dst *table.Vector, v table.Value) {
 	}
 }
 
+// countMaterialized counts one late-materialized value handed to a chunked
+// output — the chunked twin of appendValue's accounting.
+func countMaterialized(st *Stats, v table.Value) {
+	if v.Type == table.Str {
+		st.DecodedBytes += int64(len(v.S)) + 16
+	} else {
+		st.DecodedBytes += 8
+	}
+}
+
 // setValue scatters one surviving value into a pre-sized vector; counted
 // marks values served from an already-counted decoded chunk.
 func setValue(st *Stats, dst *table.Vector, pos int, v table.Value, counted bool) {
@@ -452,6 +553,8 @@ type FilterScan struct {
 	Pred *Pred
 	Orig engine.Node
 	St   *Stats
+	Env  *Env // chunked-output environment (nil: defaults, no dict cache)
+	ID   int  // stable operator label within the node, keys the dict cache
 }
 
 // Schema implements engine.Node.

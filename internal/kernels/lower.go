@@ -18,54 +18,74 @@ import (
 //	                                            with a scan, and the join
 //	                                            itself may then lower
 //	HashJoin(side, side)    → HashJoinScan      both sides Scan/FilterScan
-//	                                            and every key column pair
+//	                                            or chunk-producing kernels
+//	                                            (HashJoinScan/ProjectScan —
+//	                                            a join probing another
+//	                                            join's chunked output), and
+//	                                            every key column pair
 //	                                            shares an INT or STRING type
 //	Aggregate(Scan)         → AggScan           always (argument errors
 //	                                            reproduce row-engine order)
 //	Aggregate(FilterScan)   → AggScan           selection vector flows in
+//	Aggregate(HashJoinScan) → AggScan           consumes the join's chunked
+//	Aggregate(ProjectScan)  → AggScan           output, no materialization
 //	Project(Scan)           → ProjectScan       only ColRef outputs (drop,
 //	                                            duplicate or permute)
 //	Project(FilterScan)     → ProjectScan       selection vector flows in
+//	Project(HashJoinScan)   → fused Proj        joined columns nothing
+//	                                            reads never materialize
 //
 // Everything else keeps its row-engine operator, with children lowered
 // recursively. Each kernel operator retains its original subtree and falls
 // back to it at run time when the scanned table is not available in
 // chunked form, so results are byte-identical either way.
 func Lower(root engine.Node, st *Stats) engine.Node {
+	return LowerEnv(root, st, nil)
+}
+
+// LowerEnv is Lower with a chunked-output environment: operators it
+// produces emit compressed chunks through env's codec policy and session
+// dictionary cache when consumed by a ChunkedOp-aware parent (a join above
+// them, the controller storing the node's output).
+func LowerEnv(root engine.Node, st *Stats, env *Env) engine.Node {
+	return lower(root, st, env)
+}
+
+func lower(root engine.Node, st *Stats, env *Env) engine.Node {
 	switch n := root.(type) {
 	case *engine.Filter:
 		if hj, ok := n.Input.(*engine.HashJoin); ok {
-			if nn := pushdown(n, hj, st); nn != nil {
+			if nn := pushdown(n, hj, st, env); nn != nil {
 				return nn
 			}
 			// Nothing moved: lower the join in place, keep the filter.
-			n.Input = Lower(hj, st)
+			n.Input = lower(hj, st, env)
 			return n
 		}
-		n.Input = Lower(n.Input, st)
+		n.Input = lower(n.Input, st, env)
 		switch in := n.Input.(type) {
 		case *engine.Scan:
 			if p, ok := Compile(n.Pred, in.Sch); ok {
 				st.Lowered++
-				return &FilterScan{Scan: in, Pred: p, Orig: n, St: st}
+				return &FilterScan{Scan: in, Pred: p, Orig: n, St: st, Env: env, ID: env.newID()}
 			}
 		case *FilterScan:
 			if p, ok := Compile(n.Pred, in.Scan.Sch); ok {
 				st.Lowered++
 				fused := &Pred{kind: predAnd, kids: []*Pred{in.Pred, p}}
-				return &FilterScan{Scan: in.Scan, Pred: fused, Orig: n, St: st}
+				return &FilterScan{Scan: in.Scan, Pred: fused, Orig: n, St: st, Env: env, ID: in.ID}
 			}
 		case *engine.HashJoin:
 			// A join that surfaced only after lowering the input (e.g. an
 			// inner filter fully pushed its conjuncts down and dissolved)
 			// still deserves this filter's pushdown.
-			if nn := pushdown(n, in, st); nn != nil {
+			if nn := pushdown(n, in, st, env); nn != nil {
 				return nn
 			}
 		}
 		return n
 	case *engine.Aggregate:
-		n.Input = Lower(n.Input, st)
+		n.Input = lower(n.Input, st, env)
 		switch in := n.Input.(type) {
 		case *engine.Scan:
 			if need, ok := aggNeeds(n, in.Sch); ok {
@@ -77,20 +97,30 @@ func Lower(root engine.Node, st *Stats) engine.Node {
 				st.Lowered++
 				return &AggScan{Scan: in.Scan, Pred: in.Pred, Agg: n, Orig: n, need: need, St: st}
 			}
+		case *HashJoinScan:
+			if need, ok := aggNeeds(n, in.Sch); ok {
+				st.Lowered++
+				return &AggScan{Inner: in, Agg: n, Orig: n, need: need, St: st}
+			}
+		case *ProjectScan:
+			if need, ok := aggNeeds(n, in.Sch); ok {
+				st.Lowered++
+				return &AggScan{Inner: in, Agg: n, Orig: n, need: need, St: st}
+			}
 		}
 		return n
 	case *engine.Project:
-		n.Input = Lower(n.Input, st)
+		n.Input = lower(n.Input, st, env)
 		switch in := n.Input.(type) {
 		case *engine.Scan:
 			if cols, ok := projectCols(n, in.Sch); ok {
 				st.Lowered++
-				return &ProjectScan{Scan: in, Cols: cols, Sch: n.Schema(), Orig: n, St: st}
+				return &ProjectScan{Scan: in, Cols: cols, Sch: n.Schema(), Orig: n, St: st, Env: env, ID: env.newID()}
 			}
 		case *FilterScan:
 			if cols, ok := projectCols(n, in.Scan.Sch); ok {
 				st.Lowered++
-				return &ProjectScan{Scan: in.Scan, Pred: in.Pred, Cols: cols, Sch: n.Schema(), Orig: n, St: st}
+				return &ProjectScan{Scan: in.Scan, Pred: in.Pred, Cols: cols, Sch: n.Schema(), Orig: n, St: st, Env: env, ID: in.ID}
 			}
 		case *HashJoinScan:
 			// Fuse a columns-only projection into the join: joined columns
@@ -109,22 +139,22 @@ func Lower(root engine.Node, st *Stats) engine.Node {
 		}
 		return n
 	case *engine.Sort:
-		n.Input = Lower(n.Input, st)
+		n.Input = lower(n.Input, st, env)
 		return n
 	case *engine.Limit:
-		n.Input = Lower(n.Input, st)
+		n.Input = lower(n.Input, st, env)
 		return n
 	case *engine.HashJoin:
-		n.Left = Lower(n.Left, st)
-		n.Right = Lower(n.Right, st)
-		if js := lowerJoin(n, st); js != nil {
+		n.Left = lower(n.Left, st, env)
+		n.Right = lower(n.Right, st, env)
+		if js := lowerJoin(n, st, env); js != nil {
 			st.Lowered++
 			return js
 		}
 		return n
 	case *engine.UnionAll:
 		for i := range n.Inputs {
-			n.Inputs[i] = Lower(n.Inputs[i], st)
+			n.Inputs[i] = lower(n.Inputs[i], st, env)
 		}
 		return n
 	}
@@ -132,12 +162,13 @@ func Lower(root engine.Node, st *Stats) engine.Node {
 }
 
 // lowerJoin rewrites a HashJoin whose (already lowered) sides are plain
-// scans or fused filter-scans onto the code-space join kernel. It declines
-// — returning nil, keeping the row engine — when a key column pair differs
-// in type or is FLOAT: float keys fall back so the row engine's NaN and
-// signed-zero bucketing stays authoritative, and the kernel's shared key
-// dictionary only ever holds the types the dict codec encodes.
-func lowerJoin(hj *engine.HashJoin, st *Stats) *HashJoinScan {
+// scans, fused filter-scans or chunk-producing kernels onto the code-space
+// join kernel. It declines — returning nil, keeping the row engine — when a
+// key column pair differs in type or is FLOAT: float keys fall back so the
+// row engine's NaN and signed-zero bucketing stays authoritative, and the
+// kernel's shared key dictionary only ever holds the types the dict codec
+// encodes.
+func lowerJoin(hj *engine.HashJoin, st *Stats, env *Env) *HashJoinScan {
 	if len(hj.LeftKeys) == 0 || len(hj.LeftKeys) != len(hj.RightKeys) {
 		return nil
 	}
@@ -149,12 +180,13 @@ func lowerJoin(hj *engine.HashJoin, st *Stats) *HashJoinScan {
 	if !ok {
 		return nil
 	}
+	lsch, rsch := left.Schema(), right.Schema()
 	for p := range hj.LeftKeys {
 		lc, rc := hj.LeftKeys[p], hj.RightKeys[p]
-		if lc < 0 || lc >= left.Scan.Sch.NumCols() || rc < 0 || rc >= right.Scan.Sch.NumCols() {
+		if lc < 0 || lc >= lsch.NumCols() || rc < 0 || rc >= rsch.NumCols() {
 			return nil
 		}
-		lt, rt := left.Scan.Sch.Cols[lc].Type, right.Scan.Sch.Cols[rc].Type
+		lt, rt := lsch.Cols[lc].Type, rsch.Cols[rc].Type
 		if lt != rt || lt == table.Float {
 			return nil
 		}
@@ -163,17 +195,22 @@ func lowerJoin(hj *engine.HashJoin, st *Stats) *HashJoinScan {
 		Left: left, Right: right,
 		LeftKeys: hj.LeftKeys, RightKeys: hj.RightKeys,
 		Sch:  hj.Schema(),
-		Orig: hj, St: st,
+		Orig: hj, St: st, Env: env, ID: env.newID(),
 	}
 }
 
-// joinSideOf extracts the scan and optional fused filter of a join input.
+// joinSideOf extracts one join input: a scan (with its fused filter), or a
+// chunk-producing kernel consumed as an inner operator.
 func joinSideOf(n engine.Node) (JoinSide, bool) {
 	switch v := n.(type) {
 	case *engine.Scan:
 		return JoinSide{Scan: v}, true
 	case *FilterScan:
 		return JoinSide{Scan: v.Scan, Pred: v.Pred}, true
+	case *HashJoinScan:
+		return JoinSide{Inner: v}, true
+	case *ProjectScan:
+		return JoinSide{Inner: v}, true
 	}
 	return JoinSide{}, false
 }
@@ -236,7 +273,7 @@ func collectCols(e engine.Expr, sch table.Schema, set map[int]bool) bool {
 // inner equi-join preserves input row order, and conjuncts that stay
 // above keep their original relative order). Returns nil when nothing
 // moved.
-func pushdown(f *engine.Filter, hj *engine.HashJoin, st *Stats) engine.Node {
+func pushdown(f *engine.Filter, hj *engine.HashJoin, st *Stats, env *Env) engine.Node {
 	joined := hj.Schema()
 	leftW := hj.Left.Schema().NumCols()
 	conjs := splitAnd(f.Pred)
@@ -275,19 +312,19 @@ func pushdown(f *engine.Filter, hj *engine.HashJoin, st *Stats) engine.Node {
 		return nil
 	}
 	if len(leftPs) > 0 {
-		hj.Left = Lower(&engine.Filter{Input: hj.Left, Pred: andAll(leftPs)}, st)
+		hj.Left = lower(&engine.Filter{Input: hj.Left, Pred: andAll(leftPs)}, st, env)
 	} else {
-		hj.Left = Lower(hj.Left, st)
+		hj.Left = lower(hj.Left, st, env)
 	}
 	if len(rightPs) > 0 {
-		hj.Right = Lower(&engine.Filter{Input: hj.Right, Pred: andAll(rightPs)}, st)
+		hj.Right = lower(&engine.Filter{Input: hj.Right, Pred: andAll(rightPs)}, st, env)
 	} else {
-		hj.Right = Lower(hj.Right, st)
+		hj.Right = lower(hj.Right, st, env)
 	}
 	// With the sides settled, the join itself may lower onto the code-space
 	// kernel (the pushed-down filters ride along as side predicates).
 	var joinNode engine.Node = hj
-	if js := lowerJoin(hj, st); js != nil {
+	if js := lowerJoin(hj, st, env); js != nil {
 		st.Lowered++
 		joinNode = js
 	}

@@ -1,0 +1,79 @@
+package memcat
+
+import (
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+func compressedEntry(t *testing.T, rows int) *encoding.Compressed {
+	t.Helper()
+	tb := table.New(table.NewSchema(table.Column{Name: "v", Type: table.Int}))
+	for i := 0; i < rows; i++ {
+		tb.Cols[0].Ints = append(tb.Cols[0].Ints, int64(i%5))
+	}
+	ct, err := encoding.FromTable(tb, encoding.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// TestGetCompressedStaysOutOfDecodedBudget: chunk-form reads must neither
+// decode nor charge the decoded-view cache — an entry whose every consumer
+// is a kernel keeps the budget free for views somebody materializes.
+func TestGetCompressedStaysOutOfDecodedBudget(t *testing.T) {
+	c := New(1 << 20)
+	ct := compressedEntry(t, 1000)
+	if err := c.PutEntry("mv", ct); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, info, ok := c.GetCompressed("mv")
+		if !ok || got != ct {
+			t.Fatalf("GetCompressed = %v, %v", got, ok)
+		}
+		if !info.Compressed || info.Cached || info.Decoded != 0 {
+			t.Fatalf("chunk read reported decode work: %+v", info)
+		}
+	}
+	if used := c.DecodedCacheUsed(); used != 0 {
+		t.Fatalf("chunk-only consumption charged %d bytes to the decoded budget", used)
+	}
+	if peak := c.DecodedCachePeak(); peak != 0 {
+		t.Fatalf("decoded peak = %d after chunk-only reads", peak)
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 0 {
+		t.Fatalf("stats = %d hits, %d misses; want 3, 0", hits, misses)
+	}
+	// A row-engine read afterwards still builds (and charges) its view.
+	if _, info, ok := c.GetTable("mv"); !ok || info.Decoded == 0 {
+		t.Fatalf("GetTable after chunk reads: ok=%v info=%+v", ok, info)
+	}
+	if c.DecodedCacheUsed() == 0 {
+		t.Fatal("materializing read did not populate the decoded-view cache")
+	}
+}
+
+// TestGetCompressedDeclinesPlainAndMissing: plain entries and absent names
+// return false without booking a miss — the caller's row-path fallback
+// books its own.
+func TestGetCompressedDeclinesPlainAndMissing(t *testing.T) {
+	c := New(1 << 20)
+	tb := table.New(table.NewSchema(table.Column{Name: "v", Type: table.Int}))
+	tb.Cols[0].Ints = append(tb.Cols[0].Ints, 1)
+	if err := c.Put("plain", tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.GetCompressed("plain"); ok {
+		t.Fatal("plain entry served as compressed")
+	}
+	if _, _, ok := c.GetCompressed("absent"); ok {
+		t.Fatal("absent entry served as compressed")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("declined reads moved the counters: %d hits, %d misses", hits, misses)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/table"
 )
 
@@ -352,6 +353,29 @@ func (c *Catalog) Peek(name string) (Entry, bool) {
 		return nil, false
 	}
 	return e.e, true
+}
+
+// GetCompressed serves a compressed entry in chunked form for a consumer
+// that will not decode it (the kernels' per-chunk readers). It counts a
+// hit like GetEntry but never creates a decoded view: an entry whose every
+// reader consumes chunks stays out of the decoded budget entirely, so the
+// cache holds only views somebody actually materialized. ok is false —
+// without counting a miss, since such callers fall back to the row path,
+// which books its own miss — when the entry is absent or resident plain
+// (the row path is cheaper then).
+func (c *Catalog) GetCompressed(name string) (*encoding.Compressed, ReadInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, ReadInfo{}, false
+	}
+	ct, compressed := e.e.(*encoding.Compressed)
+	if !compressed {
+		return nil, ReadInfo{}, false
+	}
+	c.hits++
+	return ct, ReadInfo{Compressed: true, Encoded: e.size}, true
 }
 
 // Delete frees the named table and its cached decoded view.

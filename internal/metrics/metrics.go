@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,15 +32,29 @@ type Observation struct {
 	When         time.Time     `json:"when"`
 }
 
+// ratioAlpha is the EWMA weight of the newest encoded/raw observation.
+// Compression ratios drift slowly (schema and value distributions change
+// run over run, not row over row), so recent runs dominate but one odd
+// refresh cannot whipsaw the estimate.
+const ratioAlpha = 0.3
+
 // Store accumulates observations across runs.
 type Store struct {
 	mu  sync.Mutex
 	obs map[string][]Observation
+
+	// Compression-ratio learning: per-node EWMA of encoded/raw across
+	// runs, plus a workload-wide EWMA used to predict encoded sizes for
+	// nodes never observed (a first run, a new MV in a recurring
+	// pipeline) instead of falling back to the raw-size guess.
+	ratios      map[string]float64
+	globalRatio float64
+	ratioSeen   bool
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{obs: make(map[string][]Observation)}
+	return &Store{obs: make(map[string][]Observation), ratios: make(map[string]float64)}
 }
 
 // Record appends an observation.
@@ -47,6 +62,52 @@ func (s *Store) Record(o Observation) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.obs[o.Name] = append(s.obs[o.Name], o)
+	s.learnRatioLocked(o)
+}
+
+// learnRatioLocked folds one observation into the ratio EWMAs. Callers
+// hold s.mu.
+func (s *Store) learnRatioLocked(o Observation) {
+	if o.OutputBytes <= 0 || o.EncodedBytes <= 0 {
+		return
+	}
+	r := float64(o.EncodedBytes) / float64(o.OutputBytes)
+	if prev, ok := s.ratios[o.Name]; ok {
+		s.ratios[o.Name] = ratioAlpha*r + (1-ratioAlpha)*prev
+	} else {
+		s.ratios[o.Name] = r
+	}
+	if s.ratioSeen {
+		s.globalRatio = ratioAlpha*r + (1-ratioAlpha)*s.globalRatio
+	} else {
+		s.globalRatio, s.ratioSeen = r, true
+	}
+}
+
+// Ratio returns the learned encoded/raw ratio for a node: its own EWMA
+// when it has been observed with encoding on, otherwise the workload-wide
+// EWMA. ok is false when no encoded observation exists at all.
+func (s *Store) Ratio(name string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.ratios[name]; ok {
+		return r, true
+	}
+	if s.ratioSeen {
+		return s.globalRatio, true
+	}
+	return 1, false
+}
+
+// PredictEncoded estimates a node's encoded size from a raw-size estimate
+// using the learned ratios. Without any encoded observation it returns the
+// raw estimate unchanged.
+func (s *Store) PredictEncoded(name string, rawBytes int64) int64 {
+	r, ok := s.Ratio(name)
+	if !ok {
+		return rawBytes
+	}
+	return scaleBytes(rawBytes, r)
 }
 
 // Latest returns the most recent observation for name.
@@ -90,22 +151,49 @@ func (s *Store) Sizes(g *dag.Graph, fallback int64) []int64 {
 
 // EncodedSizes extracts the latest observed serialized sizes — the bytes a
 // node's output actually occupies on storage and, with encoding enabled,
-// in the Memory Catalog. Nodes observed without encoded sizes fall back to
-// their raw output size; never-observed nodes fall back to fallback.
+// in the Memory Catalog. Nodes without a direct encoded observation are
+// estimated through the learned compression ratios: a never-observed node
+// (a first run, a new MV in a recurring pipeline) gets fallback scaled by
+// the workload-wide EWMA — a realistic compressed footprint instead of the
+// raw guess — and a node whose latest observation lacks an encoded size is
+// scaled by its own ratio when earlier runs learned one, falling back to
+// its raw output size otherwise.
 func (s *Store) EncodedSizes(g *dag.Graph, fallback int64) []int64 {
 	out := make([]int64, g.Len())
 	for i := range out {
-		o, ok := s.Latest(g.Name(dag.NodeID(i)))
+		name := g.Name(dag.NodeID(i))
+		o, ok := s.Latest(name)
 		switch {
 		case ok && o.EncodedBytes > 0:
 			out[i] = o.EncodedBytes
 		case ok:
 			out[i] = o.OutputBytes
+			if r, known := s.nodeRatio(name); known {
+				out[i] = scaleBytes(o.OutputBytes, r)
+			}
 		default:
-			out[i] = fallback
+			out[i] = s.PredictEncoded(name, fallback)
 		}
 	}
 	return out
+}
+
+// nodeRatio returns a node's own learned ratio, without the workload-wide
+// fallback Ratio applies.
+func (s *Store) nodeRatio(name string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.ratios[name]
+	return r, ok
+}
+
+// scaleBytes applies a ratio, keeping positive sizes at least one byte.
+func scaleBytes(n int64, r float64) int64 {
+	e := int64(float64(n) * r)
+	if e < 1 && n > 0 {
+		e = 1
+	}
+	return e
 }
 
 // Scores estimates speedup scores from observed metadata: each child of
@@ -185,7 +273,10 @@ func (s *Store) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// Load reads a store saved by Save.
+// Load reads a store saved by Save. The learned compression ratios are not
+// serialized; they are re-derived by replaying the observation history in
+// recording order (by timestamp, name-ordered within equal stamps), so the
+// reloaded EWMAs match what the live store had learned.
 func Load(path string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -194,6 +285,19 @@ func Load(path string) (*Store, error) {
 	st := NewStore()
 	if err := json.Unmarshal(data, &st.obs); err != nil {
 		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	var replay []Observation
+	for _, list := range st.obs {
+		replay = append(replay, list...)
+	}
+	sort.SliceStable(replay, func(i, j int) bool {
+		if !replay[i].When.Equal(replay[j].When) {
+			return replay[i].When.Before(replay[j].When)
+		}
+		return replay[i].Name < replay[j].Name
+	})
+	for _, o := range replay {
+		st.learnRatioLocked(o)
 	}
 	return st, nil
 }

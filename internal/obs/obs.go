@@ -47,7 +47,10 @@ const (
 	// served by kernels), Fallbacks (kernel executions that reverted to
 	// the row engine), ChunksSkipped, CodeFilteredRows, DecodesAvoided,
 	// JoinBuildRows/JoinProbeRows (hash-join work done in code space),
-	// Bytes (raw bytes the kernels materialized).
+	// ChunksPassed/ReencodedChunks/DictReused (compressed intermediate
+	// pipeline: output chunks kept in code space, re-encoded from values,
+	// and served by the session dictionary cache), Bytes (raw bytes the
+	// kernels materialized).
 	KernelDone
 )
 
@@ -103,6 +106,9 @@ type Event struct {
 	DecodesAvoided   int64 // column-chunk decodes avoided
 	JoinBuildRows    int64 // rows hashed into code-space join build tables
 	JoinProbeRows    int64 // rows probed against code-space join build tables
+	ChunksPassed     int64 // output chunks kept in code space (passthrough or gathered codes)
+	ReencodedChunks  int64 // output chunks re-encoded from materialized values
+	DictReused       int64 // output chunks whose dictionary came from the session cache
 }
 
 // Observer receives events. Implementations must be safe for concurrent use:

@@ -24,6 +24,7 @@ type config struct {
 	sizeGuess     int64
 	encoding      *encoding.Options
 	vectorized    bool
+	dictCache     bool
 	err           error
 }
 
@@ -32,6 +33,7 @@ func newConfig(opts []Option) (*config, error) {
 	cfg := &config{
 		concurrency: 1,
 		sizeGuess:   1 << 20, // 1MB: optimistic before any observation
+		dictCache:   true,    // session dictionaries ride along with WithVectorized
 	}
 	for _, o := range opts {
 		o(cfg)
@@ -190,8 +192,30 @@ func WithEncoding(opts EncodingOptions) Option {
 //
 // KernelDone events report chunks skipped, rows filtered in code space
 // and decodes avoided per node.
+//
+// With WithEncoding also set, vectorized sessions run the compressed
+// intermediate pipeline: kernel outputs — including a join probing another
+// join's output — leave the operator as compressed chunks (dictionary
+// codes remapped, never materialized) and land in the Memory Catalog and
+// storage without an encode-from-rows round trip. A session-level
+// dictionary cache carries each node's column dictionaries across Run
+// calls, so recurring refreshes reuse yesterday's dictionaries instead of
+// rebuilding them; see WithSessionDictCache to turn that cache off.
 func WithVectorized(enabled bool) Option {
 	return func(c *config) { c.vectorized = enabled }
+}
+
+// WithSessionDictCache controls the session dictionary cache that rides
+// along with WithVectorized (enabled by default): chunked kernel outputs
+// intern their dictionary entries into per-(node, column) dictionaries
+// kept for the life of the Refresher, so the next Run encodes recurring
+// values as pure id lookups and NodeMetrics.DictReused reports the chunks
+// served entirely from cache. A dictionary is invalidated when its
+// column's name or type changes, and a column whose cardinality outgrows
+// the cap falls back to per-chunk re-encoding. Pass false for one-shot
+// sessions that should not retain dictionaries between runs.
+func WithSessionDictCache(enabled bool) Option {
+	return func(c *config) { c.dictCache = enabled }
 }
 
 // WithSizeGuess sets the output-size assumption, in bytes, for nodes that

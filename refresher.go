@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/exec"
 	"github.com/shortcircuit-db/sc/internal/memcat"
@@ -27,6 +28,7 @@ type Refresher struct {
 	store    Store
 	cfg      *config
 	md       *metrics.Store
+	chunked  *chunkio.Session // session dictionary cache; nil when disabled
 
 	mu    sync.Mutex
 	plan  *Plan
@@ -55,14 +57,20 @@ func New(mvs []MV, store Store, opts ...Option) (*Refresher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Refresher{
+	r := &Refresher{
 		workload: w,
 		graph:    g,
 		base:     base,
 		store:    store,
 		cfg:      cfg,
 		md:       metrics.NewStore(),
-	}, nil
+	}
+	if cfg.vectorized && cfg.dictCache {
+		// The session dictionary cache lives with the Refresher, so each
+		// Refresh reuses the dictionaries the previous run derived.
+		r.chunked = chunkio.NewSession()
+	}
+	return r, nil
 }
 
 // Graph exposes the extracted dependency graph.
@@ -174,6 +182,7 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 		Concurrency: r.cfg.concurrency,
 		Encoding:    r.cfg.encoding,
 		Vectorized:  r.cfg.vectorized,
+		Chunked:     r.chunked,
 	}
 	return ctl.Run(ctx, r.workload, r.graph, plan)
 }

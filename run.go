@@ -40,6 +40,14 @@ func SaveTable(st Store, name string, t *table.Table) error {
 	return exec.SaveTable(st, name, t)
 }
 
+// SaveTableChunked compresses and writes a table in the chunked columnar
+// format. Base tables saved this way are scanned per chunk by vectorized
+// sessions (WithVectorized) instead of paying a whole-table decode, and
+// feed the compressed intermediate pipeline without a fallback.
+func SaveTableChunked(st Store, name string, t *table.Table, opts EncodingOptions) error {
+	return exec.SaveTableChunked(st, name, t, opts)
+}
+
 // LoadTable reads a table written by SaveTable (or by a refresh run).
 func LoadTable(st Store, name string) (*table.Table, error) {
 	return exec.LoadTable(st, name)
