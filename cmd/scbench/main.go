@@ -6,12 +6,14 @@
 //	scbench [experiment...]
 //
 // Experiments: fig3, table3, fig9, fig10, fig11, table4, fig12, table5,
-// fig13, fig14, ablate, real, encoding, kernels, all (default: all).
-// fig13/fig14 accept -dags N to control the number of generated DAGs per
-// setting; real, encoding and kernels accept -sf for the dataset scale
-// factor. encoding and kernels write machine-readable BENCH_encoding.json
-// / BENCH_kernels.json (bytes written/decoded, wall time, kernel counters)
-// into -benchout so future PRs have a perf trajectory to compare against.
+// fig13, fig14, ablate, real, encoding, kernels, gateway, all (default:
+// all). fig13/fig14 accept -dags N to control the number of generated
+// DAGs per setting; real, encoding, kernels and gateway accept -sf for
+// the dataset scale factor, and gateway additionally -tenants. encoding,
+// kernels and gateway write machine-readable BENCH_encoding.json /
+// BENCH_kernels.json / BENCH_gateway.json (bytes written/decoded, wall
+// time, kernel counters, refresh/read latency percentiles) into -benchout
+// so future PRs have a perf trajectory to compare against.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 func main() {
 	dags := flag.Int("dags", 25, "generated DAGs per setting for fig13/fig14")
 	sf := flag.Float64("sf", 1.0, "dataset scale factor for the real-engine run")
+	tenants := flag.Int("tenants", 4, "concurrent tenants for the gateway experiment")
 	benchout := flag.String("benchout", ".", "directory for machine-readable BENCH_*.json results")
 	flag.Parse()
 
@@ -43,7 +46,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"fig3", "table3", "fig9", "fig10", "fig11", "table4", "fig12", "table5", "fig13", "fig14", "ablate", "real", "encoding", "kernels"}
+		experiments = []string{"fig3", "table3", "fig9", "fig10", "fig11", "table4", "fig12", "table5", "fig13", "fig14", "ablate", "real", "encoding", "kernels", "gateway"}
 	}
 	out := os.Stdout
 	for _, exp := range experiments {
@@ -90,6 +93,12 @@ func main() {
 			cfg.ScaleFactor = *sf
 			cfg.OutDir = *benchout
 			err = bench.Kernels(ctx, out, cfg)
+		case "gateway":
+			cfg := bench.DefaultGatewayConfig()
+			cfg.ScaleFactor = *sf
+			cfg.Tenants = *tenants
+			cfg.OutDir = *benchout
+			err = bench.Gateway(ctx, out, cfg)
 		default:
 			err = fmt.Errorf("unknown experiment %q", exp)
 		}

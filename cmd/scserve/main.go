@@ -1,0 +1,70 @@
+// Command scserve runs the multi-tenant refresh gateway: an HTTP server
+// hosting many named MV pipelines over one shared Memory Catalog budget.
+//
+// Usage:
+//
+//	scserve [-addr :8080] [-budget-mb 256] [-slice-mb 0] [-queue 64]
+//	        [-queue-timeout 30s] [-headroom 1.25] [-concurrency 2]
+//	        [-data DIR]
+//
+// Pipelines are registered and refreshed over the /v1 HTTP API; see the
+// README's Serving section for the routes and an example curl session.
+// With -data, each pipeline's tables live under DIR/<pipeline>/ on the
+// filesystem; the default keeps them in memory.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	sc "github.com/shortcircuit-db/sc"
+	"github.com/shortcircuit-db/sc/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	budgetMB := flag.Int64("budget-mb", 256, "shared Memory Catalog budget (MiB)")
+	sliceMB := flag.Int64("slice-mb", 0, "default per-tenant budget slice (MiB, 0 = whole budget)")
+	queue := flag.Int("queue", 64, "max queued refresh triggers")
+	queueTimeout := flag.Duration("queue-timeout", 30*time.Second, "queued trigger deadline")
+	headroom := flag.Float64("headroom", 1.25, "reservation headroom over the predicted footprint")
+	concurrency := flag.Int("concurrency", 2, "worker pool per refresh")
+	dataDir := flag.String("data", "", "store pipeline tables under this directory (default: in memory)")
+	flag.Parse()
+
+	cfg := sc.GatewayConfig{
+		GlobalBudget: *budgetMB << 20,
+		DefaultSlice: *sliceMB << 20,
+		QueueLimit:   *queue,
+		QueueTimeout: *queueTimeout,
+		Headroom:     *headroom,
+		Concurrency:  *concurrency,
+	}
+	if *dataDir != "" {
+		root := *dataDir
+		cfg.NewStore = func(pipeline string) storage.Store {
+			st, err := storage.NewFSStore(filepath.Join(root, pipeline))
+			if err != nil {
+				log.Printf("scserve: pipeline %q: %v; falling back to memory", pipeline, err)
+				return storage.NewMemStore()
+			}
+			return st
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	log.Printf("scserve: listening on %s (budget %d MiB, queue %d, timeout %s)",
+		*addr, *budgetMB, *queue, *queueTimeout)
+	if err := sc.Serve(ctx, *addr, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("scserve: shut down")
+}

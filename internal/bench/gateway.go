@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/gateway"
+	"github.com/shortcircuit-db/sc/internal/tpcds"
+)
+
+// GatewayConfig parameterizes the multi-tenant gateway load benchmark.
+type GatewayConfig struct {
+	ScaleFactor   float64 // TPC-DS scale per tenant pipeline
+	Tenants       int     // concurrent tenants, each with its own pipeline
+	Rounds        int     // refresh rounds per tenant
+	ReadsPerRound int     // MV reads per tenant after each refresh
+	BudgetFrac    float64 // global budget as a fraction of one dataset's bytes, per tenant
+	Seed          int64
+	OutDir        string // where BENCH_gateway.json lands
+}
+
+// DefaultGatewayConfig returns the defaults: 4 tenants in a closed loop,
+// 3 refresh rounds each, 5 MV reads per round.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		ScaleFactor:   0.1,
+		Tenants:       4,
+		Rounds:        3,
+		ReadsPerRound: 5,
+		BudgetFrac:    0.5,
+		Seed:          1,
+		OutDir:        ".",
+	}
+}
+
+// GatewayReport is the machine-readable result of the gateway benchmark.
+type GatewayReport struct {
+	ScaleFactor float64 `json:"scale_factor"`
+	Tenants     int     `json:"tenants"`
+	Rounds      int     `json:"rounds"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	SliceBytes  int64   `json:"tenant_slice_bytes"`
+
+	Refreshes        int     `json:"refreshes"`
+	RefreshP50Ms     float64 `json:"refresh_p50_ms"`
+	RefreshP99Ms     float64 `json:"refresh_p99_ms"`
+	Reads            int     `json:"reads"`
+	ReadP50Ms        float64 `json:"read_p50_ms"`
+	ReadP99Ms        float64 `json:"read_p99_ms"`
+	Rejected429      int     `json:"rejected_429"`
+	Server5xx        int     `json:"server_5xx"`
+	PeakUsedBytes    int64   `json:"peak_used_bytes"`
+	PeakReserved     int64   `json:"peak_reserved_bytes"`
+	QueueExpired     int64   `json:"queue_expired"`
+	WithinBudget     bool    `json:"within_budget"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	RefreshSucceeded int     `json:"refresh_succeeded"`
+}
+
+// percentileMs picks the p-th percentile (0..1) of the samples, in ms.
+func percentileMs(samples []time.Duration, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// gatewayClient is one tenant's closed-loop driver state.
+type gatewayClient struct {
+	mu        sync.Mutex
+	refreshes []time.Duration
+	reads     []time.Duration
+	rejected  int
+	fivexx    int
+	succeeded int
+}
+
+// Gateway load-tests the refresh gateway end to end over real HTTP: N
+// concurrent tenants, each with its own TPC-DS pipeline on ONE shared
+// catalog budget, run a closed loop of trigger-and-wait refreshes followed
+// by MV point reads. The report lands in BENCH_gateway.json: p50/p99
+// refresh and read latency, admission outcomes, and the peak shared
+// catalog bytes against the configured budget.
+func Gateway(ctx context.Context, w io.Writer, cfg GatewayConfig) error {
+	t := &tw{w: w}
+	if cfg.Tenants < 1 {
+		cfg.Tenants = 1
+	}
+	// Size the budget from one dataset so the bench scales with -sf.
+	ds, err := tpcds.Generate(tpcds.GenConfig{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	slice := int64(float64(ds.TotalBytes()) * cfg.BudgetFrac)
+	if slice < 64<<10 {
+		slice = 64 << 10
+	}
+	budget := slice * int64(cfg.Tenants)
+
+	srv, err := gateway.NewServer(gateway.Config{
+		GlobalBudget: budget,
+		DefaultSlice: slice,
+		QueueLimit:   cfg.Tenants * cfg.Rounds,
+		QueueTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Timeout = 5 * time.Minute
+
+	t.printf("Gateway benchmark: %d tenants x %d rounds, TPC-DS sf %.1f per pipeline\n",
+		cfg.Tenants, cfg.Rounds, cfg.ScaleFactor)
+	t.printf("shared catalog budget %.1f MB (%.1f MB per-tenant slice)\n",
+		float64(budget)/1e6, float64(slice)/1e6)
+
+	// Register one pipeline per tenant; each seeds its own dataset.
+	mvs := []string{"top_items", "category_report", "monthly_trend"}
+	for i := 0; i < cfg.Tenants; i++ {
+		spec := gateway.TPCDSSpec(fmt.Sprintf("pipe%d", i), fmt.Sprintf("tenant%d", i), cfg.ScaleFactor)
+		spec.TenantSlice = slice
+		if err := srv.Register(spec); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	clients := make([]*gatewayClient, cfg.Tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Tenants; i++ {
+		gc := &gatewayClient{}
+		clients[i] = gc
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			pipe := fmt.Sprintf("pipe%d", id)
+			for round := 0; round < cfg.Rounds; round++ {
+				if ctx.Err() != nil {
+					return
+				}
+				// Trigger-and-wait; a 429 backs off and retries the round.
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/pipelines/"+pipe+"/refresh?wait=1", "application/json", nil)
+				if err != nil {
+					gc.mu.Lock()
+					gc.fivexx++
+					gc.mu.Unlock()
+					continue
+				}
+				var st gateway.RunStatus
+				_ = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				gc.mu.Lock()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					gc.rejected++
+					round-- // closed loop: retry after backoff
+				case resp.StatusCode >= 500:
+					gc.fivexx++
+				default:
+					gc.refreshes = append(gc.refreshes, time.Since(t0))
+					if st.State == gateway.StateSucceeded {
+						gc.succeeded++
+					}
+				}
+				gc.mu.Unlock()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				// MV point reads round-robin across the pipeline's outputs.
+				for rd := 0; rd < cfg.ReadsPerRound; rd++ {
+					mv := mvs[rd%len(mvs)]
+					t1 := time.Now()
+					resp, err := client.Get(ts.URL + "/v1/pipelines/" + pipe + "/mvs/" + mv + "?limit=10")
+					if err != nil {
+						gc.mu.Lock()
+						gc.fivexx++
+						gc.mu.Unlock()
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					gc.mu.Lock()
+					if resp.StatusCode >= 500 {
+						gc.fivexx++
+					} else {
+						gc.reads = append(gc.reads, time.Since(t1))
+					}
+					gc.mu.Unlock()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var refreshes, reads []time.Duration
+	report := &GatewayReport{
+		ScaleFactor: cfg.ScaleFactor,
+		Tenants:     cfg.Tenants,
+		Rounds:      cfg.Rounds,
+		BudgetBytes: budget,
+		SliceBytes:  slice,
+		WallSeconds: wall.Seconds(),
+	}
+	for _, gc := range clients {
+		refreshes = append(refreshes, gc.refreshes...)
+		reads = append(reads, gc.reads...)
+		report.Rejected429 += gc.rejected
+		report.Server5xx += gc.fivexx
+		report.RefreshSucceeded += gc.succeeded
+	}
+	report.Refreshes = len(refreshes)
+	report.Reads = len(reads)
+	report.RefreshP50Ms = percentileMs(refreshes, 0.50)
+	report.RefreshP99Ms = percentileMs(refreshes, 0.99)
+	report.ReadP50Ms = percentileMs(reads, 0.50)
+	report.ReadP99Ms = percentileMs(reads, 0.99)
+
+	stats := srv.Stats()
+	report.PeakUsedBytes = stats.PeakUsedBytes
+	report.PeakReserved = stats.PeakReserved
+	report.QueueExpired = stats.Expired
+	report.WithinBudget = stats.PeakUsedBytes <= budget && stats.PeakReserved <= budget
+
+	t.printf("\n%-10s %8s %12s %12s\n", "metric", "count", "p50", "p99")
+	t.printf("%-10s %8d %10.1fms %10.1fms\n", "refresh", report.Refreshes, report.RefreshP50Ms, report.RefreshP99Ms)
+	t.printf("%-10s %8d %10.1fms %10.1fms\n", "mv read", report.Reads, report.ReadP50Ms, report.ReadP99Ms)
+	t.printf("admission: %d refreshes succeeded, %d rejected (429), %d expired, %d server errors\n",
+		report.RefreshSucceeded, report.Rejected429, report.QueueExpired, report.Server5xx)
+	t.printf("peak shared catalog: %.2f MB used / %.2f MB reserved of %.2f MB budget (within budget: %v)\n",
+		float64(report.PeakUsedBytes)/1e6, float64(report.PeakReserved)/1e6, float64(budget)/1e6, report.WithinBudget)
+
+	path := filepath.Join(cfg.OutDir, "BENCH_gateway.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	t.printf("wrote %s\n", path)
+	if t.err != nil {
+		return t.err
+	}
+	if report.Server5xx > 0 {
+		return fmt.Errorf("bench: gateway served %d 5xx responses", report.Server5xx)
+	}
+	if !report.WithinBudget {
+		return fmt.Errorf("bench: peak catalog bytes exceeded the %d-byte budget", budget)
+	}
+	if report.RefreshSucceeded == 0 {
+		return fmt.Errorf("bench: no refresh succeeded")
+	}
+	return nil
+}

@@ -347,6 +347,32 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 		rs.bgMu.Unlock()
 	}
 
+	// A cancelled or failed run can strand flagged outputs: the release
+	// protocol frees an entry only once every dependent has executed, so a
+	// node whose children never ran keeps its bytes resident forever. That
+	// is invisible when each run gets a throwaway catalog, but a long-lived
+	// catalog (the gateway's shared budget pool) would leak those bytes
+	// across refreshes — so sweep whatever release did not. Workers and
+	// background writers are done at this point: no further release races.
+	if c.Mem != nil {
+		for i, st := range rs.states {
+			if st == nil {
+				continue
+			}
+			st.mu.Lock()
+			if !st.released {
+				st.released = true
+				id := dag.NodeID(i)
+				name := g.Name(id)
+				if size, err := c.Mem.Size(name); err == nil {
+					_ = c.Mem.Delete(name)
+					obs.Emit(c.Obs, obs.Event{Kind: obs.Evicted, Node: name, Step: rs.pos[id], Bytes: size})
+				}
+			}
+			st.mu.Unlock()
+		}
+	}
+
 	res := &RunResult{FallbackWrites: int(rs.fallbacks.Load())}
 	for _, m := range metricsAt {
 		if m != nil {

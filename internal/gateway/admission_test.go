@@ -1,0 +1,307 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/memcat"
+)
+
+// fakeClock is a manually advanced clock for deadline tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// admitLog records callback order.
+type admitLog struct {
+	mu      sync.Mutex
+	started []string
+	expired []string
+}
+
+func (l *admitLog) startedNames() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.started...)
+}
+
+func (l *admitLog) expiredNames() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.expired...)
+}
+
+// admitStep is one scripted action against the admitter.
+type admitStep struct {
+	submit   string        // ticket label "tenant/pipeline#need[@deadline]" to submit
+	tenant   string        //   submit fields
+	pipeline string        //
+	need     int64         //
+	ttl      time.Duration //   0 = no deadline
+	wantErr  error         //   expected submit error
+	wantNow  bool          //   expect immediate admission
+
+	finishTenant string // release a completed refresh for tenant/pipeline
+	finishPipe   string
+	finishNeed   int64
+
+	advance time.Duration // move the fake clock, then reap
+}
+
+// TestAdmissionControl is the satellite table-driven admission test: a
+// burst of M triggers over a B-byte budget admits at most what fits,
+// queues the rest in submission order, and honors queue deadline expiry.
+func TestAdmissionControl(t *testing.T) {
+	cases := []struct {
+		name        string
+		budget      int64
+		maxQueue    int
+		slices      map[string]int64
+		steps       []admitStep
+		wantStarted []string
+		wantExpired []string
+		wantDepth   int
+	}{
+		{
+			name:     "burst over budget admits at most budget then queues in order",
+			budget:   1000,
+			maxQueue: 16,
+			slices:   map[string]int64{"a": 1000},
+			steps: []admitStep{
+				{submit: "p1", tenant: "a", pipeline: "p1", need: 400, wantNow: true},
+				{submit: "p2", tenant: "a", pipeline: "p2", need: 400, wantNow: true},
+				{submit: "p3", tenant: "a", pipeline: "p3", need: 400}, // 1200 > 1000: queues
+				{submit: "p4", tenant: "a", pipeline: "p4", need: 100}, // would fit, but FIFO behind p3
+				{finishTenant: "a", finishPipe: "p1", finishNeed: 400}, // frees 400: p3 then p4 admitted
+			},
+			wantStarted: []string{"p1", "p2", "p3", "p4"},
+		},
+		{
+			name:     "tenant slice caps a noisy tenant",
+			budget:   1000,
+			maxQueue: 16,
+			slices:   map[string]int64{"noisy": 300, "calm": 1000},
+			steps: []admitStep{
+				{submit: "n1", tenant: "noisy", pipeline: "n1", need: 300, wantNow: true},
+				{submit: "n2", tenant: "noisy", pipeline: "n2", need: 300}, // slice full
+				{submit: "c1", tenant: "calm", pipeline: "c1", need: 300},  // FIFO: behind n2
+				{finishTenant: "noisy", finishPipe: "n1", finishNeed: 300},
+			},
+			wantStarted: []string{"n1", "n2", "c1"},
+		},
+		{
+			name:     "one pipeline never runs two refreshes concurrently",
+			budget:   1000,
+			maxQueue: 16,
+			slices:   map[string]int64{"a": 1000},
+			steps: []admitStep{
+				{submit: "p1", tenant: "a", pipeline: "p1", need: 100, wantNow: true},
+				{submit: "p1-again", tenant: "a", pipeline: "p1", need: 100}, // busy: queues
+				{finishTenant: "a", finishPipe: "p1", finishNeed: 100},
+			},
+			wantStarted: []string{"p1", "p1-again"},
+		},
+		{
+			name:     "queue deadline expiry unblocks the tickets behind it",
+			budget:   1000,
+			maxQueue: 16,
+			slices:   map[string]int64{"a": 1000},
+			steps: []admitStep{
+				{submit: "p1", tenant: "a", pipeline: "p1", need: 900, wantNow: true},
+				{submit: "p2", tenant: "a", pipeline: "p2", need: 900, ttl: time.Second},
+				{submit: "p3", tenant: "a", pipeline: "p3", need: 100, ttl: time.Hour},
+				{advance: 2 * time.Second}, // p2 expires; p3 fits alongside p1
+			},
+			wantStarted: []string{"p1", "p3"},
+			wantExpired: []string{"p2"},
+		},
+		{
+			name:     "bounded queue rejects beyond capacity",
+			budget:   100,
+			maxQueue: 2,
+			slices:   map[string]int64{"a": 100},
+			steps: []admitStep{
+				{submit: "p1", tenant: "a", pipeline: "p1", need: 100, wantNow: true},
+				{submit: "p2", tenant: "a", pipeline: "p2", need: 100},
+				{submit: "p3", tenant: "a", pipeline: "p3", need: 100},
+				{submit: "p4", tenant: "a", pipeline: "p4", need: 100, wantErr: ErrQueueFull},
+			},
+			wantStarted: []string{"p1"},
+			wantDepth:   2,
+		},
+		{
+			name:     "zero-footprint triggers admit under a full pool",
+			budget:   100,
+			maxQueue: 16,
+			slices:   map[string]int64{"a": 100},
+			steps: []admitStep{
+				{submit: "p1", tenant: "a", pipeline: "p1", need: 100, wantNow: true},
+				{submit: "p2", tenant: "a", pipeline: "p2", need: 0, wantNow: true},
+			},
+			wantStarted: []string{"p1", "p2"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newFakeClock()
+			pool := memcat.NewPool(tc.budget)
+			a := newAdmitter(pool, tc.maxQueue, clock.now)
+			for tenant, slice := range tc.slices {
+				a.addTenant(tenant, slice)
+			}
+			lg := &admitLog{}
+			for i, step := range tc.steps {
+				switch {
+				case step.submit != "":
+					label := step.submit
+					tkt := &ticket{
+						tenant:   step.tenant,
+						pipeline: step.pipeline,
+						need:     step.need,
+						start: func(*ticket) {
+							lg.mu.Lock()
+							lg.started = append(lg.started, label)
+							lg.mu.Unlock()
+						},
+						expire: func(*ticket) {
+							lg.mu.Lock()
+							lg.expired = append(lg.expired, label)
+							lg.mu.Unlock()
+						},
+					}
+					if step.ttl > 0 {
+						tkt.deadline = clock.now().Add(step.ttl)
+					}
+					now, err := a.submit(tkt)
+					if !errors.Is(err, step.wantErr) {
+						t.Fatalf("step %d submit %s: err = %v, want %v", i, label, err, step.wantErr)
+					}
+					if now != step.wantNow {
+						t.Fatalf("step %d submit %s: admittedNow = %v, want %v", i, label, now, step.wantNow)
+					}
+				case step.finishPipe != "":
+					a.finish(step.finishTenant, step.finishPipe, step.finishNeed)
+				case step.advance > 0:
+					clock.advance(step.advance)
+					a.reap()
+				}
+				if res := pool.Reserved(); res > tc.budget {
+					t.Fatalf("step %d: reserved %d exceeds budget %d", i, res, tc.budget)
+				}
+			}
+			if got := lg.startedNames(); !equalStrings(got, tc.wantStarted) {
+				t.Fatalf("started = %v, want %v", got, tc.wantStarted)
+			}
+			if got := lg.expiredNames(); !equalStrings(got, tc.wantExpired) {
+				t.Fatalf("expired = %v, want %v", got, tc.wantExpired)
+			}
+			if got := a.depth(); got != tc.wantDepth {
+				t.Fatalf("queue depth = %d, want %d", got, tc.wantDepth)
+			}
+			if pk := pool.PeakReserved(); pk > tc.budget {
+				t.Fatalf("peak reserved %d exceeds budget %d", pk, tc.budget)
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAdmissionConcurrentBurst hammers the admitter from many goroutines
+// (run with -race): reservations never exceed the budget, and every
+// submitted ticket eventually starts exactly once.
+func TestAdmissionConcurrentBurst(t *testing.T) {
+	const (
+		budget  = 1000
+		tickets = 64
+	)
+	pool := memcat.NewPool(budget)
+	a := newAdmitter(pool, tickets, time.Now)
+	a.addTenant("a", 600)
+	a.addTenant("b", 600)
+
+	var startedCount int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	done := make(chan struct{}, tickets)
+	for i := 0; i < tickets; i++ {
+		tenant := "a"
+		if i%2 == 1 {
+			tenant = "b"
+		}
+		tkt := &ticket{
+			tenant:   tenant,
+			pipeline: fmt.Sprintf("%s-p%d", tenant, i), // distinct pipelines: no busy serialization
+			need:     int64(50 + i%7*25),
+		}
+		tkt.start = func(tk *ticket) {
+			mu.Lock()
+			startedCount++
+			mu.Unlock()
+			if res := pool.Reserved(); res > budget {
+				t.Errorf("reserved %d exceeds budget %d", res, budget)
+			}
+			// Finish on another goroutine, as the server's execute does.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a.finish(tk.tenant, tk.pipeline, tk.need)
+				done <- struct{}{}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.submit(tkt); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < tickets; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("deadlock: %d/%d tickets finished", i, tickets)
+		}
+	}
+	wg.Wait()
+	if startedCount != tickets {
+		t.Fatalf("started %d, want %d", startedCount, tickets)
+	}
+	if res := pool.Reserved(); res != 0 {
+		t.Fatalf("reserved %d after all finished", res)
+	}
+	if pk := pool.PeakReserved(); pk > budget {
+		t.Fatalf("peak reserved %d exceeds budget %d", pk, budget)
+	}
+}

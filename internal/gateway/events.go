@@ -1,0 +1,80 @@
+package gateway
+
+import (
+	"sync"
+
+	"github.com/shortcircuit-db/sc/internal/obs"
+)
+
+// eventBufCap bounds one run's buffered event stream. A 12-node refresh
+// emits a few dozen events; the cap only matters for pathological DAGs,
+// where the stream reports how many events it dropped instead of growing
+// without bound.
+const eventBufCap = 16384
+
+// eventBuf accumulates one run's obs events for streaming: subscribers
+// replay what is buffered, then follow live appends until the buffer is
+// closed (run finished). It implements obs.Observer and is safe for the
+// Controller's concurrent emitters.
+type eventBuf struct {
+	mu      sync.Mutex
+	events  []obs.Event
+	dropped int64
+	closed  bool
+	wake    chan struct{} // closed and replaced on every append/close
+}
+
+func newEventBuf() *eventBuf {
+	return &eventBuf{wake: make(chan struct{})}
+}
+
+// OnEvent implements obs.Observer.
+func (b *eventBuf) OnEvent(e obs.Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if len(b.events) >= eventBufCap {
+		b.dropped++
+	} else {
+		b.events = append(b.events, e)
+	}
+	b.wakeLocked()
+	b.mu.Unlock()
+}
+
+// close marks the stream complete and wakes all followers.
+func (b *eventBuf) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.wakeLocked()
+	}
+	b.mu.Unlock()
+}
+
+func (b *eventBuf) wakeLocked() {
+	close(b.wake)
+	b.wake = make(chan struct{})
+}
+
+// next returns the events from index from onward, whether the stream is
+// complete, and a channel that is closed on the next append/close. A
+// follower loops: consume the slice, and when it is empty and not done,
+// wait on the channel.
+func (b *eventBuf) next(from int) (events []obs.Event, done bool, wake <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < len(b.events) {
+		events = b.events[from:]
+	}
+	return events, b.closed, b.wake
+}
+
+// droppedCount reports events lost to the buffer cap.
+func (b *eventBuf) droppedCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

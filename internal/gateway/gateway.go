@@ -1,0 +1,897 @@
+// Package gateway is the multi-tenant refresh gateway: a server hosting
+// many named MV pipelines over ONE shared Memory Catalog budget. Each
+// registered pipeline keeps its own metrics store, session dictionary
+// cache and storage namespace; every refresh trigger is re-planned from
+// the pipeline's observed execution metadata, its predicted peak catalog
+// footprint is reserved against the tenant's slice and the global pool by
+// the admission controller, and only then does the refresh run. Triggers
+// that do not fit queue in a bounded FIFO with a deadline; cancellation —
+// explicit or by client disconnect — releases reservations and evicts
+// partial state, so the shared budget can never leak.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/chunkio"
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/metrics"
+	"github.com/shortcircuit-db/sc/internal/obs"
+	"github.com/shortcircuit-db/sc/internal/opt"
+	"github.com/shortcircuit-db/sc/internal/storage"
+	"github.com/shortcircuit-db/sc/internal/table"
+	"github.com/shortcircuit-db/sc/internal/tpcds"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	ErrNotFound      = errors.New("gateway: not found")
+	ErrAlreadyExists = errors.New("gateway: pipeline already exists")
+)
+
+// Config configures a Server. The zero value of every field but
+// GlobalBudget has a sensible default.
+type Config struct {
+	// GlobalBudget is the shared Memory Catalog capacity in bytes across
+	// all tenants; required.
+	GlobalBudget int64
+	// DefaultSlice bounds a tenant's share of the budget when its
+	// registration does not say; 0 means the whole budget.
+	DefaultSlice int64
+	// QueueLimit bounds the refresh trigger queue; beyond it triggers are
+	// rejected with ErrQueueFull (HTTP 429). Default 64.
+	QueueLimit int
+	// QueueTimeout is how long a queued trigger may wait for admission
+	// before it expires. Default 30s.
+	QueueTimeout time.Duration
+	// Headroom multiplies the predicted peak footprint when sizing a
+	// reservation, absorbing estimation error. Default 1.25, min 1.
+	Headroom float64
+	// SizeGuess is the per-node output-size assumption before any
+	// observation. Default 1MB.
+	SizeGuess int64
+	// Concurrency is the intra-refresh worker pool per run. Default 2.
+	Concurrency int
+	// NewStore creates a pipeline's storage backend; default is an
+	// in-memory store per pipeline.
+	NewStore func(pipeline string) storage.Store
+	// Clock injects time for tests; default time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.GlobalBudget <= 0 {
+		return c, errors.New("gateway: GlobalBudget must be positive")
+	}
+	if c.DefaultSlice <= 0 || c.DefaultSlice > c.GlobalBudget {
+		c.DefaultSlice = c.GlobalBudget
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 30 * time.Second
+	}
+	if c.Headroom < 1 {
+		c.Headroom = 1.25
+	}
+	if c.SizeGuess <= 0 {
+		c.SizeGuess = 1 << 20
+	}
+	if c.Concurrency < 1 {
+		c.Concurrency = 2
+	}
+	if c.NewStore == nil {
+		c.NewStore = func(string) storage.Store { return storage.NewMemStore() }
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c, nil
+}
+
+// MVSpec declares one MV of a pipeline registration.
+type MVSpec struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+}
+
+// PipelineSpec registers a pipeline.
+type PipelineSpec struct {
+	Name        string
+	Tenant      string        // defaults to "default"
+	TenantSlice int64         // tenant budget slice; first registration wins
+	MVs         []MVSpec      // the refresh DAG, dependencies implied by table names
+	Every       time.Duration // cron interval; 0 = manual triggers only
+	Encoding    bool          // compressed catalog entries and chunked storage
+	Vectorized  bool          // compressed-execution kernels
+
+	// SeedTPCDS seeds the pipeline's store with the TPC-DS-like dataset at
+	// this scale factor (0 = none).
+	SeedTPCDS float64
+	// Tables seeds explicit base tables.
+	Tables map[string]*table.Table
+}
+
+// TPCDSSpec builds a registration for the repo's TPC-DS-like real
+// workload (the 12-node store_sales pipeline), seeded at the given scale
+// factor with the compressed path enabled — what the CI smoke job and the
+// gateway bench register.
+func TPCDSSpec(name, tenant string, sf float64) PipelineSpec {
+	w := tpcds.RealWorkload()
+	spec := PipelineSpec{
+		Name: name, Tenant: tenant,
+		SeedTPCDS: sf,
+		Encoding:  true, Vectorized: true,
+	}
+	for _, n := range w.Nodes {
+		spec.MVs = append(spec.MVs, MVSpec{Name: n.Name, SQL: n.SQL})
+	}
+	return spec
+}
+
+// pipeline is one registered refresh DAG with its per-pipeline state.
+type pipeline struct {
+	name       string
+	tenant     string
+	workload   *exec.Workload
+	graph      *dag.Graph
+	store      storage.Store
+	md         *metrics.Store
+	session    *chunkio.Session
+	encOpts    *encoding.Options
+	vectorized bool
+	every      time.Duration
+	created    time.Time
+
+	mu        sync.Mutex
+	nextFire  time.Time
+	lastRunID string
+	runsTotal int64
+}
+
+// Run states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+	StateExpired   = "expired"
+)
+
+// Run is one refresh trigger through its lifecycle: queued by admission,
+// running, then terminal. Wait on Done and read Status.
+type Run struct {
+	id       string
+	pipeline string
+	tenant   string
+	need     int64 // reserved catalog bytes
+
+	events *eventBuf
+	done   chan struct{} // closed on any terminal state
+	tkt    *ticket
+
+	mu         sync.Mutex
+	state      string
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	cancelRun  context.CancelFunc // set while running
+	cat        *memcat.Catalog    // live catalog while running
+	errMsg     string
+	nodes      int
+	flagged    int
+	fallbacks  int
+	leftover   int64 // bytes the detach sweep had to credit back
+}
+
+// RunStatus is a run's externally visible snapshot.
+type RunStatus struct {
+	ID               string    `json:"id"`
+	Pipeline         string    `json:"pipeline"`
+	Tenant           string    `json:"tenant"`
+	State            string    `json:"state"`
+	ReservedBytes    int64     `json:"reserved_bytes"`
+	EnqueuedAt       time.Time `json:"enqueued_at"`
+	StartedAt        time.Time `json:"started_at,omitzero"`
+	FinishedAt       time.Time `json:"finished_at,omitzero"`
+	QueueWaitSeconds float64   `json:"queue_wait_seconds,omitempty"`
+	ElapsedSeconds   float64   `json:"elapsed_seconds,omitempty"`
+	Nodes            int       `json:"nodes,omitempty"`
+	Flagged          int       `json:"flagged,omitempty"`
+	FallbackWrites   int       `json:"fallback_writes,omitempty"`
+	Error            string    `json:"error,omitempty"`
+	EventsDropped    int64     `json:"events_dropped,omitempty"`
+}
+
+// ID returns the run's identifier.
+func (r *Run) ID() string { return r.id }
+
+// Done is closed when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Status snapshots the run.
+func (r *Run) Status() RunStatus { return r.status() }
+
+func (r *Run) status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID: r.id, Pipeline: r.pipeline, Tenant: r.tenant, State: r.state,
+		ReservedBytes: r.need, EnqueuedAt: r.enqueuedAt,
+		StartedAt: r.startedAt, FinishedAt: r.finishedAt,
+		Nodes: r.nodes, Flagged: r.flagged, FallbackWrites: r.fallbacks,
+		Error: r.errMsg, EventsDropped: r.events.droppedCount(),
+	}
+	if !r.startedAt.IsZero() {
+		st.QueueWaitSeconds = r.startedAt.Sub(r.enqueuedAt).Seconds()
+	}
+	if !r.finishedAt.IsZero() {
+		st.ElapsedSeconds = r.finishedAt.Sub(r.enqueuedAt).Seconds()
+	}
+	return st
+}
+
+// Stats is the server-wide snapshot backing /healthz and the bench report.
+type Stats struct {
+	Pipelines     int   `json:"pipelines"`
+	QueueDepth    int   `json:"queue_depth"`
+	Admitted      int64 `json:"admitted"`
+	Enqueued      int64 `json:"enqueued"`
+	Rejected      int64 `json:"rejected"`
+	Expired       int64 `json:"expired"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ReservedBytes int64 `json:"reserved_bytes"`
+	UsedBytes     int64 `json:"used_bytes"`
+	PeakUsedBytes int64 `json:"peak_used_bytes"`
+	PeakReserved  int64 `json:"peak_reserved_bytes"`
+}
+
+// Server hosts the pipelines and schedules their refreshes against the
+// shared budget.
+type Server struct {
+	cfg    Config
+	pool   *memcat.Pool
+	adm    *admitter
+	prom   *prom
+	device costmodel.DeviceProfile
+
+	mu        sync.Mutex
+	pipelines map[string]*pipeline
+	runs      map[string]*Run
+	runSeq    int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	runWG    sync.WaitGroup
+}
+
+// NewServer validates the config and starts the scheduler loop (cron fires
+// and queue-deadline reaping). Close releases it.
+func NewServer(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pool := memcat.NewPool(cfg.GlobalBudget)
+	s := &Server{
+		cfg:       cfg,
+		pool:      pool,
+		adm:       newAdmitter(pool, cfg.QueueLimit, cfg.Clock),
+		prom:      newProm(),
+		device:    costmodel.PaperProfile(),
+		pipelines: make(map[string]*pipeline),
+		runs:      make(map[string]*Run),
+		stopCh:    make(chan struct{}),
+	}
+	s.registerGauges()
+	s.wg.Add(1)
+	go s.schedulerLoop()
+	return s, nil
+}
+
+// Close stops the scheduler, cancels running refreshes and waits for them.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+	s.mu.Lock()
+	for _, r := range s.runs {
+		r.mu.Lock()
+		if r.state == StateRunning && r.cancelRun != nil {
+			r.cancelRun()
+		}
+		tkt := r.tkt
+		r.mu.Unlock()
+		if tkt != nil {
+			s.cancelIfQueued(r, tkt)
+		}
+	}
+	s.mu.Unlock()
+	s.runWG.Wait()
+}
+
+// schedulerLoop reaps queue deadlines and fires cron triggers.
+func (s *Server) schedulerLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+			s.adm.reap()
+			s.fireCron()
+		}
+	}
+}
+
+// fireCron triggers every pipeline whose interval elapsed.
+func (s *Server) fireCron() {
+	now := s.cfg.Clock()
+	var due []string
+	s.mu.Lock()
+	for name, p := range s.pipelines {
+		p.mu.Lock()
+		if p.every > 0 && !p.nextFire.After(now) {
+			p.nextFire = now.Add(p.every)
+			due = append(due, name)
+		}
+		p.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, name := range due {
+		// Cron fires best-effort: a full queue drops the tick, the next one
+		// tries again.
+		_, _ = s.Trigger(name)
+	}
+}
+
+// Register adds a pipeline. The spec's base tables are written to the
+// pipeline's store before the first trigger can run.
+func (s *Server) Register(spec PipelineSpec) error {
+	if spec.Name == "" {
+		return errors.New("gateway: pipeline name required")
+	}
+	if len(spec.MVs) == 0 {
+		return errors.New("gateway: pipeline needs at least one MV")
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	w := &exec.Workload{}
+	for _, mv := range spec.MVs {
+		w.Nodes = append(w.Nodes, exec.NodeSpec{Name: mv.Name, SQL: mv.SQL})
+	}
+	g, _, err := w.BuildGraph()
+	if err != nil {
+		return err
+	}
+	p := &pipeline{
+		name:       spec.Name,
+		tenant:     spec.Tenant,
+		workload:   w,
+		graph:      g,
+		store:      s.cfg.NewStore(spec.Name),
+		md:         metrics.NewStore(),
+		vectorized: spec.Vectorized,
+		every:      spec.Every,
+		created:    s.cfg.Clock(),
+	}
+	if spec.Encoding {
+		p.encOpts = &encoding.Options{}
+	}
+	if spec.Vectorized {
+		p.session = chunkio.NewSession()
+	}
+	if p.every > 0 {
+		p.nextFire = p.created.Add(p.every)
+	}
+	if err := s.seed(p, spec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.pipelines[spec.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrAlreadyExists, spec.Name)
+	}
+	s.pipelines[spec.Name] = p
+	slice := spec.TenantSlice
+	if slice <= 0 {
+		slice = s.cfg.DefaultSlice
+	}
+	s.adm.addTenant(spec.Tenant, slice)
+	return nil
+}
+
+// seed writes the spec's base tables into the pipeline's store, chunked
+// when the pipeline runs with encoding so the kernels can engage.
+func (s *Server) seed(p *pipeline, spec PipelineSpec) error {
+	save := func(st storage.Store, name string, t *table.Table) error {
+		if p.encOpts != nil {
+			return exec.SaveTableChunked(st, name, t, *p.encOpts)
+		}
+		return exec.SaveTable(st, name, t)
+	}
+	if spec.SeedTPCDS > 0 {
+		ds, err := tpcds.Generate(tpcds.GenConfig{ScaleFactor: spec.SeedTPCDS, Seed: 1})
+		if err != nil {
+			return err
+		}
+		if err := ds.Save(p.store, save); err != nil {
+			return err
+		}
+	}
+	for name, t := range spec.Tables {
+		if err := save(p.store, name, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unregister removes a pipeline. In-flight runs keep their store and
+// finish normally.
+func (s *Server) Unregister(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pipelines[name]; !ok {
+		return fmt.Errorf("%w: pipeline %q", ErrNotFound, name)
+	}
+	delete(s.pipelines, name)
+	return nil
+}
+
+// PipelineInfo is a pipeline's externally visible snapshot.
+type PipelineInfo struct {
+	Name         string   `json:"name"`
+	Tenant       string   `json:"tenant"`
+	MVs          []string `json:"mvs"`
+	EverySeconds float64  `json:"every_seconds,omitempty"`
+	Encoding     bool     `json:"encoding"`
+	Vectorized   bool     `json:"vectorized"`
+	Runs         int64    `json:"runs"`
+	LastRunID    string   `json:"last_run_id,omitempty"`
+	SliceBytes   int64    `json:"tenant_slice_bytes"`
+}
+
+func (s *Server) info(p *pipeline) PipelineInfo {
+	mvs := make([]string, 0, len(p.workload.Nodes))
+	for _, n := range p.workload.Nodes {
+		mvs = append(mvs, n.Name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PipelineInfo{
+		Name: p.name, Tenant: p.tenant, MVs: mvs,
+		EverySeconds: p.every.Seconds(),
+		Encoding:     p.encOpts != nil, Vectorized: p.vectorized,
+		Runs: p.runsTotal, LastRunID: p.lastRunID,
+		SliceBytes: s.adm.tenantSlice(p.tenant),
+	}
+}
+
+// Pipeline returns one pipeline's snapshot.
+func (s *Server) Pipeline(name string) (PipelineInfo, error) {
+	s.mu.Lock()
+	p, ok := s.pipelines[name]
+	s.mu.Unlock()
+	if !ok {
+		return PipelineInfo{}, fmt.Errorf("%w: pipeline %q", ErrNotFound, name)
+	}
+	return s.info(p), nil
+}
+
+// Pipelines lists all pipeline snapshots.
+func (s *Server) Pipelines() []PipelineInfo {
+	s.mu.Lock()
+	ps := make([]*pipeline, 0, len(s.pipelines))
+	for _, p := range s.pipelines {
+		ps = append(ps, p)
+	}
+	s.mu.Unlock()
+	infos := make([]PipelineInfo, 0, len(ps))
+	for _, p := range ps {
+		infos = append(infos, s.info(p))
+	}
+	return infos
+}
+
+// planned is a trigger's plan and predicted reservation.
+type planned struct {
+	plan *core.Plan
+	need int64
+}
+
+// planTrigger re-plans the pipeline from its current execution metadata
+// and predicts the refresh's catalog footprint: encoded sizes via the
+// learned compression ratios (EWMA), scores under the device profile, the
+// knapsack solved against the tenant slice, and the plan's peak usage
+// inflated by the headroom factor. Every trigger replans, so the gateway
+// IS the paper's observe → re-optimize loop.
+func (s *Server) planTrigger(ctx context.Context, p *pipeline) (planned, error) {
+	slice := s.adm.tenantSlice(p.tenant)
+	raw := p.md.Sizes(p.graph, s.cfg.SizeGuess)
+	prob := &core.Problem{G: p.graph, Memory: slice}
+	if p.encOpts != nil {
+		enc := p.md.EncodedSizes(p.graph, s.cfg.SizeGuess)
+		prob.Sizes = enc
+		prob.Scores = p.md.ScoresSized(p.graph, raw, enc, s.device)
+	} else {
+		prob.Sizes = raw
+		prob.Scores = p.md.Scores(p.graph, raw, s.device)
+	}
+	plan, _, err := opt.Solve(ctx, prob, opt.Options{})
+	if err != nil {
+		return planned{}, err
+	}
+	peak := core.PeakMemoryUsage(prob, plan)
+	need := int64(float64(peak) * s.cfg.Headroom)
+	if need > slice {
+		need = slice
+	}
+	if need < peak {
+		need = peak
+	}
+	return planned{plan: plan, need: need}, nil
+}
+
+// Trigger requests a refresh of the named pipeline. It returns the run in
+// state queued or running; ErrQueueFull when the queue is at capacity.
+func (s *Server) Trigger(name string) (*Run, error) {
+	s.mu.Lock()
+	p, ok := s.pipelines[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: pipeline %q", ErrNotFound, name)
+	}
+	pl, err := s.planTrigger(context.Background(), p)
+	if err != nil {
+		return nil, err
+	}
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	s.runSeq++
+	r := &Run{
+		id:       fmt.Sprintf("run-%06d", s.runSeq),
+		pipeline: p.name,
+		tenant:   p.tenant,
+		need:     pl.need,
+		events:   newEventBuf(),
+		done:     make(chan struct{}),
+		state:    StateQueued,
+	}
+	r.enqueuedAt = now
+	s.runs[r.id] = r
+	s.mu.Unlock()
+
+	r.tkt = &ticket{
+		tenant:   p.tenant,
+		pipeline: p.name,
+		need:     pl.need,
+		deadline: now.Add(s.cfg.QueueTimeout),
+		start:    func(*ticket) { s.startRun(r, p, pl.plan) },
+		expire:   func(*ticket) { s.expireRun(r) },
+	}
+	admittedNow, err := s.adm.submit(r.tkt)
+	if err != nil {
+		s.mu.Lock()
+		delete(s.runs, r.id)
+		s.mu.Unlock()
+		s.prom.triggers.add(1, "rejected")
+		return nil, err
+	}
+	if admittedNow {
+		s.prom.triggers.add(1, "admitted")
+	} else {
+		s.prom.triggers.add(1, "queued")
+	}
+	return r, nil
+}
+
+// startRun is the admitter's start callback: the reservation is held; move
+// the run to running and execute it on its own goroutine.
+func (s *Server) startRun(r *Run, p *pipeline, plan *core.Plan) {
+	now := s.cfg.Clock()
+	r.mu.Lock()
+	if r.state != StateQueued {
+		// Canceled between pump and callback; give the reservation back.
+		r.mu.Unlock()
+		s.adm.finish(r.tenant, r.pipeline, r.need)
+		return
+	}
+	r.state = StateRunning
+	r.startedAt = now
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancelRun = cancel
+	r.mu.Unlock()
+	s.prom.queueWait.observe(now.Sub(r.enqueuedAt).Seconds())
+	s.runWG.Add(1)
+	go func() {
+		defer s.runWG.Done()
+		s.execute(ctx, r, p, plan)
+	}()
+}
+
+// execute runs one admitted refresh: a per-run catalog attached to the
+// shared pool, capacity exactly the reservation, so the pool-wide bound
+// holds byte-for-byte no matter what the run does.
+func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Plan) {
+	cat := s.pool.NewCatalog(r.need)
+	r.mu.Lock()
+	r.cat = cat
+	r.mu.Unlock()
+
+	ctl := &exec.Controller{
+		Store:       p.store,
+		Mem:         cat,
+		Obs:         obs.Multi(metrics.NewRecorder(p.md), r.events, s.prom.runObserver(r.tenant, r.pipeline)),
+		Concurrency: s.cfg.Concurrency,
+		Encoding:    p.encOpts,
+		Vectorized:  p.vectorized,
+		Chunked:     p.session,
+	}
+	res, runErr := ctl.Run(ctx, p.workload, p.graph, plan)
+
+	leftover := cat.Detach()
+	s.adm.finish(r.tenant, r.pipeline, r.need)
+
+	now := s.cfg.Clock()
+	state := StateSucceeded
+	switch {
+	case runErr != nil && errors.Is(runErr, context.Canceled):
+		state = StateCanceled
+	case runErr != nil:
+		state = StateFailed
+	}
+	r.mu.Lock()
+	r.state = state
+	r.finishedAt = now
+	r.cat = nil
+	r.cancelRun = nil
+	r.leftover = leftover
+	if runErr != nil {
+		r.errMsg = runErr.Error()
+	}
+	if res != nil {
+		r.nodes = len(res.Nodes)
+		r.fallbacks = res.FallbackWrites
+		for _, n := range res.Nodes {
+			if n.Flagged {
+				r.flagged++
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	p.mu.Lock()
+	p.lastRunID = r.id
+	p.runsTotal++
+	p.mu.Unlock()
+
+	s.prom.refreshes.add(1, r.tenant, r.pipeline, state)
+	s.prom.refreshSeconds.observe(now.Sub(r.enqueuedAt).Seconds(), r.tenant, r.pipeline)
+	r.events.close()
+	close(r.done)
+}
+
+// expireRun is the admitter's expire callback: the queue deadline passed.
+func (s *Server) expireRun(r *Run) {
+	now := s.cfg.Clock()
+	r.mu.Lock()
+	if r.state != StateQueued {
+		r.mu.Unlock()
+		return
+	}
+	r.state = StateExpired
+	r.finishedAt = now
+	r.mu.Unlock()
+	s.prom.triggers.add(1, "expired")
+	s.prom.refreshes.add(1, r.tenant, r.pipeline, StateExpired)
+	r.events.close()
+	close(r.done)
+}
+
+// cancelIfQueued finalizes a still-queued run as canceled. Returns whether
+// it took effect.
+func (s *Server) cancelIfQueued(r *Run, tkt *ticket) bool {
+	r.mu.Lock()
+	if r.state != StateQueued {
+		r.mu.Unlock()
+		return false
+	}
+	r.state = StateCanceled
+	r.finishedAt = s.cfg.Clock()
+	r.mu.Unlock()
+	tkt.markCanceled()
+	s.prom.refreshes.add(1, r.tenant, r.pipeline, StateCanceled)
+	r.events.close()
+	close(r.done)
+	return true
+}
+
+// CancelRun cancels a run: a queued trigger is dropped from the queue, a
+// running refresh has its context canceled — the Controller stops at the
+// next boundary and the cancellation sweep plus catalog detach release
+// every reserved and resident byte.
+func (s *Server) CancelRun(id string) (RunStatus, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RunStatus{}, fmt.Errorf("%w: run %q", ErrNotFound, id)
+	}
+	if s.cancelIfQueued(r, r.tkt) {
+		s.adm.reap()
+		return r.status(), nil
+	}
+	r.mu.Lock()
+	if r.state == StateRunning && r.cancelRun != nil {
+		r.cancelRun()
+	}
+	r.mu.Unlock()
+	return r.status(), nil
+}
+
+// Run returns a run's snapshot.
+func (s *Server) Run(id string) (RunStatus, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RunStatus{}, fmt.Errorf("%w: run %q", ErrNotFound, id)
+	}
+	return r.status(), nil
+}
+
+// runHandle returns the run object itself (the HTTP layer streams its
+// events and waits on done).
+func (s *Server) runHandle(id string) (*Run, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: run %q", ErrNotFound, id)
+	}
+	return r, nil
+}
+
+// QueryMV reads a materialized view from the pipeline's store. limit <= 0
+// returns all rows.
+func (s *Server) QueryMV(pipelineName, mv string, limit int) (*table.Table, error) {
+	s.mu.Lock()
+	p, ok := s.pipelines[pipelineName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: pipeline %q", ErrNotFound, pipelineName)
+	}
+	known := false
+	for _, n := range p.workload.Nodes {
+		if n.Name == mv {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("%w: mv %q in pipeline %q", ErrNotFound, mv, pipelineName)
+	}
+	start := time.Now()
+	t, err := exec.LoadTable(p.store, mv)
+	if err != nil {
+		return nil, fmt.Errorf("%w: mv %q not materialized yet", ErrNotFound, mv)
+	}
+	s.prom.mvReadSeconds.observe(time.Since(start).Seconds())
+	if limit > 0 && t.NumRows() > limit {
+		idx := make([]int, limit)
+		for i := range idx {
+			idx[i] = i
+		}
+		t = t.Gather(idx)
+	}
+	return t, nil
+}
+
+// Stats snapshots server-wide admission and budget state.
+func (s *Server) Stats() Stats {
+	adm, enq, rej, exp := s.adm.counters()
+	s.mu.Lock()
+	n := len(s.pipelines)
+	s.mu.Unlock()
+	return Stats{
+		Pipelines:     n,
+		QueueDepth:    s.adm.depth(),
+		Admitted:      adm,
+		Enqueued:      enq,
+		Rejected:      rej,
+		Expired:       exp,
+		BudgetBytes:   s.pool.Capacity(),
+		ReservedBytes: s.pool.Reserved(),
+		UsedBytes:     s.pool.Used(),
+		PeakUsedBytes: s.pool.PeakUsed(),
+		PeakReserved:  s.pool.PeakReserved(),
+	}
+}
+
+// tenantNames lists tenants with registered slices.
+func (s *Server) tenantNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	var names []string
+	for _, p := range s.pipelines {
+		if !seen[p.tenant] {
+			seen[p.tenant] = true
+			names = append(names, p.tenant)
+		}
+	}
+	return names
+}
+
+// registerGauges wires the scrape-time gauges to live server state.
+func (s *Server) registerGauges() {
+	s.prom.addGauge("scserve_queue_depth",
+		"Triggers waiting for admission.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.adm.depth())}}
+		})
+	s.prom.addGauge("scserve_catalog_budget_bytes",
+		"Global shared Memory Catalog budget.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.pool.Capacity())}}
+		})
+	s.prom.addGauge("scserve_catalog_reserved_bytes",
+		"Bytes reserved by admitted refreshes.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.pool.Reserved())}}
+		})
+	s.prom.addGauge("scserve_catalog_used_bytes",
+		"Bytes resident across all run catalogs.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.pool.Used())}}
+		})
+	s.prom.addGauge("scserve_catalog_peak_used_bytes",
+		"High-water mark of resident bytes.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.pool.PeakUsed())}}
+		})
+	s.prom.addGauge("scserve_tenant_slice_bytes",
+		"Configured tenant budget slice.", []string{"tenant"}, func() []gaugeSample {
+			var out []gaugeSample
+			for _, t := range s.tenantNames() {
+				out = append(out, gaugeSample{lvs: []string{t}, v: float64(s.adm.tenantSlice(t))})
+			}
+			return out
+		})
+	s.prom.addGauge("scserve_tenant_reserved_bytes",
+		"Bytes a tenant's admitted refreshes hold reserved.", []string{"tenant"}, func() []gaugeSample {
+			var out []gaugeSample
+			for _, t := range s.tenantNames() {
+				out = append(out, gaugeSample{lvs: []string{t}, v: float64(s.adm.tenantReserved(t))})
+			}
+			return out
+		})
+	s.prom.addGauge("scserve_tenant_catalog_bytes",
+		"Bytes resident in a tenant's live run catalogs.", []string{"tenant"}, func() []gaugeSample {
+			used := make(map[string]float64)
+			s.mu.Lock()
+			for _, r := range s.runs {
+				r.mu.Lock()
+				if r.cat != nil {
+					used[r.tenant] += float64(r.cat.Used())
+				}
+				r.mu.Unlock()
+			}
+			s.mu.Unlock()
+			var out []gaugeSample
+			for _, t := range s.tenantNames() {
+				out = append(out, gaugeSample{lvs: []string{t}, v: used[t]})
+			}
+			return out
+		})
+}

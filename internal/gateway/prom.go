@@ -1,0 +1,261 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/shortcircuit-db/sc/internal/obs"
+)
+
+// Prometheus text-exposition registry, hand-rolled so the gateway stays
+// dependency-free. Families follow exporter conventions: unit-suffixed
+// names, _total on counters, cumulative _bucket/_sum/_count histograms.
+
+// labelKey joins label values into a map key; \x1f cannot appear in a
+// sane label value.
+func labelKey(lvs []string) string { return strings.Join(lvs, "\x1f") }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// counterVec is a labeled monotonically increasing counter family.
+type counterVec struct {
+	name, help string
+	labels     []string
+
+	mu   sync.Mutex
+	vals map[string]float64
+	lvs  map[string][]string
+}
+
+func newCounterVec(name, help string, labels ...string) *counterVec {
+	return &counterVec{name: name, help: help, labels: labels,
+		vals: make(map[string]float64), lvs: make(map[string][]string)}
+}
+
+func (c *counterVec) add(v float64, labelValues ...string) {
+	if v == 0 {
+		return
+	}
+	k := labelKey(labelValues)
+	c.mu.Lock()
+	if _, ok := c.vals[k]; !ok {
+		c.lvs[k] = append([]string(nil), labelValues...)
+	}
+	c.vals[k] += v
+	c.mu.Unlock()
+}
+
+func (c *counterVec) write(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s%s %g\n", c.name, labelPairs(c.labels, c.lvs[k]), c.vals[k])
+	}
+	c.mu.Unlock()
+}
+
+// histVec is a labeled cumulative histogram family.
+type histVec struct {
+	name, help string
+	labels     []string
+	buckets    []float64 // upper bounds, ascending; +Inf implied
+
+	mu sync.Mutex
+	m  map[string]*histCell
+}
+
+type histCell struct {
+	lvs    []string
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+func newHistVec(name, help string, buckets []float64, labels ...string) *histVec {
+	return &histVec{name: name, help: help, labels: labels, buckets: buckets,
+		m: make(map[string]*histCell)}
+}
+
+func (h *histVec) observe(v float64, labelValues ...string) {
+	k := labelKey(labelValues)
+	h.mu.Lock()
+	cell := h.m[k]
+	if cell == nil {
+		cell = &histCell{lvs: append([]string(nil), labelValues...), counts: make([]int64, len(h.buckets))}
+		h.m[k] = cell
+	}
+	for i, ub := range h.buckets {
+		if v <= ub {
+			cell.counts[i]++
+		}
+	}
+	cell.sum += v
+	cell.count++
+	h.mu.Unlock()
+}
+
+func (h *histVec) write(w io.Writer) {
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.m))
+	for k := range h.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	for _, k := range keys {
+		cell := h.m[k]
+		for i, ub := range h.buckets {
+			lvs := append(append([]string(nil), cell.lvs...), fmt.Sprintf("%g", ub))
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
+				labelPairs(append(append([]string(nil), h.labels...), "le"), lvs), cell.counts[i])
+		}
+		lvs := append(append([]string(nil), cell.lvs...), "+Inf")
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
+			labelPairs(append(append([]string(nil), h.labels...), "le"), lvs), cell.count)
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.name, labelPairs(h.labels, cell.lvs), cell.sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, labelPairs(h.labels, cell.lvs), cell.count)
+	}
+	h.mu.Unlock()
+}
+
+// gaugeSample is one scrape-time gauge reading.
+type gaugeSample struct {
+	lvs []string
+	v   float64
+}
+
+// gaugeVec is a labeled gauge family whose values are collected at scrape
+// time — queue depth and catalog byte gauges read live server state
+// instead of being kept in sync event by event.
+type gaugeVec struct {
+	name, help string
+	labels     []string
+	collect    func() []gaugeSample
+}
+
+func (g *gaugeVec) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+	samples := g.collect()
+	sort.Slice(samples, func(i, j int) bool {
+		return labelKey(samples[i].lvs) < labelKey(samples[j].lvs)
+	})
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s%s %g\n", g.name, labelPairs(g.labels, s.lvs), s.v)
+	}
+}
+
+// latencyBuckets spans queue waits through multi-minute refreshes.
+var latencyBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// prom is the gateway's metric registry: the obs stream lands in counters
+// and histograms here, and the /metrics handler writes the exposition.
+type prom struct {
+	refreshes       *counterVec // tenant, pipeline, status
+	triggers        *counterVec // outcome
+	decodeBytes     *counterVec // tenant, pipeline
+	encodeBytes     *counterVec // tenant, pipeline
+	materialized    *counterVec // tenant, pipeline
+	evictions       *counterVec // tenant, pipeline
+	kernelFallbacks *counterVec // tenant, pipeline
+	refreshSeconds  *histVec    // tenant, pipeline
+	queueWait       *histVec    // (none)
+	mvReadSeconds   *histVec    // (none)
+
+	gauges []*gaugeVec
+}
+
+func newProm() *prom {
+	return &prom{
+		refreshes: newCounterVec("scserve_refreshes_total",
+			"Completed refresh runs by terminal status.", "tenant", "pipeline", "status"),
+		triggers: newCounterVec("scserve_triggers_total",
+			"Trigger admission outcomes.", "outcome"),
+		decodeBytes: newCounterVec("scserve_decode_bytes_total",
+			"Raw bytes decoded serving catalog and chunked-file reads.", "tenant", "pipeline"),
+		encodeBytes: newCounterVec("scserve_encode_bytes_total",
+			"Encoded bytes produced by node outputs.", "tenant", "pipeline"),
+		materialized: newCounterVec("scserve_materialized_bytes_total",
+			"Bytes materialized to external storage.", "tenant", "pipeline"),
+		evictions: newCounterVec("scserve_evictions_total",
+			"Flagged outputs released from the shared catalog.", "tenant", "pipeline"),
+		kernelFallbacks: newCounterVec("scserve_kernel_fallbacks_total",
+			"Kernel executions that reverted to the row engine.", "tenant", "pipeline"),
+		refreshSeconds: newHistVec("scserve_refresh_seconds",
+			"End-to-end refresh latency (trigger to all MVs materialized), including queue wait.",
+			latencyBuckets, "tenant", "pipeline"),
+		queueWait: newHistVec("scserve_queue_wait_seconds",
+			"Time triggers spent queued before admission.", latencyBuckets),
+		mvReadSeconds: newHistVec("scserve_mv_read_seconds",
+			"Server-side MV query latency.", latencyBuckets),
+	}
+}
+
+// runObserver adapts one run's obs stream into the registry.
+func (p *prom) runObserver(tenant, pipeline string) obs.Observer {
+	return obs.Func(func(e obs.Event) {
+		switch e.Kind {
+		case obs.DecodeDone:
+			p.decodeBytes.add(float64(e.Bytes), tenant, pipeline)
+		case obs.EncodeDone:
+			p.encodeBytes.add(float64(e.Encoded), tenant, pipeline)
+		case obs.Materialized:
+			p.materialized.add(float64(e.Bytes), tenant, pipeline)
+		case obs.Evicted:
+			p.evictions.add(1, tenant, pipeline)
+		case obs.KernelDone:
+			p.kernelFallbacks.add(float64(e.Fallbacks), tenant, pipeline)
+		}
+	})
+}
+
+// addGauge registers a scrape-time gauge family.
+func (p *prom) addGauge(name, help string, labels []string, collect func() []gaugeSample) {
+	p.gauges = append(p.gauges, &gaugeVec{name: name, help: help, labels: labels, collect: collect})
+}
+
+// write renders the full exposition.
+func (p *prom) write(w io.Writer) {
+	p.refreshes.write(w)
+	p.triggers.write(w)
+	p.decodeBytes.write(w)
+	p.encodeBytes.write(w)
+	p.materialized.write(w)
+	p.evictions.write(w)
+	p.kernelFallbacks.write(w)
+	for _, g := range p.gauges {
+		g.write(w)
+	}
+	p.refreshSeconds.write(w)
+	p.queueWait.write(w)
+	p.mvReadSeconds.write(w)
+}

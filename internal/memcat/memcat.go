@@ -64,6 +64,10 @@ type Catalog struct {
 	decPeak   int64
 	decSeq    int64
 	dec       map[string]*decView
+
+	// pool, when non-nil, is the shared budget this catalog's entry bytes
+	// are additionally accounted against (see Pool). Guarded by mu.
+	pool *Pool
 }
 
 type entryT struct {
@@ -131,6 +135,9 @@ func (c *Catalog) PutEntry(name string, e Entry) error {
 	c.used += size - old
 	if c.used > c.peak {
 		c.peak = c.used
+	}
+	if c.pool != nil {
+		c.pool.charge(size - old)
 	}
 	return nil
 }
@@ -389,7 +396,30 @@ func (c *Catalog) Delete(name string) error {
 	c.used -= e.size
 	delete(c.entries, name)
 	c.dropDecodedLocked(name)
+	if c.pool != nil {
+		c.pool.charge(-e.size)
+	}
 	return nil
+}
+
+// Detach credits any bytes the catalog still holds back to its pool and
+// disconnects it; later catalog mutations no longer touch the pool. It
+// returns the bytes credited back — zero for a run whose release protocol
+// (or the controller's cancellation sweep) freed every entry, which is the
+// expected case; a non-zero return is a leak a long-lived server would
+// otherwise carry forever. Detaching a pool-less catalog returns 0.
+func (c *Catalog) Detach() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pool == nil {
+		return 0
+	}
+	left := c.used
+	if left > 0 {
+		c.pool.charge(-left)
+	}
+	c.pool = nil
+	return left
 }
 
 // Size returns the accounted bytes of the named entry, or ErrNotFound.

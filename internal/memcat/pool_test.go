@@ -1,0 +1,147 @@
+package memcat
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/shortcircuit-db/sc/internal/table"
+)
+
+func poolTable(rows int) *table.Table {
+	t := table.New(table.NewSchema(table.Column{Name: "a", Type: table.Int}))
+	for i := 0; i < rows; i++ {
+		if err := t.AppendRow(table.IntValue(int64(i))); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func TestPoolReserveRelease(t *testing.T) {
+	p := NewPool(100)
+	if !p.TryReserve(60) {
+		t.Fatal("first reservation should fit")
+	}
+	if !p.TryReserve(40) {
+		t.Fatal("second reservation should fit exactly")
+	}
+	if p.TryReserve(1) {
+		t.Fatal("over-capacity reservation admitted")
+	}
+	if got := p.Reserved(); got != 100 {
+		t.Fatalf("Reserved = %d, want 100", got)
+	}
+	if got := p.PeakReserved(); got != 100 {
+		t.Fatalf("PeakReserved = %d, want 100", got)
+	}
+	p.Release(60)
+	if !p.TryReserve(50) {
+		t.Fatal("reservation after release should fit")
+	}
+	// Zero and negative reservations are no-ops that always succeed.
+	if !p.TryReserve(0) || !p.TryReserve(-5) {
+		t.Fatal("non-positive reservations must succeed")
+	}
+	if got := p.Reserved(); got != 90 {
+		t.Fatalf("Reserved = %d, want 90", got)
+	}
+}
+
+func TestPoolAggregatesCatalogUsage(t *testing.T) {
+	p := NewPool(1 << 20)
+	a := p.NewCatalog(1 << 19)
+	b := p.NewCatalog(1 << 19)
+
+	ta := poolTable(16)
+	tb := poolTable(64)
+	if err := a.Put("x", ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("y", tb); err != nil {
+		t.Fatal(err)
+	}
+	want := ta.ByteSize() + tb.ByteSize()
+	if got := p.Used(); got != want {
+		t.Fatalf("pool Used = %d, want %d", got, want)
+	}
+	if got := p.PeakUsed(); got != want {
+		t.Fatalf("pool PeakUsed = %d, want %d", got, want)
+	}
+	// Replacing an entry charges only the delta.
+	if err := a.Put("x", tb); err != nil {
+		t.Fatal(err)
+	}
+	want = 2 * tb.ByteSize()
+	if got := p.Used(); got != want {
+		t.Fatalf("pool Used after replace = %d, want %d", got, want)
+	}
+	if err := a.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Used(); got != 0 {
+		t.Fatalf("pool Used after deletes = %d, want 0", got)
+	}
+	if got := p.PeakUsed(); got != 2*tb.ByteSize() {
+		t.Fatalf("pool PeakUsed = %d, want %d", got, 2*tb.ByteSize())
+	}
+}
+
+func TestPoolDetachCreditsLeftoverBytes(t *testing.T) {
+	p := NewPool(1 << 20)
+	c := p.NewCatalog(1 << 20)
+	tb := poolTable(32)
+	if err := c.Put("leak", tb); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Used(); got != tb.ByteSize() {
+		t.Fatalf("pool Used = %d, want %d", got, tb.ByteSize())
+	}
+	if left := c.Detach(); left != tb.ByteSize() {
+		t.Fatalf("Detach credited %d, want %d", left, tb.ByteSize())
+	}
+	if got := p.Used(); got != 0 {
+		t.Fatalf("pool Used after Detach = %d, want 0", got)
+	}
+	// A detached catalog keeps working but no longer touches the pool.
+	if err := c.Put("more", poolTable(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Used(); got != 0 {
+		t.Fatalf("detached catalog charged the pool: Used = %d", got)
+	}
+	if left := c.Detach(); left != 0 {
+		t.Fatalf("second Detach credited %d, want 0", left)
+	}
+}
+
+func TestPoolConcurrentCatalogs(t *testing.T) {
+	p := NewPool(1 << 30)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := p.NewCatalog(1 << 26)
+			tb := poolTable(100)
+			for i := 0; i < 50; i++ {
+				if err := c.Put("t", tb); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Delete("t"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c.Detach()
+		}()
+	}
+	wg.Wait()
+	if got := p.Used(); got != 0 {
+		t.Fatalf("pool Used after all catalogs drained = %d, want 0", got)
+	}
+}

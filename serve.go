@@ -1,0 +1,99 @@
+package sc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/gateway"
+)
+
+// Gateway is the multi-tenant refresh gateway: a server hosting many named
+// pipelines over one shared Memory Catalog budget, with per-tenant slices
+// and footprint-reserving admission control. Build one with NewGateway,
+// mount Gateway.Handler on any HTTP server (or use Serve), and drive it
+// over the /v1 API or programmatically via Register/Trigger/QueryMV.
+type Gateway = gateway.Server
+
+// GatewayConfig configures NewGateway and Serve; GlobalBudget (the shared
+// catalog capacity in bytes) is the only required field.
+type GatewayConfig = gateway.Config
+
+// GatewayPipeline registers one pipeline: its MV DAG, tenant, budget
+// slice, refresh interval and seed data.
+type GatewayPipeline = gateway.PipelineSpec
+
+// GatewayMV declares one MV of a gateway pipeline.
+type GatewayMV = gateway.MVSpec
+
+// GatewayRun is a triggered refresh; wait on Done and read Status.
+type GatewayRun = gateway.Run
+
+// GatewayRunStatus is a refresh run's externally visible state.
+type GatewayRunStatus = gateway.RunStatus
+
+// GatewayStats is the server-wide admission and budget snapshot.
+type GatewayStats = gateway.Stats
+
+// ErrRefreshQueueFull is returned by Gateway triggers when the bounded
+// admission queue is at capacity (HTTP 429 on the wire).
+var ErrRefreshQueueFull = gateway.ErrQueueFull
+
+// NewGateway builds a refresh gateway and starts its scheduler. Close it
+// when done.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	return gateway.NewServer(cfg)
+}
+
+// TPCDSPipeline returns a registration for the built-in TPC-DS-like real
+// workload seeded at the given scale factor, with the compressed path
+// enabled.
+func TPCDSPipeline(name, tenant string, scaleFactor float64) GatewayPipeline {
+	return gateway.TPCDSSpec(name, tenant, scaleFactor)
+}
+
+// Serve runs a refresh gateway over HTTP on addr until ctx is canceled,
+// then shuts down gracefully: in-flight requests get a short drain window
+// and running refreshes are canceled, which releases their reservations.
+// It returns the error that stopped the listener, or nil on a clean
+// ctx-driven shutdown.
+func Serve(ctx context.Context, addr string, cfg GatewayConfig) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveListener(ctx, ln, cfg, nil)
+}
+
+// serveListener is the testable core of Serve: ready (optional) receives
+// the bound address once the gateway is accepting connections.
+func serveListener(ctx context.Context, ln net.Listener, cfg GatewayConfig, ready chan<- net.Addr) error {
+	g, err := gateway.NewServer(cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv := &http.Server{Handler: g.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		g.Close()
+		<-errc
+		return nil
+	case err := <-errc:
+		g.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,119 @@
+package sc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle boots the gateway over a real listener, drives one
+// register → trigger → query session through the public HTTP API, and
+// shuts down via context cancellation.
+func TestServeLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serveListener(ctx, ln, GatewayConfig{GlobalBudget: 1 << 20}, ready)
+	}()
+	addr := <-ready
+	base := fmt.Sprintf("http://%s", addr)
+
+	reg := map[string]any{
+		"name":   "beer",
+		"tenant": "brewer",
+		"mvs": []map[string]string{
+			{"name": "mv_daily", "sql": "SELECT day, SUM(amount) AS revenue FROM sales GROUP BY day"},
+			{"name": "mv_top", "sql": "SELECT day, revenue FROM mv_daily WHERE revenue >= 10"},
+		},
+		"tables": map[string]any{
+			"sales": map[string]any{
+				"schema": []map[string]string{
+					{"name": "day", "type": "int"},
+					{"name": "item", "type": "str"},
+					{"name": "amount", "type": "float"},
+				},
+				"rows": [][]any{{1, "ale", 10.0}, {2, "bock", 5.0}, {2, "ale", 7.5}},
+			},
+		},
+	}
+	body, _ := json.Marshal(reg)
+	resp, err := http.Post(base+"/v1/pipelines", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/pipelines/beer/refresh?wait=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st GatewayRunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != "succeeded" {
+		t.Fatalf("run = %+v", st)
+	}
+
+	resp, err = http.Get(base + "/v1/pipelines/beer/mvs/mv_daily")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Rows int `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tr.Rows != 2 {
+		t.Fatalf("mv_daily rows = %d", tr.Rows)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}
+
+// TestNewGatewayFacade exercises the programmatic facade with the built-in
+// TPC-DS pipeline helper.
+func TestNewGatewayFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tpc-ds seed in -short")
+	}
+	g, err := NewGateway(GatewayConfig{GlobalBudget: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register(TPCDSPipeline("dw", "analytics", 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGateway(GatewayConfig{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	stats := g.Stats()
+	if stats.Pipelines != 1 || stats.BudgetBytes != 8<<20 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
