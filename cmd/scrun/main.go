@@ -7,7 +7,11 @@
 //
 // Methods: noopt, lru, random, greedy, ratio, sc. With -progress, the
 // run's event stream (node starts/completions, materialization, Memory
-// Catalog evictions and high-water marks) is printed live to stderr.
+// Catalog evictions and high-water marks) is printed live to stderr and a
+// critical-path breakdown of the simulated timeline follows the summary.
+// With -trace-file, the run's trace (root span plus one span per node, on
+// the virtual clock) is written as OTLP/HTTP JSON, one payload per line;
+// "-" writes to stdout.
 package main
 
 import (
@@ -17,11 +21,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/shortcircuit-db/sc/internal/bench"
 	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/sim"
+	"github.com/shortcircuit-db/sc/internal/telemetry"
 	"github.com/shortcircuit-db/sc/internal/tpcds"
 )
 
@@ -33,6 +40,7 @@ func main() {
 	method := flag.String("method", "sc", "method: noopt, lru, random, greedy, ratio, sc")
 	workers := flag.Int("workers", 1, "cluster worker count")
 	progress := flag.Bool("progress", false, "stream refresh events to stderr as the run advances")
+	traceFile := flag.String("trace-file", "", `write the run's OTLP JSON trace here ("-" = stdout)`)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -73,6 +81,20 @@ func main() {
 	if *progress {
 		cfg.Observer = progressPrinter(os.Stderr)
 	}
+	var col *telemetry.Collector
+	if *progress || *traceFile != "" {
+		// The simulator reports the virtual clock in Elapsed; the collector
+		// maps it onto span times so the trace and critical path are in
+		// simulated seconds.
+		cfg.RunID = telemetry.RunID(1)
+		col = telemetry.NewCollector(telemetry.CollectorConfig{
+			RunID:    cfg.RunID,
+			RootName: "simulate " + *workload,
+			Virtual:  true,
+		})
+		col.SetRootAttrs(telemetry.Str("sc.method", m.Name), telemetry.Int("sc.scale_gb", int64(*scale)))
+		cfg.Observer = obs.Multi(cfg.Observer, col)
+	}
 	res, err := sim.Run(ctx, w, plan, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scrun:", err)
@@ -92,6 +114,58 @@ func main() {
 	}
 	fmt.Printf("\nend-to-end %.1fs  (read %.1fs, compute %.1fs, blocking write %.1fs, peak memory %.1f MB)\n",
 		res.Total, res.ReadSeconds, res.ComputeSeconds, res.WriteSeconds, float64(res.PeakMemory)/1e6)
+
+	if col != nil {
+		col.Finish(time.Time{}, "")
+		spans := col.Spans()
+		parents := make(map[string][]string, len(w.Nodes))
+		for i, n := range w.Nodes {
+			for _, par := range w.G.Parents(dag.NodeID(i)) {
+				parents[n.Name] = append(parents[n.Name], w.Nodes[par].Name)
+			}
+		}
+		cp := telemetry.CriticalPath(spans, parents)
+		if *progress {
+			printCriticalPath(os.Stderr, cp)
+		}
+		if *traceFile != "" {
+			exp, err := telemetry.NewFileExporter(*traceFile, "scrun")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scrun:", err)
+				os.Exit(1)
+			}
+			exp.Export(spans)
+			err = exp.Err()
+			if cerr := exp.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scrun: trace:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// printCriticalPath renders the longest blocking chain through the DAG:
+// which nodes the simulated wall clock actually waited on, and how each
+// split between executing and blocking on upstream work.
+func printCriticalPath(out *os.File, cp telemetry.CritReport) {
+	if len(cp.Chain) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\ncritical path: %s (%.1fs of %.1fs wall, %.0f%%)\n",
+		strings.Join(cp.Chain, " -> "), cp.ChainSeconds, cp.WallSeconds, cp.Coverage*100)
+	onChain := make(map[string]bool, len(cp.Chain))
+	for _, n := range cp.Chain {
+		onChain[n] = true
+	}
+	for _, n := range cp.Nodes {
+		if !onChain[n.Node] {
+			continue
+		}
+		fmt.Fprintf(out, "  %-16s self %8.1fs  wait %8.1fs\n", n.Node, n.SelfSeconds, n.WaitSeconds)
+	}
 }
 
 // progressPrinter renders the refresh event stream as one line per event,

@@ -5,12 +5,19 @@
 //
 //	scserve [-addr :8080] [-budget-mb 256] [-slice-mb 0] [-queue 64]
 //	        [-queue-timeout 30s] [-headroom 1.25] [-concurrency 2]
-//	        [-data DIR]
+//	        [-data DIR] [-trace-otlp URL] [-trace-file PATH] [-pprof ADDR]
 //
 // Pipelines are registered and refreshed over the /v1 HTTP API; see the
 // README's Serving section for the routes and an example curl session.
 // With -data, each pipeline's tables live under DIR/<pipeline>/ on the
 // filesystem; the default keeps them in memory.
+//
+// Every refresh run is traced (root span, queue-admission span, one span
+// per executed node); traces are served at /v1/runs/{id}/trace and
+// exported with -trace-otlp (an OTLP/HTTP JSON collector endpoint, e.g.
+// http://localhost:4318/v1/traces) or -trace-file (NDJSON of OTLP
+// payloads, "-" = stdout). -pprof serves net/http/pprof on a separate
+// debug listener (keep it off public interfaces).
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -25,6 +34,7 @@ import (
 
 	sc "github.com/shortcircuit-db/sc"
 	"github.com/shortcircuit-db/sc/internal/storage"
+	"github.com/shortcircuit-db/sc/internal/telemetry"
 )
 
 func main() {
@@ -36,15 +46,55 @@ func main() {
 	headroom := flag.Float64("headroom", 1.25, "reservation headroom over the predicted footprint")
 	concurrency := flag.Int("concurrency", 2, "worker pool per refresh")
 	dataDir := flag.String("data", "", "store pipeline tables under this directory (default: in memory)")
+	traceOTLP := flag.String("trace-otlp", "", "export run traces to this OTLP/HTTP JSON endpoint")
+	traceFile := flag.String("trace-file", "", `append run traces to this file as OTLP JSON lines ("-" = stdout)`)
+	noTrace := flag.Bool("no-trace", false, "disable per-run trace collection")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	cfg := sc.GatewayConfig{
-		GlobalBudget: *budgetMB << 20,
-		DefaultSlice: *sliceMB << 20,
-		QueueLimit:   *queue,
-		QueueTimeout: *queueTimeout,
-		Headroom:     *headroom,
-		Concurrency:  *concurrency,
+		GlobalBudget:   *budgetMB << 20,
+		DefaultSlice:   *sliceMB << 20,
+		QueueLimit:     *queue,
+		QueueTimeout:   *queueTimeout,
+		Headroom:       *headroom,
+		Concurrency:    *concurrency,
+		DisableTracing: *noTrace,
+	}
+	if *traceOTLP != "" && *traceFile != "" {
+		fmt.Fprintln(os.Stderr, "scserve: -trace-otlp and -trace-file are mutually exclusive")
+		os.Exit(2)
+	}
+	switch {
+	case *traceOTLP != "":
+		exp, err := telemetry.NewOTLP(telemetry.OTLPConfig{Endpoint: *traceOTLP, Service: "scserve"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scserve:", err)
+			os.Exit(2)
+		}
+		defer exp.Close()
+		cfg.TraceExporter = exp
+		log.Printf("scserve: exporting traces to %s", *traceOTLP)
+	case *traceFile != "":
+		exp, err := telemetry.NewFileExporter(*traceFile, "scserve")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scserve:", err)
+			os.Exit(2)
+		}
+		defer exp.Close()
+		cfg.TraceExporter = exp
+		log.Printf("scserve: writing traces to %s", *traceFile)
+	}
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux; serve that mux on the debug listener only —
+		// the gateway API uses its own mux and never exposes profiling.
+		go func() {
+			log.Printf("scserve: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("scserve: pprof listener: %v", err)
+			}
+		}()
 	}
 	if *dataDir != "" {
 		root := *dataDir

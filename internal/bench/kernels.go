@@ -13,6 +13,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/core"
 	"github.com/shortcircuit-db/sc/internal/costmodel"
+	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/exec"
 	"github.com/shortcircuit-db/sc/internal/memcat"
@@ -22,6 +23,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/sim"
 	"github.com/shortcircuit-db/sc/internal/storage"
 	"github.com/shortcircuit-db/sc/internal/table"
+	"github.com/shortcircuit-db/sc/internal/telemetry"
 	"github.com/shortcircuit-db/sc/internal/tpcds"
 	"github.com/shortcircuit-db/sc/internal/wlgen"
 )
@@ -87,6 +89,19 @@ type KernelsRun struct {
 	PeakDecodedBytes int64 `json:"peak_decoded_bytes,omitempty"`
 	FlaggedNodes     int   `json:"flagged_nodes"`
 	Fallbacks        int   `json:"fallbacks"`
+	// Nodes breaks the measured wall time down per MV, derived from the
+	// run's node spans; CritPathSeconds is the longest blocking chain
+	// through the DAG. Real (measured) runs only — the simulated rows
+	// report their own timeline elsewhere.
+	Nodes           []KernelNodeTime `json:"nodes,omitempty"`
+	CritPath        []string         `json:"crit_path,omitempty"`
+	CritPathSeconds float64          `json:"crit_path_seconds,omitempty"`
+}
+
+// KernelNodeTime is one node's share of a measured run.
+type KernelNodeTime struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
 // KernelsReport is the machine-readable result of the benchmark. The
@@ -327,17 +342,38 @@ func kernelsRealRun(ctx context.Context, cfg KernelsConfig, ds *tpcds.Dataset, m
 		return nil, nil, 0, err
 	}
 
-	// Pass 2: the measured refresh.
+	// Pass 2: the measured refresh, with a trace collector alongside the
+	// counters so the report carries per-node wall times and the critical
+	// path of the measured run.
 	store2, err := newStore()
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	counters := &kernelCounters{}
-	ctl2 := &exec.Controller{Store: store2, Mem: memcat.New(memory), Encoding: enc, Vectorized: vectorized, Obs: counters, Chunked: sess}
+	col := telemetry.NewCollector(telemetry.CollectorConfig{
+		RunID:    telemetry.RunID(1),
+		RootName: "bench kernels",
+	})
+	ctl2 := &exec.Controller{Store: store2, Mem: memcat.New(memory), Encoding: enc, Vectorized: vectorized, Obs: obs.Multi(counters, col.Observer()), Chunked: sess}
 	res, err := ctl2.Run(ctx, wl, g, plan)
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	col.Finish(time.Time{}, "")
+	spans := col.Spans()
+	var nodes []KernelNodeTime
+	for _, sp := range spans[1:] {
+		if name := sp.StrAttr(telemetry.AttrNode); name != "" {
+			nodes = append(nodes, KernelNodeTime{Name: name, WallSeconds: sp.Duration().Seconds()})
+		}
+	}
+	parents := make(map[string][]string, len(wl.Nodes))
+	for i, n := range wl.Nodes {
+		for _, par := range g.Parents(dag.NodeID(i)) {
+			parents[n.Name] = append(parents[n.Name], wl.Nodes[par].Name)
+		}
+	}
+	cp := telemetry.CriticalPath(spans, parents)
 
 	var rawBytes, written int64
 	for _, n := range res.Nodes {
@@ -362,6 +398,9 @@ func kernelsRealRun(ctx context.Context, cfg KernelsConfig, ds *tpcds.Dataset, m
 		PeakDecodedBytes: res.PeakDecodedCache,
 		FlaggedNodes:     len(plan.FlaggedIDs()),
 		Fallbacks:        res.FallbackWrites,
+		Nodes:            nodes,
+		CritPath:         cp.Chain,
+		CritPathSeconds:  cp.ChainSeconds,
 	}, store2, rawBytes, nil
 }
 

@@ -148,6 +148,12 @@ type Controller struct {
 	Store storage.Store   // external storage holding base tables and MVs
 	Mem   *memcat.Catalog // bounded Memory Catalog (nil disables flagging)
 	Obs   obs.Observer    // optional event stream (must be concurrency-safe)
+	// RunID, when non-empty, scopes the event stream: every event this run
+	// emits carries RunID plus a per-run monotonic Seq (see obs.WithRun), so
+	// consumers of a shared stream — a gateway pool running concurrent
+	// refreshes, a trace exporter — can attribute interleaved events to the
+	// right run. Empty leaves events unscoped (single-run CLI usage).
+	RunID string
 	// Concurrency is the worker-pool size for executing independent DAG
 	// nodes. Values <= 1 run nodes serially in exact plan order. With k > 1
 	// a node starts as soon as all its parents have finished, preferring
@@ -234,6 +240,15 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 	start := time.Now()
 	n := g.Len()
 	c.Chunked.BeginRun() // nil-safe; snapshots the dictionary-reuse baseline
+
+	if c.RunID != "" && c.Obs != nil {
+		// Shallow-copy the controller with a run-scoped observer so every
+		// emission below carries RunID/Seq without touching the caller's
+		// Controller (Run may be invoked again with a different run ID).
+		cc := *c
+		cc.Obs = obs.WithRun(c.RunID, c.Obs)
+		c = &cc
+	}
 
 	rs := &runState{
 		c:       c,

@@ -29,6 +29,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/opt"
 	"github.com/shortcircuit-db/sc/internal/storage"
 	"github.com/shortcircuit-db/sc/internal/table"
+	"github.com/shortcircuit-db/sc/internal/telemetry"
 	"github.com/shortcircuit-db/sc/internal/tpcds"
 )
 
@@ -66,6 +67,15 @@ type Config struct {
 	NewStore func(pipeline string) storage.Store
 	// Clock injects time for tests; default time.Now.
 	Clock func() time.Time
+	// DisableTracing turns off per-run trace collection. By default every
+	// refresh assembles a trace — a root span covering enqueue to finish, a
+	// queue-admission child span, and one span per executed node — served
+	// at GET /v1/runs/{id}/trace with critical-path analysis.
+	DisableTracing bool
+	// TraceExporter receives each finished run's spans (OTLP or file
+	// exporter from internal/telemetry). Nil exports nothing; traces are
+	// still collected and served over HTTP unless DisableTracing is set.
+	TraceExporter telemetry.Exporter
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -145,6 +155,7 @@ type pipeline struct {
 	tenant     string
 	workload   *exec.Workload
 	graph      *dag.Graph
+	parents    map[string][]string // node name -> DAG parent names (critical path)
 	store      storage.Store
 	md         *metrics.Store
 	session    *chunkio.Session
@@ -177,9 +188,11 @@ type Run struct {
 	tenant   string
 	need     int64 // reserved catalog bytes
 
-	events *eventBuf
-	done   chan struct{} // closed on any terminal state
-	tkt    *ticket
+	events  *eventBuf
+	done    chan struct{} // closed on any terminal state
+	tkt     *ticket
+	trace   *telemetry.Collector // nil when tracing is disabled
+	parents map[string][]string  // pipeline DAG shape, for critical-path analysis
 
 	mu         sync.Mutex
 	state      string
@@ -219,6 +232,15 @@ func (r *Run) ID() string { return r.id }
 
 // Done is closed when the run reaches a terminal state.
 func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Traceparent returns the run's root span as a W3C traceparent value, or
+// "" when tracing is disabled.
+func (r *Run) Traceparent() string {
+	if r.trace == nil {
+		return ""
+	}
+	return r.trace.Context().Traceparent()
+}
 
 // Status snapshots the run.
 func (r *Run) Status() RunStatus { return r.status() }
@@ -378,11 +400,18 @@ func (s *Server) Register(spec PipelineSpec) error {
 	if err != nil {
 		return err
 	}
+	parents := make(map[string][]string, len(w.Nodes))
+	for i, n := range w.Nodes {
+		for _, par := range g.Parents(dag.NodeID(i)) {
+			parents[n.Name] = append(parents[n.Name], w.Nodes[par].Name)
+		}
+	}
 	p := &pipeline{
 		name:       spec.Name,
 		tenant:     spec.Tenant,
 		workload:   w,
 		graph:      g,
+		parents:    parents,
 		store:      s.cfg.NewStore(spec.Name),
 		md:         metrics.NewStore(),
 		vectorized: spec.Vectorized,
@@ -550,6 +579,13 @@ func (s *Server) planTrigger(ctx context.Context, p *pipeline) (planned, error) 
 // Trigger requests a refresh of the named pipeline. It returns the run in
 // state queued or running; ErrQueueFull when the queue is at capacity.
 func (s *Server) Trigger(name string) (*Run, error) {
+	return s.TriggerTrace(name, telemetry.SpanContext{})
+}
+
+// TriggerTrace is Trigger with trace-context propagation: when parent is
+// valid (a client's W3C traceparent), the run's root span joins that trace
+// instead of starting a new one.
+func (s *Server) TriggerTrace(name string, parent telemetry.SpanContext) (*Run, error) {
 	s.mu.Lock()
 	p, ok := s.pipelines[name]
 	s.mu.Unlock()
@@ -573,6 +609,21 @@ func (s *Server) Trigger(name string) (*Run, error) {
 		state:    StateQueued,
 	}
 	r.enqueuedAt = now
+	if !s.cfg.DisableTracing {
+		// The root span opens at enqueue, so queue wait is on the trace.
+		r.trace = telemetry.NewCollector(telemetry.CollectorConfig{
+			RunID:   r.id,
+			Parent:  parent,
+			Start:   now,
+			Profile: true,
+		})
+		r.trace.SetRootAttrs(
+			telemetry.Str("sc.pipeline", p.name),
+			telemetry.Str("sc.tenant", p.tenant),
+			telemetry.Int("sc.reserved_bytes", pl.need),
+		)
+		r.parents = p.parents
+	}
 	s.runs[r.id] = r
 	s.mu.Unlock()
 
@@ -616,6 +667,11 @@ func (s *Server) startRun(r *Run, p *pipeline, plan *core.Plan) {
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancelRun = cancel
 	r.mu.Unlock()
+	if r.trace != nil {
+		r.trace.AddChildSpan("queue admission", r.enqueuedAt, now,
+			telemetry.Str("sc.tenant", r.tenant),
+			telemetry.Int("sc.reserved_bytes", r.need))
+	}
 	s.prom.queueWait.observe(now.Sub(r.enqueuedAt).Seconds())
 	s.runWG.Add(1)
 	go func() {
@@ -636,7 +692,8 @@ func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Pl
 	ctl := &exec.Controller{
 		Store:       p.store,
 		Mem:         cat,
-		Obs:         obs.Multi(metrics.NewRecorder(p.md), r.events, s.prom.runObserver(r.tenant, r.pipeline)),
+		Obs:         obs.Multi(metrics.NewRecorder(p.md), r.events, s.prom.runObserver(r.tenant, r.pipeline), r.trace.Observer()),
+		RunID:       r.id,
 		Concurrency: s.cfg.Concurrency,
 		Encoding:    p.encOpts,
 		Vectorized:  p.vectorized,
@@ -680,10 +737,30 @@ func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Pl
 	p.runsTotal++
 	p.mu.Unlock()
 
+	s.finishTrace(r, now, state)
 	s.prom.refreshes.add(1, r.tenant, r.pipeline, state)
 	s.prom.refreshSeconds.observe(now.Sub(r.enqueuedAt).Seconds(), r.tenant, r.pipeline)
 	r.events.close()
 	close(r.done)
+}
+
+// finishTrace closes the run's root span at its terminal state and hands
+// the completed trace to the configured exporter.
+func (s *Server) finishTrace(r *Run, now time.Time, state string) {
+	if r.trace == nil {
+		return
+	}
+	r.mu.Lock()
+	errMsg := r.errMsg
+	r.mu.Unlock()
+	if errMsg == "" && state != StateSucceeded {
+		errMsg = state
+	}
+	r.trace.SetRootAttrs(telemetry.Str("sc.state", state))
+	r.trace.Finish(now, errMsg)
+	if s.cfg.TraceExporter != nil {
+		s.cfg.TraceExporter.Export(r.trace.Spans())
+	}
 }
 
 // expireRun is the admitter's expire callback: the queue deadline passed.
@@ -697,6 +774,7 @@ func (s *Server) expireRun(r *Run) {
 	r.state = StateExpired
 	r.finishedAt = now
 	r.mu.Unlock()
+	s.finishTrace(r, now, StateExpired)
 	s.prom.triggers.add(1, "expired")
 	s.prom.refreshes.add(1, r.tenant, r.pipeline, StateExpired)
 	r.events.close()
@@ -711,10 +789,12 @@ func (s *Server) cancelIfQueued(r *Run, tkt *ticket) bool {
 		r.mu.Unlock()
 		return false
 	}
+	now := s.cfg.Clock()
 	r.state = StateCanceled
-	r.finishedAt = s.cfg.Clock()
+	r.finishedAt = now
 	r.mu.Unlock()
 	tkt.markCanceled()
+	s.finishTrace(r, now, StateCanceled)
 	s.prom.refreshes.add(1, r.tenant, r.pipeline, StateCanceled)
 	r.events.close()
 	close(r.done)
@@ -753,6 +833,46 @@ func (s *Server) Run(id string) (RunStatus, error) {
 		return RunStatus{}, fmt.Errorf("%w: run %q", ErrNotFound, id)
 	}
 	return r.status(), nil
+}
+
+// TraceReport is a run's trace with its critical-path analysis — the body
+// of GET /v1/runs/{id}/trace.
+type TraceReport struct {
+	RunID       string `json:"run_id"`
+	Pipeline    string `json:"pipeline"`
+	State       string `json:"state"`
+	TraceID     string `json:"trace_id"`
+	Traceparent string `json:"traceparent"`
+	// Complete is false while the run is still queued or executing; spans
+	// and the critical path then cover only what has happened so far.
+	Complete     bool                 `json:"complete"`
+	CriticalPath telemetry.CritReport `json:"critical_path"`
+	Spans        []telemetry.SpanJSON `json:"spans"`
+}
+
+// RunTrace returns a run's trace snapshot and critical-path analysis.
+// ErrNotFound covers both unknown runs and a gateway running with
+// DisableTracing.
+func (s *Server) RunTrace(id string) (TraceReport, error) {
+	r, err := s.runHandle(id)
+	if err != nil {
+		return TraceReport{}, err
+	}
+	if r.trace == nil {
+		return TraceReport{}, fmt.Errorf("%w: run %q has no trace (tracing disabled)", ErrNotFound, id)
+	}
+	spans := r.trace.Spans()
+	st := r.status()
+	return TraceReport{
+		RunID:        r.id,
+		Pipeline:     r.pipeline,
+		State:        st.State,
+		TraceID:      spans[0].TraceID.String(),
+		Traceparent:  r.trace.Context().Traceparent(),
+		Complete:     r.trace.Finished(),
+		CriticalPath: telemetry.CriticalPath(spans, r.parents),
+		Spans:        telemetry.SpansToJSON(spans),
+	}, nil
 }
 
 // runHandle returns the run object itself (the HTTP layer streams its

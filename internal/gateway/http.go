@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/table"
+	"github.com/shortcircuit-db/sc/internal/telemetry"
 )
 
 // registerRequest is the JSON body of POST /v1/pipelines.
@@ -163,8 +164,13 @@ func writeError(w http.ResponseWriter, err error) {
 //	GET    /v1/runs/{id}                      run status
 //	POST   /v1/runs/{id}/cancel               cancel a queued or running refresh
 //	GET    /v1/runs/{id}/events               NDJSON progress stream (SSE with Accept: text/event-stream)
+//	GET    /v1/runs/{id}/trace                run trace: spans + critical-path analysis
 //	GET    /metrics                           Prometheus text exposition
 //	GET    /healthz                           server stats
+//
+// Refresh triggers accept a W3C traceparent header; the run's root span
+// joins the caller's trace and the response echoes the run's own
+// traceparent so clients can link further work under it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/pipelines", s.handleRegister)
@@ -205,6 +211,14 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := s.RunTrace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.prom.write(w)
@@ -271,10 +285,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrigger(w http.ResponseWriter, r *http.Request) {
-	run, err := s.Trigger(r.PathValue("name"))
+	// A valid W3C traceparent joins the run's trace to the caller's; a
+	// malformed one is ignored rather than rejected, per the spec.
+	parent, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	run, err := s.TriggerTrace(r.PathValue("name"), parent)
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if tp := run.Traceparent(); tp != "" {
+		w.Header().Set("traceparent", tp)
 	}
 	if r.URL.Query().Get("wait") == "" {
 		writeJSON(w, http.StatusAccepted, run.status())

@@ -1,0 +1,75 @@
+package gateway
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPromExpositionGolden pins the full /metrics exposition — family
+// naming, HELP/TYPE lines, label ordering and escaping, histogram
+// bucket/sum/count layout — against a golden file, so exporter-convention
+// regressions show up as a diff instead of a scrape-time surprise.
+func TestPromExpositionGolden(t *testing.T) {
+	p := newProm()
+	p.refreshes.add(1, "acme", "beer", "succeeded")
+	p.refreshes.add(2, "acme", "beer", "failed")
+	// Label values with quotes, backslashes and newlines must be escaped
+	// per the exposition format.
+	p.refreshes.add(1, `ten"ant`, "pi\\pe\nline", "succeeded")
+	p.triggers.add(3, "accepted")
+	p.triggers.add(1, "queue_full")
+	p.decodeBytes.add(4096, "acme", "beer")
+	p.encodeBytes.add(1024, "acme", "beer")
+	p.materialized.add(1<<20, "acme", "beer")
+	p.evictions.add(1, "acme", "beer")
+	p.kernelFallbacks.add(2, "acme", "beer")
+	p.addGauge("scserve_queue_depth", "Refresh triggers currently queued.", nil,
+		func() []gaugeSample { return []gaugeSample{{v: 2}} })
+	p.addGauge("scserve_catalog_bytes", "Shared catalog residency by tenant.", []string{"tenant"},
+		func() []gaugeSample {
+			return []gaugeSample{
+				{lvs: []string{"zeta"}, v: 1},
+				{lvs: []string{"acme"}, v: 12345},
+			}
+		})
+	p.refreshSeconds.observe(0.2, "acme", "beer")
+	p.refreshSeconds.observe(75, "acme", "beer")
+	p.queueWait.observe(0.004)
+	p.mvReadSeconds.observe(0.03)
+
+	var buf bytes.Buffer
+	p.write(&buf)
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s (run with -update to accept):\ngot:\n%s\nwant:\n%s",
+			golden, firstDiff(buf.String(), string(want)), firstDiff(string(want), buf.String()))
+	}
+}
+
+// firstDiff returns the first line of a that differs from b, for a readable
+// failure message.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i, line := range al {
+		if i >= len(bl) || line != bl[i] {
+			return line
+		}
+	}
+	return "(prefix of other)"
+}

@@ -53,6 +53,16 @@ func TestRecorderCapturesEncodedBytes(t *testing.T) {
 	}
 }
 
+func TestRecorderStampsRunID(t *testing.T) {
+	s := NewStore()
+	r := NewRecorder(s)
+	r.OnEvent(obs.Event{Kind: obs.NodeDone, Node: "a", Bytes: 10, RunID: "run-000007"})
+	o, ok := s.Latest("a")
+	if !ok || o.RunID != "run-000007" {
+		t.Fatalf("observation = %+v", o)
+	}
+}
+
 func TestScoresSizedUsesDiskSizes(t *testing.T) {
 	g := pair(t)
 	s := NewStore()

@@ -19,7 +19,10 @@ import (
 
 // Observation records one node execution.
 type Observation struct {
-	Name        string `json:"name"`
+	Name string `json:"name"`
+	// RunID correlates the observation with the refresh run (and its
+	// trace) that produced it; empty when the run was not identified.
+	RunID       string `json:"run_id,omitempty"`
 	OutputBytes int64  `json:"output_bytes"`
 	// EncodedBytes is the serialized (possibly compressed) size actually
 	// moved to storage; zero when never observed. With encoding enabled it
@@ -253,6 +256,7 @@ func (r *Recorder) OnEvent(e obs.Event) {
 	}
 	r.Store.Record(Observation{
 		Name:         e.Node,
+		RunID:        e.RunID,
 		OutputBytes:  e.Bytes,
 		EncodedBytes: e.Encoded,
 		ReadTime:     e.Read,

@@ -10,6 +10,8 @@ import (
 // omitted so an NDJSON/SSE progress stream stays compact.
 type eventJSON struct {
 	Kind             string  `json:"kind"`
+	RunID            string  `json:"run_id,omitempty"`
+	Seq              int64   `json:"seq,omitempty"`
 	Node             string  `json:"node,omitempty"`
 	Step             *int    `json:"step,omitempty"`
 	Bytes            int64   `json:"bytes,omitempty"`
@@ -42,6 +44,8 @@ type eventJSON struct {
 func (e Event) MarshalJSON() ([]byte, error) {
 	j := eventJSON{
 		Kind:             e.Kind.String(),
+		RunID:            e.RunID,
+		Seq:              e.Seq,
 		Node:             e.Node,
 		Bytes:            e.Bytes,
 		Encoded:          e.Encoded,

@@ -8,6 +8,7 @@ package obs
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -83,7 +84,18 @@ func (k Kind) String() string {
 // Unused fields are zero; see the Kind constants for which fields each kind
 // fills.
 type Event struct {
-	Kind      Kind
+	Kind Kind
+	// RunID correlates every event of one refresh (or simulation) run.
+	// Emitters wrap their observer in WithRun; consumers of a shared stream
+	// (a gateway pool running concurrent refreshes, an OTLP exporter) use it
+	// to attribute interleaved events to the right run. Empty when the
+	// emitter was not run-scoped.
+	RunID string
+	// Seq is a per-run monotonic sequence number (1-based), assigned by
+	// WithRun in emission order across all of the run's goroutines. It gives
+	// stream consumers a total order even when a concurrent Controller
+	// interleaves events from its worker pool. Zero when not run-scoped.
+	Seq       int64
 	Node      string        // node (MV) name
 	Step      int           // plan position of the node, -1 when not applicable
 	Bytes     int64         // payload bytes (output, materialized, evicted, high water)
@@ -154,4 +166,32 @@ func (m multi) OnEvent(e Event) {
 	for _, o := range m {
 		o.OnEvent(e)
 	}
+}
+
+// WithRun wraps inner so every event it forwards carries the run
+// correlation fields: RunID (as given, possibly empty) and Seq, a 1-based
+// counter atomically incremented per event — safe for a Controller's
+// concurrent emitters. A nil inner returns nil, so a disabled observer
+// chain stays a single nil check on the hot path. Events that already
+// carry a RunID (an inner emitter re-scoping an outer stream) keep their
+// own fields.
+func WithRun(runID string, inner Observer) Observer {
+	if inner == nil {
+		return nil
+	}
+	return &runScope{runID: runID, inner: inner}
+}
+
+type runScope struct {
+	runID string
+	seq   atomic.Int64
+	inner Observer
+}
+
+func (r *runScope) OnEvent(e Event) {
+	if e.RunID == "" && e.Seq == 0 {
+		e.RunID = r.runID
+		e.Seq = r.seq.Add(1)
+	}
+	r.inner.OnEvent(e)
 }

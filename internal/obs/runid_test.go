@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWithRunStampsRunIDAndSeq(t *testing.T) {
+	var got []Event
+	o := WithRun("run-000042", Func(func(e Event) { got = append(got, e) }))
+	o.OnEvent(Event{Kind: NodeStart, Node: "a", Step: 0})
+	o.OnEvent(Event{Kind: NodeDone, Node: "a", Step: 0})
+	o.OnEvent(Event{Kind: Evicted, Node: "a", Step: 0})
+	if len(got) != 3 {
+		t.Fatalf("forwarded %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.RunID != "run-000042" {
+			t.Fatalf("event %d RunID = %q", i, e.RunID)
+		}
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestWithRunNilObserver(t *testing.T) {
+	if WithRun("r", nil) != nil {
+		t.Fatal("WithRun over a nil observer must stay nil (disabled hot path)")
+	}
+}
+
+func TestWithRunPreservesInnerScope(t *testing.T) {
+	// An event already scoped by an inner WithRun (e.g. a Controller nested
+	// under a gateway's own stamper) keeps its original correlation.
+	var got Event
+	outer := WithRun("outer", Func(func(e Event) { got = e }))
+	inner := WithRun("inner", outer)
+	inner.OnEvent(Event{Kind: NodeStart, Node: "a"})
+	if got.RunID != "inner" || got.Seq != 1 {
+		t.Fatalf("RunID/Seq = %q/%d, want inner/1", got.RunID, got.Seq)
+	}
+}
+
+func TestWithRunConcurrentSeqUnique(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int64]bool)
+	o := WithRun("r", Func(func(e Event) {
+		mu.Lock()
+		seen[e.Seq] = true
+		mu.Unlock()
+	}))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				o.OnEvent(Event{Kind: NodeStart})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 800 {
+		t.Fatalf("%d distinct Seq values for 800 events", len(seen))
+	}
+	for s := int64(1); s <= 800; s++ {
+		if !seen[s] {
+			t.Fatalf("Seq %d missing (not dense)", s)
+		}
+	}
+}
+
+func TestEventMarshalJSONRunIDAndSeq(t *testing.T) {
+	e := Event{Kind: NodeStart, Node: "a", Step: 0, RunID: "run-000007", Seq: 12}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"run_id":"run-000007"`) || !strings.Contains(s, `"seq":12`) {
+		t.Fatalf("run correlation missing from wire shape: %s", s)
+	}
+	// Unscoped events stay compact.
+	data, err = json.Marshal(Event{Kind: NodeStart, Node: "a", Step: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "run_id") || strings.Contains(string(data), `"seq"`) {
+		t.Fatalf("zero run fields serialized: %s", data)
+	}
+}

@@ -174,6 +174,9 @@ type Config struct {
 	// NodeDone, Materialized, Evicted, MemoryHighWater) with Elapsed
 	// carrying the virtual clock. Nil disables observation.
 	Observer obs.Observer
+	// RunID, when non-empty, stamps every emitted event with the run
+	// correlation fields (obs.WithRun): RunID plus a monotonic Seq.
+	RunID string
 }
 
 // NodeTiming records one node's simulated execution window.
@@ -228,6 +231,10 @@ func Run(ctx context.Context, w *Workload, plan *core.Plan, cfg Config) (*Result
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 1
+	}
+	if cfg.RunID != "" {
+		// cfg is a copy; scoping its observer covers every emission below.
+		cfg.Observer = obs.WithRun(cfg.RunID, cfg.Observer)
 	}
 	s := &simState{
 		w:       w,

@@ -1,0 +1,357 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/obs"
+)
+
+// AttrNode is the span attribute that marks a span as one executed DAG
+// node; its value is the node (MV) name. CriticalPath selects node spans
+// by this key, so gateway-side spans (admission, queue wait) never enter
+// the DAG walk.
+const AttrNode = "sc.node"
+
+// CollectorConfig configures a per-run Collector.
+type CollectorConfig struct {
+	// RunID correlates the trace with the run's obs stream and HTTP
+	// surface; stamped on the root span as sc.run_id.
+	RunID string
+	// RootName names the root span; default "refresh".
+	RootName string
+	// Parent, when valid, makes the root span a child of a remote span (a
+	// client's W3C traceparent flowing through the gateway): the trace ID
+	// is inherited instead of generated.
+	Parent SpanContext
+	// Start is the root span's start; zero means time.Now(). For the
+	// gateway this is the enqueue instant, so queue wait is inside the
+	// root span.
+	Start time.Time
+	// Virtual switches event timing to the simulator's virtual clock:
+	// event Elapsed fields are absolute virtual offsets from VirtualBase
+	// rather than real durations.
+	Virtual bool
+	// VirtualBase anchors virtual offsets to wall time; zero means
+	// time.Now() at construction.
+	VirtualBase time.Time
+	// Profile captures per-run runtime deltas (GC pauses, heap allocation,
+	// goroutine peak) and stamps them on the root span at Finish.
+	Profile bool
+}
+
+// Collector assembles one run's obs events into a trace. It implements
+// obs.Observer and is safe for a concurrent Controller's emitters. All
+// spans share one trace ID; node spans parent under the root span.
+type Collector struct {
+	mu       sync.Mutex
+	trace    TraceID
+	root     Span
+	open     map[string]*Span
+	done     []Span
+	virtual  bool
+	base     time.Time
+	finished bool
+
+	profile   bool
+	memStart  runtime.MemStats
+	goroPeak  int
+	nodeSpans int
+}
+
+// NewCollector builds a collector and opens the root span.
+func NewCollector(cfg CollectorConfig) *Collector {
+	c := &Collector{
+		open:    make(map[string]*Span),
+		virtual: cfg.Virtual,
+		profile: cfg.Profile,
+	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
+	c.base = cfg.VirtualBase
+	if c.base.IsZero() {
+		c.base = start
+	}
+	name := cfg.RootName
+	if name == "" {
+		name = "refresh"
+	}
+	var parent SpanID
+	if cfg.Parent.IsValid() {
+		c.trace = cfg.Parent.TraceID
+		parent = cfg.Parent.SpanID
+	} else {
+		c.trace = NewTraceID()
+	}
+	c.root = Span{
+		TraceID: c.trace,
+		SpanID:  NewSpanID(),
+		Parent:  parent,
+		Name:    name,
+		Kind:    KindServer,
+		Start:   start,
+	}
+	if cfg.RunID != "" {
+		c.root.Attrs = append(c.root.Attrs, Str("sc.run_id", cfg.RunID))
+	}
+	if c.profile {
+		runtime.ReadMemStats(&c.memStart)
+		c.goroPeak = runtime.NumGoroutine()
+	}
+	return c
+}
+
+// Observer adapts the collector for an obs.Multi chain: a nil collector
+// (tracing disabled) yields a nil Observer rather than a non-nil interface
+// wrapping a nil pointer, which Multi would try to call.
+func (c *Collector) Observer() obs.Observer {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// Context returns the root span's context (for response propagation).
+func (c *Collector) Context() SpanContext {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SpanContext{TraceID: c.trace, SpanID: c.root.SpanID, Sampled: true}
+}
+
+// eventTime maps an obs event's clock to wall time: receipt time for real
+// runs, base+Elapsed for virtual (simulator) runs.
+func (c *Collector) eventTime(e obs.Event) time.Time {
+	if c.virtual {
+		return c.base.Add(e.Elapsed)
+	}
+	return time.Now()
+}
+
+// OnEvent implements obs.Observer.
+func (c *Collector) OnEvent(e obs.Event) {
+	now := c.eventTime(e)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	if c.profile {
+		if n := runtime.NumGoroutine(); n > c.goroPeak {
+			c.goroPeak = n
+		}
+	}
+	switch e.Kind {
+	case obs.NodeStart:
+		sp := &Span{
+			TraceID: c.trace,
+			SpanID:  NewSpanID(),
+			Parent:  c.root.SpanID,
+			Name:    "node " + e.Node,
+			Kind:    KindInternal,
+			Start:   now,
+			Attrs:   []Attr{Str(AttrNode, e.Node), Int("sc.step", int64(e.Step))},
+		}
+		c.open[e.Node] = sp
+	case obs.NodeDone:
+		sp := c.open[e.Node]
+		if sp == nil {
+			// NodeDone without NodeStart (defensive): synthesize the span
+			// from the duration so the trace stays complete.
+			sp = &Span{
+				TraceID: c.trace, SpanID: NewSpanID(), Parent: c.root.SpanID,
+				Name: "node " + e.Node, Kind: KindInternal,
+				Start: now.Add(-e.Elapsed),
+				Attrs: []Attr{Str(AttrNode, e.Node), Int("sc.step", int64(e.Step))},
+			}
+		}
+		delete(c.open, e.Node)
+		if c.virtual {
+			sp.End = now // sim Elapsed is the absolute virtual clock
+		} else {
+			sp.End = sp.Start.Add(e.Elapsed) // exec Elapsed is the node duration
+		}
+		sp.Attrs = append(sp.Attrs,
+			Int("sc.output_bytes", e.Bytes),
+			Int("sc.encoded_bytes", e.Encoded),
+			Float("sc.read_seconds", e.Read.Seconds()),
+			Float("sc.write_seconds", e.Write.Seconds()),
+			Float("sc.compute_seconds", e.Compute.Seconds()),
+			Bool("sc.flagged", e.Flagged),
+		)
+		if e.Err != nil {
+			sp.Err = e.Err.Error()
+		}
+		c.nodeSpans++
+		c.done = append(c.done, *sp)
+	case obs.EncodeDone, obs.DecodeDone, obs.KernelDone, obs.Evicted, obs.Materialized, obs.MemoryHighWater:
+		c.attachEventLocked(e, now)
+	}
+}
+
+// attachEventLocked files an observation as a span event: on the named
+// node's open span when one exists, on its completed span otherwise
+// (decodes and evictions name the *consumed* node, which typically already
+// finished), and on the root span as a last resort.
+func (c *Collector) attachEventLocked(e obs.Event, now time.Time) {
+	ev := SpanEvent{Name: e.Kind.String(), Time: now, Attrs: spanEventAttrs(e)}
+	if e.Node != "" {
+		if sp := c.open[e.Node]; sp != nil {
+			sp.Events = append(sp.Events, ev)
+			return
+		}
+		for i := len(c.done) - 1; i >= 0; i-- {
+			if c.done[i].StrAttr(AttrNode) == e.Node {
+				c.done[i].Events = append(c.done[i].Events, ev)
+				return
+			}
+		}
+	}
+	c.root.Events = append(c.root.Events, ev)
+}
+
+// spanEventAttrs renders the event-kind-specific fields.
+func spanEventAttrs(e obs.Event) []Attr {
+	attrs := make([]Attr, 0, 8)
+	if e.Node != "" {
+		attrs = append(attrs, Str(AttrNode, e.Node))
+	}
+	if e.Bytes != 0 {
+		attrs = append(attrs, Int("sc.bytes", e.Bytes))
+	}
+	if e.Encoded != 0 {
+		attrs = append(attrs, Int("sc.encoded_bytes", e.Encoded))
+	}
+	if e.Ratio != 0 {
+		attrs = append(attrs, Float("sc.ratio", e.Ratio))
+	}
+	if e.Elapsed != 0 {
+		attrs = append(attrs, Float("sc.elapsed_seconds", e.Elapsed.Seconds()))
+	}
+	if e.Kind == obs.KernelDone {
+		attrs = append(attrs,
+			Int("sc.kernel.lowered", e.Lowered),
+			Int("sc.kernel.fallbacks", e.Fallbacks),
+			Int("sc.kernel.chunks_skipped", e.ChunksSkipped),
+			Int("sc.kernel.code_filtered_rows", e.CodeFilteredRows),
+			Int("sc.kernel.decodes_avoided", e.DecodesAvoided),
+			Int("sc.kernel.chunks_passed", e.ChunksPassed),
+			Int("sc.kernel.reencoded_chunks", e.ReencodedChunks),
+			Int("sc.kernel.dict_reused", e.DictReused),
+		)
+	}
+	return attrs
+}
+
+// AddChildSpan records a gateway-side span (admission/queue wait) with
+// explicit bounds, parented under the root.
+func (c *Collector) AddChildSpan(name string, start, end time.Time, attrs ...Attr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	c.done = append(c.done, Span{
+		TraceID: c.trace,
+		SpanID:  NewSpanID(),
+		Parent:  c.root.SpanID,
+		Name:    name,
+		Kind:    KindInternal,
+		Start:   start,
+		End:     end,
+		Attrs:   attrs,
+	})
+}
+
+// SetRootAttrs appends attributes to the root span.
+func (c *Collector) SetRootAttrs(attrs ...Attr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.root.Attrs = append(c.root.Attrs, attrs...)
+}
+
+// Finish closes the root span at end (zero means now for real runs, the
+// latest node end for virtual runs), closes any still-open node spans at
+// the same instant, stamps the profile delta when enabled, and records
+// errMsg as the root status. Finish is idempotent; events arriving after
+// it are dropped.
+func (c *Collector) Finish(end time.Time, errMsg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	c.finished = true
+	if end.IsZero() {
+		if c.virtual {
+			end = c.root.Start
+			for _, sp := range c.done {
+				if sp.End.After(end) {
+					end = sp.End
+				}
+			}
+		} else {
+			end = time.Now()
+		}
+	}
+	for name, sp := range c.open {
+		sp.End = end
+		c.done = append(c.done, *sp)
+		delete(c.open, name)
+	}
+	c.root.End = end
+	c.root.Err = errMsg
+	if c.profile {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if n := runtime.NumGoroutine(); n > c.goroPeak {
+			c.goroPeak = n
+		}
+		c.root.Attrs = append(c.root.Attrs,
+			Float("runtime.gc_pause_seconds", time.Duration(m.PauseTotalNs-c.memStart.PauseTotalNs).Seconds()),
+			Int("runtime.gc_count", int64(m.NumGC-c.memStart.NumGC)),
+			Int("runtime.heap_alloc_bytes", int64(m.TotalAlloc-c.memStart.TotalAlloc)),
+			Int("runtime.goroutine_peak", int64(c.goroPeak)),
+		)
+	}
+	c.root.Attrs = append(c.root.Attrs, Int("sc.node_spans", int64(c.nodeSpans)))
+}
+
+// Finished reports whether Finish ran.
+func (c *Collector) Finished() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.finished
+}
+
+// Spans snapshots the trace, root span first. Call after Finish for a
+// complete trace; open spans are excluded.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, 0, len(c.done)+1)
+	root := c.root
+	root.Attrs = append([]Attr(nil), c.root.Attrs...)
+	root.Events = append([]SpanEvent(nil), c.root.Events...)
+	out = append(out, root)
+	for _, sp := range c.done {
+		sp.Attrs = append([]Attr(nil), sp.Attrs...)
+		sp.Events = append([]SpanEvent(nil), sp.Events...)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// NodeSpanCount reports completed node spans (one per executed node).
+func (c *Collector) NodeSpanCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodeSpans
+}
+
+// RunID formats a process-local run identifier for callers that do not
+// already have one (scrun, the Refresher facade).
+func RunID(seq int64) string { return fmt.Sprintf("run-%06d", seq) }

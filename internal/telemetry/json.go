@@ -1,0 +1,70 @@
+package telemetry
+
+import "time"
+
+// SpanJSON is a span's HTTP-facing shape (the gateway's
+// GET /v1/runs/{id}/trace): hex IDs, RFC 3339 times, attributes as a
+// plain map. The OTLP wire shape lives in otlp.go; this one is for
+// humans and dashboards.
+type SpanJSON struct {
+	TraceID         string          `json:"trace_id"`
+	SpanID          string          `json:"span_id"`
+	ParentSpanID    string          `json:"parent_span_id,omitempty"`
+	Name            string          `json:"name"`
+	Kind            int             `json:"kind"`
+	Start           time.Time       `json:"start"`
+	End             time.Time       `json:"end,omitzero"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	Attrs           map[string]any  `json:"attrs,omitempty"`
+	Events          []SpanEventJSON `json:"events,omitempty"`
+	Error           string          `json:"error,omitempty"`
+}
+
+// SpanEventJSON is a span event's HTTP-facing shape.
+type SpanEventJSON struct {
+	Name  string         `json:"name"`
+	Time  time.Time      `json:"time"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// SpanToJSON renders one span.
+func SpanToJSON(s Span) SpanJSON {
+	j := SpanJSON{
+		TraceID:         s.TraceID.String(),
+		SpanID:          s.SpanID.String(),
+		Name:            s.Name,
+		Kind:            int(s.Kind),
+		Start:           s.Start,
+		End:             s.End,
+		DurationSeconds: s.Duration().Seconds(),
+		Attrs:           attrMap(s.Attrs),
+		Error:           s.Err,
+	}
+	if s.Parent.IsValid() {
+		j.ParentSpanID = s.Parent.String()
+	}
+	for _, ev := range s.Events {
+		j.Events = append(j.Events, SpanEventJSON{Name: ev.Name, Time: ev.Time, Attrs: attrMap(ev.Attrs)})
+	}
+	return j
+}
+
+// SpansToJSON renders a trace snapshot.
+func SpansToJSON(spans []Span) []SpanJSON {
+	out := make([]SpanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = SpanToJSON(s)
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exporter receives completed traces. Export must not block the caller
+// beyond a bounded enqueue — it is called from the refresh finish path.
+type Exporter interface {
+	// Export submits one run's spans (root first). Implementations may
+	// drop under backpressure; they must not retain the slice.
+	Export(spans []Span)
+	// Close flushes buffered traces and releases resources.
+	Close() error
+}
+
+// OTLPConfig configures an OTLP/HTTP JSON exporter.
+type OTLPConfig struct {
+	// Endpoint is the collector URL, e.g. http://localhost:4318/v1/traces.
+	Endpoint string
+	// Service is the resource service.name; default "sc".
+	Service string
+	// Headers are added to every export request (auth tokens etc.).
+	Headers map[string]string
+	// QueueSize bounds the pending-trace queue; when full, new traces are
+	// dropped and counted. Default 256.
+	QueueSize int
+	// BatchSize is the max traces per HTTP request. Default 16.
+	BatchSize int
+	// FlushInterval caps how long a partial batch waits. Default 2s.
+	FlushInterval time.Duration
+	// MaxRetries bounds send attempts per batch (1 initial + retries).
+	// Default 3 retries.
+	MaxRetries int
+	// RetryBase is the first backoff delay, doubled per attempt.
+	// Default 100ms.
+	RetryBase time.Duration
+	// Client overrides the HTTP client; default 10s timeout.
+	Client *http.Client
+}
+
+func (c *OTLPConfig) withDefaults() {
+	if c.Service == "" {
+		c.Service = "sc"
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+}
+
+// OTLPExporter ships traces to an OTLP/HTTP JSON collector endpoint. Like
+// the gateway's Prometheus exposition, the wire format is hand-rolled —
+// no SDK dependency. Traces enqueue onto a bounded queue (full queue =
+// drop + count) and a single worker batches, sends, and retries with
+// exponential backoff; retriable failures (429/5xx/network) re-attempt up
+// to MaxRetries before the batch is dropped.
+type OTLPExporter struct {
+	cfg     OTLPConfig
+	queue   chan []Span
+	dropped atomic.Int64
+	sent    atomic.Int64
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// NewOTLP builds an exporter and starts its worker.
+func NewOTLP(cfg OTLPConfig) (*OTLPExporter, error) {
+	if cfg.Endpoint == "" {
+		return nil, fmt.Errorf("telemetry: OTLP endpoint required")
+	}
+	cfg.withDefaults()
+	e := &OTLPExporter{cfg: cfg, queue: make(chan []Span, cfg.QueueSize)}
+	e.wg.Add(1)
+	go e.run()
+	return e, nil
+}
+
+// Export implements Exporter: non-blocking enqueue, drop when full.
+func (e *OTLPExporter) Export(spans []Span) {
+	if len(spans) == 0 || e.closed.Load() {
+		return
+	}
+	cp := make([]Span, len(spans))
+	copy(cp, spans)
+	select {
+	case e.queue <- cp:
+	default:
+		e.dropped.Add(1)
+	}
+}
+
+// Dropped reports traces discarded because the queue was full or a batch
+// exhausted its retries.
+func (e *OTLPExporter) Dropped() int64 { return e.dropped.Load() }
+
+// Sent reports traces delivered (2xx response).
+func (e *OTLPExporter) Sent() int64 { return e.sent.Load() }
+
+// Close stops accepting traces, flushes the queue, and waits for the
+// worker to drain.
+func (e *OTLPExporter) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.queue)
+	e.wg.Wait()
+	return nil
+}
+
+func (e *OTLPExporter) run() {
+	defer e.wg.Done()
+	timer := time.NewTimer(e.cfg.FlushInterval)
+	defer timer.Stop()
+	var batch [][]Span
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		e.send(batch)
+		batch = nil
+	}
+	for {
+		select {
+		case spans, ok := <-e.queue:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, spans)
+			if len(batch) >= e.cfg.BatchSize {
+				flush()
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(e.cfg.FlushInterval)
+			}
+		case <-timer.C:
+			flush()
+			timer.Reset(e.cfg.FlushInterval)
+		}
+	}
+}
+
+// send posts one batch, retrying retriable failures with exponential
+// backoff. Non-retriable HTTP statuses (4xx other than 429) drop
+// immediately.
+func (e *OTLPExporter) send(batch [][]Span) {
+	payload := MarshalOTLP(e.cfg.Service, batch)
+	delay := e.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		retriable, err := e.post(payload)
+		if err == nil {
+			e.sent.Add(int64(len(batch)))
+			return
+		}
+		if !retriable || attempt >= e.cfg.MaxRetries {
+			e.dropped.Add(int64(len(batch)))
+			return
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+func (e *OTLPExporter) post(payload []byte) (retriable bool, err error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost, e.cfg.Endpoint, bytes.NewReader(payload))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range e.cfg.Headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		return true, err // network errors are retriable
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return false, nil
+	}
+	retriable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+	return retriable, fmt.Errorf("telemetry: OTLP export: HTTP %d", resp.StatusCode)
+}
+
+// --- OTLP/HTTP JSON wire shapes -------------------------------------------
+//
+// The subset of opentelemetry-proto's ExportTraceServiceRequest JSON
+// mapping that trace backends require: resourceSpans → scopeSpans → spans,
+// hex-encoded IDs, unix-nano timestamps as decimal strings, and the typed
+// AnyValue attribute encoding.
+
+type otlpExportRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"`
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Events            []otlpEvent    `json:"events,omitempty"`
+	Status            *otlpStatus    `json:"status,omitempty"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string         `json:"timeUnixNano"`
+	Name         string         `json:"name"`
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code"`
+	Message string `json:"message,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // int64 as decimal string, per proto3 JSON
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+func otlpAttr(a Attr) otlpKeyValue {
+	kv := otlpKeyValue{Key: a.Key}
+	switch a.Type {
+	case AttrInt:
+		s := strconv.FormatInt(a.Int, 10)
+		kv.Value.IntValue = &s
+	case AttrFloat:
+		f := a.Flt
+		kv.Value.DoubleValue = &f
+	case AttrBool:
+		b := a.Bool
+		kv.Value.BoolValue = &b
+	default:
+		s := a.Str
+		kv.Value.StringValue = &s
+	}
+	return kv
+}
+
+func otlpAttrs(attrs []Attr) []otlpKeyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, len(attrs))
+	for i, a := range attrs {
+		out[i] = otlpAttr(a)
+	}
+	return out
+}
+
+func unixNano(t time.Time) string {
+	if t.IsZero() {
+		return "0"
+	}
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+func otlpFromSpan(s Span) otlpSpan {
+	o := otlpSpan{
+		TraceID:           s.TraceID.String(),
+		SpanID:            s.SpanID.String(),
+		Name:              s.Name,
+		Kind:              int(s.Kind),
+		StartTimeUnixNano: unixNano(s.Start),
+		EndTimeUnixNano:   unixNano(s.End),
+		Attributes:        otlpAttrs(s.Attrs),
+	}
+	if s.Parent.IsValid() {
+		o.ParentSpanID = s.Parent.String()
+	}
+	for _, ev := range s.Events {
+		o.Events = append(o.Events, otlpEvent{
+			TimeUnixNano: unixNano(ev.Time),
+			Name:         ev.Name,
+			Attributes:   otlpAttrs(ev.Attrs),
+		})
+	}
+	if s.Err != "" {
+		o.Status = &otlpStatus{Code: 2, Message: s.Err} // STATUS_CODE_ERROR
+	} else if !s.End.IsZero() {
+		o.Status = &otlpStatus{Code: 1} // STATUS_CODE_OK
+	}
+	return o
+}
+
+// MarshalOTLP renders traces (each a root-first span slice) as one
+// ExportTraceServiceRequest JSON payload.
+func MarshalOTLP(service string, traces [][]Span) []byte {
+	var spans []otlpSpan
+	for _, tr := range traces {
+		for _, s := range tr {
+			spans = append(spans, otlpFromSpan(s))
+		}
+	}
+	svc := service
+	req := otlpExportRequest{
+		ResourceSpans: []otlpResourceSpans{{
+			Resource: otlpResource{Attributes: []otlpKeyValue{
+				{Key: "service.name", Value: otlpAnyValue{StringValue: &svc}},
+			}},
+			ScopeSpans: []otlpScopeSpans{{
+				Scope: otlpScope{Name: "github.com/shortcircuit-db/sc/internal/telemetry"},
+				Spans: spans,
+			}},
+		}},
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		// The wire shapes are all plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("telemetry: marshal OTLP: %v", err))
+	}
+	return data
+}

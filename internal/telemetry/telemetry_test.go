@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewIDsValidAndDistinct(t *testing.T) {
+	tr1, tr2 := NewTraceID(), NewTraceID()
+	if !tr1.IsValid() || !tr2.IsValid() {
+		t.Fatal("generated trace IDs must be non-zero")
+	}
+	if tr1 == tr2 {
+		t.Fatal("trace IDs collided")
+	}
+	sp1, sp2 := NewSpanID(), NewSpanID()
+	if !sp1.IsValid() || !sp2.IsValid() || sp1 == sp2 {
+		t.Fatalf("span IDs invalid or collided: %s %s", sp1, sp2)
+	}
+	if len(tr1.String()) != 32 || len(sp1.String()) != 16 {
+		t.Fatalf("hex lengths: trace %d span %d", len(tr1.String()), len(sp1.String()))
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	h := sc.Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: %+v ok=%v want %+v", got, ok, sc)
+	}
+	unsampled := SpanContext{TraceID: sc.TraceID, SpanID: sc.SpanID}
+	got, ok = ParseTraceparent(unsampled.Traceparent())
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled round trip: %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span ID
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // reserved version
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex version
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",   // short trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",   // short span ID
+		"00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex trace ID
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+	// Future version with extra fields is accepted per spec.
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future version with trailing fields rejected")
+	}
+}
+
+func TestSpanAttrHelpers(t *testing.T) {
+	sp := Span{Attrs: []Attr{Str("s", "v"), Int("i", 7), Float("f", 1.5), Bool("b", true)}}
+	if sp.StrAttr("s") != "v" || sp.FloatAttr("f") != 1.5 {
+		t.Fatal("typed attr accessors")
+	}
+	if a, ok := sp.Attr("i"); !ok || a.Value() != any(int64(7)) {
+		t.Fatalf("Attr(i) = %+v ok=%v", a, ok)
+	}
+	if a, ok := sp.Attr("b"); !ok || a.Value() != any(true) {
+		t.Fatalf("Attr(b) = %+v ok=%v", a, ok)
+	}
+	if _, ok := sp.Attr("missing"); ok {
+		t.Fatal("missing attr found")
+	}
+	if sp.StrAttr("i") != "" || sp.FloatAttr("s") != 0 {
+		t.Fatal("type-mismatched accessors must return zero values")
+	}
+}

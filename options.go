@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/telemetry"
 )
 
 // Option configures New and Solve. Options apply in order; later options
@@ -25,6 +26,8 @@ type config struct {
 	encoding      *encoding.Options
 	vectorized    bool
 	dictCache     bool
+	tracing       bool
+	traceExporter telemetry.Exporter
 	err           error
 }
 
@@ -216,6 +219,25 @@ func WithVectorized(enabled bool) Option {
 // sessions that should not retain dictionaries between runs.
 func WithSessionDictCache(enabled bool) Option {
 	return func(c *config) { c.dictCache = enabled }
+}
+
+// WithTelemetry enables per-run tracing for the session: every Run/Refresh
+// assembles a trace — a root span, one child span per executed node with
+// encode/decode/kernel completions as span events, and runtime profiling
+// deltas (GC pause, heap allocation, goroutine peak) on the root — plus a
+// critical-path analysis of the DAG, available from Refresher.LastTrace.
+// Node observations in Metrics carry the matching run ID.
+//
+// exp, when non-nil, additionally receives every completed trace; see
+// NewOTLPTraceExporter and NewFileTraceExporter. The session does not close
+// the exporter — that stays with the caller. Pass nil to trace without
+// exporting. The collector rides the same event stream as WithObserver and
+// costs nothing when this option is absent.
+func WithTelemetry(exp TraceExporter) Option {
+	return func(c *config) {
+		c.tracing = true
+		c.traceExporter = exp
+	}
 }
 
 // WithSizeGuess sets the output-size assumption, in bytes, for nodes that

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/dag"
@@ -12,6 +14,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/metrics"
 	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/sim"
+	"github.com/shortcircuit-db/sc/internal/telemetry"
 )
 
 // Refresher is a long-lived MV refresh session: it executes refresh runs on
@@ -30,9 +33,12 @@ type Refresher struct {
 	md       *metrics.Store
 	chunked  *chunkio.Session // session dictionary cache; nil when disabled
 
-	mu    sync.Mutex
-	plan  *Plan
-	stats *Stats
+	runSeq atomic.Int64 // run counter feeding telemetry run IDs
+
+	mu        sync.Mutex
+	plan      *Plan
+	stats     *Stats
+	lastTrace *RunTrace
 }
 
 // New builds a refresh session for the given MVs over a store holding the
@@ -175,16 +181,61 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 			return nil, err
 		}
 	}
+	var col *telemetry.Collector
+	var runID string
+	if r.cfg.tracing {
+		runID = telemetry.RunID(r.runSeq.Add(1))
+		col = telemetry.NewCollector(telemetry.CollectorConfig{
+			RunID:    runID,
+			RootName: "refresh",
+			Profile:  true,
+		})
+	}
 	ctl := &exec.Controller{
 		Store:       r.store,
 		Mem:         memcat.New(r.cfg.memory),
-		Obs:         obs.Multi(metrics.NewRecorder(r.md), r.cfg.observer),
+		Obs:         obs.Multi(metrics.NewRecorder(r.md), r.cfg.observer, col.Observer()),
+		RunID:       runID,
 		Concurrency: r.cfg.concurrency,
 		Encoding:    r.cfg.encoding,
 		Vectorized:  r.cfg.vectorized,
 		Chunked:     r.chunked,
 	}
-	return ctl.Run(ctx, r.workload, r.graph, plan)
+	res, err := ctl.Run(ctx, r.workload, r.graph, plan)
+	if col != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		col.Finish(time.Time{}, msg)
+		spans := col.Spans()
+		tr := &RunTrace{
+			RunID:        runID,
+			Spans:        spans,
+			CriticalPath: telemetry.CriticalPath(spans, r.parentNames()),
+		}
+		r.mu.Lock()
+		r.lastTrace = tr
+		r.mu.Unlock()
+		if r.cfg.traceExporter != nil {
+			r.cfg.traceExporter.Export(spans)
+		}
+	}
+	return res, err
+}
+
+// parentNames maps each node to its upstream MVs by name, the shape the
+// critical-path analysis consumes.
+func (r *Refresher) parentNames() map[string][]string {
+	parents := make(map[string][]string, r.graph.Len())
+	for i := 0; i < r.graph.Len(); i++ {
+		id := dag.NodeID(i)
+		name := r.graph.Name(id)
+		for _, par := range r.graph.Parents(id) {
+			parents[name] = append(parents[name], r.graph.Name(par))
+		}
+	}
+	return parents
 }
 
 // Refresh is the adaptive loop of §III-A in one call: execute a refresh
