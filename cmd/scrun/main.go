@@ -11,7 +11,10 @@
 // critical-path breakdown of the simulated timeline follows the summary.
 // With -trace-file, the run's trace (root span plus one span per node, on
 // the virtual clock) is written as OTLP/HTTP JSON, one payload per line;
-// "-" writes to stdout.
+// "-" writes to stdout. With -ledger-file, the run's summary is appended to
+// an NDJSON run ledger whose history seeds per-node baselines; -explain
+// then diffs this run against those baselines and calls out regressed
+// nodes and detector anomalies.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/bench"
 	"github.com/shortcircuit-db/sc/internal/costmodel"
 	"github.com/shortcircuit-db/sc/internal/dag"
+	"github.com/shortcircuit-db/sc/internal/ledger"
 	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/sim"
 	"github.com/shortcircuit-db/sc/internal/telemetry"
@@ -41,6 +45,8 @@ func main() {
 	workers := flag.Int("workers", 1, "cluster worker count")
 	progress := flag.Bool("progress", false, "stream refresh events to stderr as the run advances")
 	traceFile := flag.String("trace-file", "", `write the run's OTLP JSON trace here ("-" = stdout)`)
+	ledgerFile := flag.String("ledger-file", "", "append this run's summary to an NDJSON run ledger (replayed for baselines)")
+	explain := flag.Bool("explain", false, "diff this run against the ledger baselines and call out regressed nodes")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -82,7 +88,7 @@ func main() {
 		cfg.Observer = progressPrinter(os.Stderr)
 	}
 	var col *telemetry.Collector
-	if *progress || *traceFile != "" {
+	if *progress || *traceFile != "" || *ledgerFile != "" || *explain {
 		// The simulator reports the virtual clock in Elapsed; the collector
 		// maps it onto span times so the trace and critical path are in
 		// simulated seconds.
@@ -128,6 +134,30 @@ func main() {
 		if *progress {
 			printCriticalPath(os.Stderr, cp)
 		}
+		if *ledgerFile != "" || *explain {
+			led, err := ledger.New(ledger.Config{Path: *ledgerFile})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scrun:", err)
+				os.Exit(1)
+			}
+			// Key the history by workload so baselines compare like with like.
+			pipeline := "sim:" + *workload
+			sum, _ := led.Append(ledger.Summarize(spans, parents, ledger.Meta{
+				RunID:           cfg.RunID,
+				Pipeline:        pipeline,
+				Outcome:         ledger.OutcomeSucceeded,
+				WallSeconds:     res.Total,
+				ReservedBytes:   mem,
+				ActualPeakBytes: res.PeakMemory,
+			}))
+			if *explain {
+				printExplain(os.Stdout, led, pipeline, sum)
+			}
+			if err := led.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "scrun: ledger:", err)
+				os.Exit(1)
+			}
+		}
 		if *traceFile != "" {
 			exp, err := telemetry.NewFileExporter(*traceFile, "scrun")
 			if err != nil {
@@ -144,6 +174,50 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+}
+
+// printExplain diffs the just-appended run against the ledger's learned
+// baselines: per-node latest vs baseline wall with regressed nodes called
+// out, then any anomalies the detector flagged.
+func printExplain(out *os.File, led *ledger.Ledger, pipeline string, sum ledger.RunSummary) {
+	regressed := make(map[string]bool)
+	for _, a := range sum.Anomalies {
+		if a.Node != "" {
+			regressed[a.Node] = true
+		}
+	}
+	base := make(map[string]ledger.NodeBaseline)
+	for _, nb := range led.Baselines(pipeline) {
+		base[nb.Node] = nb
+	}
+	fmt.Fprintf(out, "\nrun %s vs baseline (%s):\n", sum.RunID, pipeline)
+	fmt.Fprintf(out, "%-16s %12s %12s %8s\n", "node", "latest", "baseline", "")
+	for _, n := range sum.Nodes {
+		mark := ""
+		if regressed[n.Node] {
+			mark = "REGRESSED"
+		}
+		nb, ok := base[n.Node]
+		// The just-appended run is already folded into the baseline; with
+		// fewer than two samples the mean IS this run, so show "new".
+		if !ok || nb.Samples < 2 {
+			fmt.Fprintf(out, "%-16s %11.2fs %12s %8s\n", n.Node, n.WallSeconds, "new", mark)
+			continue
+		}
+		fmt.Fprintf(out, "%-16s %11.2fs %11.2fs %8s\n", n.Node, n.WallSeconds, nb.WallMeanSeconds, mark)
+	}
+	if sum.ReservedBytes > 0 {
+		fmt.Fprintf(out, "memory: reserved %.1f MB, actual peak %.1f MB (mispredict %.0f%%)\n",
+			float64(sum.ReservedBytes)/1e6, float64(sum.ActualPeakBytes)/1e6, sum.Mispredict*100)
+	}
+	if len(sum.Anomalies) == 0 {
+		fmt.Fprintln(out, "no anomalies against baseline")
+		return
+	}
+	for _, a := range sum.Anomalies {
+		fmt.Fprintf(out, "anomaly: %s %s (observed %.3g, baseline %.3g) %s\n",
+			a.Kind, a.Node, a.Observed, a.Baseline, a.Detail)
 	}
 }
 

@@ -5,12 +5,20 @@
 //
 //	scserve [-addr :8080] [-budget-mb 256] [-slice-mb 0] [-queue 64]
 //	        [-queue-timeout 30s] [-headroom 1.25] [-concurrency 2]
-//	        [-data DIR] [-trace-otlp URL] [-trace-file PATH] [-pprof ADDR]
+//	        [-data DIR] [-trace-otlp URL] [-trace-file PATH]
+//	        [-ledger-file PATH] [-ledger-cap 512] [-tail-sample]
+//	        [-slo-seconds 60] [-pprof ADDR]
 //
 // Pipelines are registered and refreshed over the /v1 HTTP API; see the
 // README's Serving section for the routes and an example curl session.
 // With -data, each pipeline's tables live under DIR/<pipeline>/ on the
 // filesystem; the default keeps them in memory.
+//
+// Every finished run lands in the run ledger (GET /v1/runs); per-pipeline
+// health — SLO attainment, learned baselines, top regressions — is served
+// at /v1/pipelines/{name}/health. -ledger-file persists run summaries as
+// NDJSON and replays them on restart so baselines survive. -tail-sample
+// keeps exported traces only for anomalous, failed, or slow runs.
 //
 // Every refresh run is traced (root span, queue-admission span, one span
 // per executed node); traces are served at /v1/runs/{id}/trace and
@@ -49,6 +57,10 @@ func main() {
 	traceOTLP := flag.String("trace-otlp", "", "export run traces to this OTLP/HTTP JSON endpoint")
 	traceFile := flag.String("trace-file", "", `append run traces to this file as OTLP JSON lines ("-" = stdout)`)
 	noTrace := flag.Bool("no-trace", false, "disable per-run trace collection")
+	ledgerFile := flag.String("ledger-file", "", "persist per-run ledger summaries to this NDJSON file (replayed on start)")
+	ledgerCap := flag.Int("ledger-cap", 512, "in-memory run ledger capacity")
+	tailSample := flag.Bool("tail-sample", false, "export only anomalous, failed, or slow run traces")
+	sloSeconds := flag.Float64("slo-seconds", 60, "refresh latency SLO used by /health and tail sampling")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
@@ -60,6 +72,10 @@ func main() {
 		Headroom:       *headroom,
 		Concurrency:    *concurrency,
 		DisableTracing: *noTrace,
+		LedgerPath:     *ledgerFile,
+		LedgerCapacity: *ledgerCap,
+		TailSample:     *tailSample,
+		SLOSeconds:     *sloSeconds,
 	}
 	if *traceOTLP != "" && *traceFile != "" {
 		fmt.Fprintln(os.Stderr, "scserve: -trace-otlp and -trace-file are mutually exclusive")

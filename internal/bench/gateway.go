@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/gateway"
+	"github.com/shortcircuit-db/sc/internal/ledger"
 	"github.com/shortcircuit-db/sc/internal/tpcds"
 )
 
@@ -64,6 +65,15 @@ type GatewayReport struct {
 	WithinBudget     bool    `json:"within_budget"`
 	WallSeconds      float64 `json:"wall_seconds"`
 	RefreshSucceeded int     `json:"refresh_succeeded"`
+
+	// Ledger-derived fields: queue-wait percentiles, the admission
+	// misprediction ratio (reserved vs actual peak), and the anomaly count
+	// over every run the server's ledger retained.
+	QueueWaitP50Ms  float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms  float64 `json:"queue_wait_p99_ms"`
+	MispredictRatio float64 `json:"mispredict_ratio"`
+	AnomalyCount    int     `json:"anomaly_count"`
+	LedgerRuns      int     `json:"ledger_runs"`
 }
 
 // percentileMs picks the p-th percentile (0..1) of the samples, in ms.
@@ -239,11 +249,32 @@ func Gateway(ctx context.Context, w io.Writer, cfg GatewayConfig) error {
 	report.QueueExpired = stats.Expired
 	report.WithinBudget = stats.PeakUsedBytes <= budget && stats.PeakReserved <= budget
 
+	// Roll up the server's run ledger: queue waits, anomalies and the
+	// learned misprediction ratio averaged across the tenant pipelines.
+	ledgerRuns := srv.RunHistory(ledger.Filter{})
+	report.LedgerRuns = len(ledgerRuns)
+	var queueWaits []time.Duration
+	for _, rs := range ledgerRuns {
+		queueWaits = append(queueWaits, time.Duration(rs.QueueWaitSeconds*float64(time.Second)))
+		report.AnomalyCount += len(rs.Anomalies)
+	}
+	report.QueueWaitP50Ms = percentileMs(queueWaits, 0.50)
+	report.QueueWaitP99Ms = percentileMs(queueWaits, 0.99)
+	if pipes := srv.Ledger().Pipelines(); len(pipes) > 0 {
+		for _, p := range pipes {
+			report.MispredictRatio += srv.Ledger().MispredictRatio(p)
+		}
+		report.MispredictRatio /= float64(len(pipes))
+	}
+
 	t.printf("\n%-10s %8s %12s %12s\n", "metric", "count", "p50", "p99")
 	t.printf("%-10s %8d %10.1fms %10.1fms\n", "refresh", report.Refreshes, report.RefreshP50Ms, report.RefreshP99Ms)
 	t.printf("%-10s %8d %10.1fms %10.1fms\n", "mv read", report.Reads, report.ReadP50Ms, report.ReadP99Ms)
 	t.printf("admission: %d refreshes succeeded, %d rejected (429), %d expired, %d server errors\n",
 		report.RefreshSucceeded, report.Rejected429, report.QueueExpired, report.Server5xx)
+	t.printf("ledger: %d runs, queue wait p50 %.1fms / p99 %.1fms, mispredict %.0f%%, %d anomalies\n",
+		report.LedgerRuns, report.QueueWaitP50Ms, report.QueueWaitP99Ms,
+		report.MispredictRatio*100, report.AnomalyCount)
 	t.printf("peak shared catalog: %.2f MB used / %.2f MB reserved of %.2f MB budget (within budget: %v)\n",
 		float64(report.PeakUsedBytes)/1e6, float64(report.PeakReserved)/1e6, float64(budget)/1e6, report.WithinBudget)
 

@@ -492,6 +492,14 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 						Bytes: info.Decoded, Encoded: info.Encoded,
 						Ratio: ratio, Elapsed: time.Since(d0),
 					})
+				} else {
+					// Served by the decoded-view cache or a plain resident
+					// entry: no decode work at all. Report the reuse so the
+					// consuming span can link to the producing one.
+					obs.Emit(c.Obs, obs.Event{
+						Kind: obs.CacheHit, Node: spec.Name, Source: name,
+						Step: step, Bytes: t.ByteSize(),
+					})
 				}
 				m.MemReads++
 				return t, nil
@@ -542,6 +550,10 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 				// only in chunk form stays out of the decoded budget.
 				if ct, _, ok := c.Mem.GetCompressed(name); ok {
 					m.MemReads++
+					obs.Emit(c.Obs, obs.Event{
+						Kind: obs.CacheHit, Node: spec.Name, Source: name,
+						Step: step, Bytes: ct.RawBytes,
+					})
 					return ct, nil
 				}
 				if _, ok := c.Mem.Peek(name); ok {

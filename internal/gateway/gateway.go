@@ -23,6 +23,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/ledger"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/metrics"
 	"github.com/shortcircuit-db/sc/internal/obs"
@@ -76,6 +77,19 @@ type Config struct {
 	// exporter from internal/telemetry). Nil exports nothing; traces are
 	// still collected and served over HTTP unless DisableTracing is set.
 	TraceExporter telemetry.Exporter
+	// TailSample keeps exported traces only for runs worth keeping —
+	// anomalous, slow against the pipeline's learned baseline, or not
+	// succeeded — and drops the rest. Off by default (every trace exports).
+	TailSample bool
+	// LedgerPath persists per-run summaries as NDJSON and replays them on
+	// startup, so baselines survive restarts. "" keeps the run ledger in
+	// memory only.
+	LedgerPath string
+	// LedgerCapacity bounds the in-memory run-history ring. Default 512.
+	LedgerCapacity int
+	// SLOSeconds is the refresh-latency objective /v1/pipelines/{p}/health
+	// reports attainment against. Default 60.
+	SLOSeconds float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -105,6 +119,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.LedgerCapacity <= 0 {
+		c.LedgerCapacity = 512
+	}
+	if c.SLOSeconds <= 0 {
+		c.SLOSeconds = 60
 	}
 	return c, nil
 }
@@ -206,6 +226,7 @@ type Run struct {
 	flagged    int
 	fallbacks  int
 	leftover   int64 // bytes the detach sweep had to credit back
+	actualPeak int64 // run catalog high-water mark, vs the reservation
 }
 
 // RunStatus is a run's externally visible snapshot.
@@ -215,6 +236,7 @@ type RunStatus struct {
 	Tenant           string    `json:"tenant"`
 	State            string    `json:"state"`
 	ReservedBytes    int64     `json:"reserved_bytes"`
+	ActualPeakBytes  int64     `json:"actual_peak_bytes,omitempty"`
 	EnqueuedAt       time.Time `json:"enqueued_at"`
 	StartedAt        time.Time `json:"started_at,omitzero"`
 	FinishedAt       time.Time `json:"finished_at,omitzero"`
@@ -250,7 +272,7 @@ func (r *Run) status() RunStatus {
 	defer r.mu.Unlock()
 	st := RunStatus{
 		ID: r.id, Pipeline: r.pipeline, Tenant: r.tenant, State: r.state,
-		ReservedBytes: r.need, EnqueuedAt: r.enqueuedAt,
+		ReservedBytes: r.need, ActualPeakBytes: r.actualPeak, EnqueuedAt: r.enqueuedAt,
 		StartedAt: r.startedAt, FinishedAt: r.finishedAt,
 		Nodes: r.nodes, Flagged: r.flagged, FallbackWrites: r.fallbacks,
 		Error: r.errMsg, EventsDropped: r.events.droppedCount(),
@@ -287,11 +309,20 @@ type Server struct {
 	adm    *admitter
 	prom   *prom
 	device costmodel.DeviceProfile
+	led    *ledger.Ledger
 
 	mu        sync.Mutex
 	pipelines map[string]*pipeline
 	runs      map[string]*Run
 	runSeq    int64
+
+	// lastNodeSpans remembers, per pipeline, each node's span from the most
+	// recent finished trace, so a later run that reuses cached state (a
+	// session dictionary, a surviving catalog entry) can link back to the
+	// producing span. Guarded by its own mutex: the resolver runs inside
+	// collector callbacks and must not contend with s.mu.
+	linkMu        sync.Mutex
+	lastNodeSpans map[string]map[string]telemetry.SpanContext
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -306,16 +337,26 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	led, err := ledger.New(ledger.Config{
+		Capacity: cfg.LedgerCapacity,
+		Path:     cfg.LedgerPath,
+		Detector: ledger.DetectorConfig{SlowSeconds: cfg.SLOSeconds},
+	})
+	if err != nil {
+		return nil, err
+	}
 	pool := memcat.NewPool(cfg.GlobalBudget)
 	s := &Server{
-		cfg:       cfg,
-		pool:      pool,
-		adm:       newAdmitter(pool, cfg.QueueLimit, cfg.Clock),
-		prom:      newProm(),
-		device:    costmodel.PaperProfile(),
-		pipelines: make(map[string]*pipeline),
-		runs:      make(map[string]*Run),
-		stopCh:    make(chan struct{}),
+		cfg:           cfg,
+		pool:          pool,
+		adm:           newAdmitter(pool, cfg.QueueLimit, cfg.Clock),
+		prom:          newProm(),
+		device:        costmodel.PaperProfile(),
+		led:           led,
+		pipelines:     make(map[string]*pipeline),
+		runs:          make(map[string]*Run),
+		lastNodeSpans: make(map[string]map[string]telemetry.SpanContext),
+		stopCh:        make(chan struct{}),
 	}
 	s.registerGauges()
 	s.wg.Add(1)
@@ -341,6 +382,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.runWG.Wait()
+	_ = s.led.Close()
 }
 
 // schedulerLoop reaps queue deadlines and fires cron triggers.
@@ -612,10 +654,11 @@ func (s *Server) TriggerTrace(name string, parent telemetry.SpanContext) (*Run, 
 	if !s.cfg.DisableTracing {
 		// The root span opens at enqueue, so queue wait is on the trace.
 		r.trace = telemetry.NewCollector(telemetry.CollectorConfig{
-			RunID:   r.id,
-			Parent:  parent,
-			Start:   now,
-			Profile: true,
+			RunID:        r.id,
+			Parent:       parent,
+			Start:        now,
+			Profile:      true,
+			LinkResolver: s.nodeSpanResolver(p.name),
 		})
 		r.trace.SetRootAttrs(
 			telemetry.Str("sc.pipeline", p.name),
@@ -701,6 +744,7 @@ func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Pl
 	}
 	res, runErr := ctl.Run(ctx, p.workload, p.graph, plan)
 
+	actualPeak := cat.Peak() // before Detach zeroes the accounting
 	leftover := cat.Detach()
 	s.adm.finish(r.tenant, r.pipeline, r.need)
 
@@ -718,6 +762,7 @@ func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Pl
 	r.cat = nil
 	r.cancelRun = nil
 	r.leftover = leftover
+	r.actualPeak = actualPeak
 	if runErr != nil {
 		r.errMsg = runErr.Error()
 	}
@@ -739,28 +784,109 @@ func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Pl
 
 	s.finishTrace(r, now, state)
 	s.prom.refreshes.add(1, r.tenant, r.pipeline, state)
-	s.prom.refreshSeconds.observe(now.Sub(r.enqueuedAt).Seconds(), r.tenant, r.pipeline)
+	exemplar := ""
+	if r.trace != nil {
+		exemplar = fmt.Sprintf("trace_id=%q", r.trace.Context().TraceID.String())
+	}
+	s.prom.refreshSeconds.observeExemplar(now.Sub(r.enqueuedAt).Seconds(), exemplar, r.tenant, r.pipeline)
 	r.events.close()
 	close(r.done)
 }
 
-// finishTrace closes the run's root span at its terminal state and hands
-// the completed trace to the configured exporter.
+// finishTrace ends the run's observability lifecycle: it closes the root
+// span at the terminal state, summarizes the run into the ledger (which
+// judges it against the pipeline's learned baselines), remembers node
+// spans for future cross-run links, and — when TailSample is on — exports
+// the trace only if the ledger's decision says it is worth keeping.
 func (s *Server) finishTrace(r *Run, now time.Time, state string) {
-	if r.trace == nil {
-		return
+	var spans []telemetry.Span
+	if r.trace != nil {
+		r.mu.Lock()
+		errMsg := r.errMsg
+		actualPeak := r.actualPeak
+		r.mu.Unlock()
+		if errMsg == "" && state != StateSucceeded {
+			errMsg = state
+		}
+		r.trace.SetRootAttrs(
+			telemetry.Str("sc.state", state),
+			telemetry.Int("sc.actual_peak_bytes", actualPeak),
+		)
+		r.trace.Finish(now, errMsg)
+		spans = r.trace.Spans()
+		s.rememberNodeSpans(r.pipeline, spans)
 	}
-	r.mu.Lock()
-	errMsg := r.errMsg
-	r.mu.Unlock()
-	if errMsg == "" && state != StateSucceeded {
-		errMsg = state
+	st := r.status()
+	sum, dec := s.led.Append(ledger.Summarize(spans, r.parents, ledger.Meta{
+		RunID: r.id, Pipeline: r.pipeline, Tenant: r.tenant, Outcome: state,
+		Start:       st.EnqueuedAt,
+		WallSeconds: st.ElapsedSeconds, QueueWaitSeconds: st.QueueWaitSeconds,
+		ReservedBytes: st.ReservedBytes, ActualPeakBytes: st.ActualPeakBytes,
+		FallbackWrites: st.FallbackWrites,
+		EventsDropped:  st.EventsDropped, Err: st.Error,
+	}))
+	for _, a := range sum.Anomalies {
+		s.prom.anomalies.add(1, r.pipeline, a.Kind)
 	}
-	r.trace.SetRootAttrs(telemetry.Str("sc.state", state))
-	r.trace.Finish(now, errMsg)
-	if s.cfg.TraceExporter != nil {
-		s.cfg.TraceExporter.Export(r.trace.Spans())
+	if st.EventsDropped > 0 {
+		s.prom.eventsDropped.add(float64(st.EventsDropped), r.tenant, r.pipeline)
 	}
+	if r.trace != nil && s.cfg.TraceExporter != nil {
+		if !s.cfg.TailSample || dec.Keep {
+			s.cfg.TraceExporter.Export(spans)
+			s.prom.traceSampled.add(1, "kept")
+		} else {
+			s.prom.traceSampled.add(1, "dropped")
+		}
+	}
+}
+
+// rememberNodeSpans updates the pipeline's node → span map from a
+// finished trace, feeding the cross-run link resolver.
+func (s *Server) rememberNodeSpans(pipeline string, spans []telemetry.Span) {
+	s.linkMu.Lock()
+	defer s.linkMu.Unlock()
+	m := s.lastNodeSpans[pipeline]
+	if m == nil {
+		m = make(map[string]telemetry.SpanContext)
+		s.lastNodeSpans[pipeline] = m
+	}
+	for _, sp := range spans {
+		if node := sp.StrAttr(telemetry.AttrNode); node != "" {
+			m[node] = telemetry.SpanContext{TraceID: sp.TraceID, SpanID: sp.SpanID, Sampled: true}
+		}
+	}
+}
+
+// nodeSpanResolver maps a node to its span in the pipeline's previous run,
+// for cross-run cache-reuse links.
+func (s *Server) nodeSpanResolver(pipeline string) func(string) (telemetry.SpanContext, bool) {
+	return func(node string) (telemetry.SpanContext, bool) {
+		s.linkMu.Lock()
+		defer s.linkMu.Unlock()
+		sc, ok := s.lastNodeSpans[pipeline][node]
+		return sc, ok
+	}
+}
+
+// Ledger exposes the run-history store (history endpoints, the bench).
+func (s *Server) Ledger() *ledger.Ledger { return s.led }
+
+// RunHistory returns retained run summaries, newest first.
+func (s *Server) RunHistory(f ledger.Filter) []ledger.RunSummary {
+	return s.led.Runs(f)
+}
+
+// PipelineHealth reports SLO attainment, baseline-vs-latest per node and
+// regressions for one registered pipeline over the ledger window.
+func (s *Server) PipelineHealth(name string) (ledger.Health, error) {
+	s.mu.Lock()
+	_, ok := s.pipelines[name]
+	s.mu.Unlock()
+	if !ok {
+		return ledger.Health{}, fmt.Errorf("%w: pipeline %q", ErrNotFound, name)
+	}
+	return s.led.Health(name, ledger.HealthConfig{SLOSeconds: s.cfg.SLOSeconds}), nil
 }
 
 // expireRun is the admitter's expire callback: the queue deadline passed.
@@ -993,6 +1119,23 @@ func (s *Server) registerGauges() {
 			var out []gaugeSample
 			for _, t := range s.tenantNames() {
 				out = append(out, gaugeSample{lvs: []string{t}, v: float64(s.adm.tenantReserved(t))})
+			}
+			return out
+		})
+	s.prom.addGauge("scserve_ledger_runs",
+		"Run summaries retained in the ledger ring.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.led.Len())}}
+		})
+	s.prom.addGauge("scserve_ledger_evicted_total",
+		"Run summaries evicted from the bounded ledger ring.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.led.Evicted())}}
+		})
+	s.prom.addGauge("scserve_mispredict_ratio",
+		"Learned mean |reserved-actual|/reserved of admission reservations.",
+		[]string{"pipeline"}, func() []gaugeSample {
+			var out []gaugeSample
+			for _, p := range s.led.Pipelines() {
+				out = append(out, gaugeSample{lvs: []string{p}, v: s.led.MispredictRatio(p)})
 			}
 			return out
 		})

@@ -443,7 +443,7 @@ func TestPromExposition(t *testing.T) {
 		return []gaugeSample{{v: 7}}
 	})
 	var b bytes.Buffer
-	p.write(&b)
+	p.write(&b, false)
 	text := b.String()
 	for _, want := range []string{
 		`scserve_refreshes_total{tenant="t1",pipeline="p\"quote",status="succeeded"} 3`,

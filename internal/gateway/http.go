@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"github.com/shortcircuit-db/sc/internal/ledger"
 	"github.com/shortcircuit-db/sc/internal/table"
 	"github.com/shortcircuit-db/sc/internal/telemetry"
 )
@@ -161,11 +163,13 @@ func writeError(w http.ResponseWriter, err error) {
 //	DELETE /v1/pipelines/{name}               unregister
 //	POST   /v1/pipelines/{name}/refresh       trigger a refresh (?wait=1 blocks)
 //	GET    /v1/pipelines/{name}/mvs/{mv}      query a materialized view (?limit=N)
+//	GET    /v1/pipelines/{name}/health        SLO attainment, baselines, regressions
+//	GET    /v1/runs                           ledger history (?pipeline=&tenant=&outcome=&anomalous=1&limit=N)
 //	GET    /v1/runs/{id}                      run status
 //	POST   /v1/runs/{id}/cancel               cancel a queued or running refresh
 //	GET    /v1/runs/{id}/events               NDJSON progress stream (SSE with Accept: text/event-stream)
 //	GET    /v1/runs/{id}/trace                run trace: spans + critical-path analysis
-//	GET    /metrics                           Prometheus text exposition
+//	GET    /metrics                           Prometheus exposition (OpenMetrics with exemplars when negotiated)
 //	GET    /healthz                           server stats
 //
 // Refresh triggers accept a W3C traceparent header; the run's root span
@@ -194,6 +198,15 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/pipelines/{name}/refresh", s.handleTrigger)
 	mux.HandleFunc("GET /v1/pipelines/{name}/mvs/{mv}", s.handleQueryMV)
+	mux.HandleFunc("GET /v1/pipelines/{name}/health", func(w http.ResponseWriter, r *http.Request) {
+		h, err := s.PipelineHealth(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, h)
+	})
+	mux.HandleFunc("GET /v1/runs", s.handleRunHistory)
 	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Run(r.PathValue("id"))
 		if err != nil {
@@ -220,8 +233,15 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, rep)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.prom.write(w)
+		// Content negotiation: an Accept naming OpenMetrics gets the 1.0
+		// exposition (with exemplars); everything else the classic format.
+		om := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+		if om {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
+		s.prom.write(w, om)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -308,6 +328,41 @@ func (s *Server) handleTrigger(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		_, _ = s.CancelRun(run.id)
 	}
+}
+
+// runHistoryResponse is the JSON shape of GET /v1/runs.
+type runHistoryResponse struct {
+	Runs  []ledger.RunSummary `json:"runs"`
+	Count int                 `json:"count"`
+}
+
+// handleRunHistory serves the ledger's run history, newest first.
+// Query params: pipeline, tenant, outcome filter exact values;
+// anomalous=1 keeps only flagged runs; limit caps results (default 50).
+func (s *Server) handleRunHistory(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := ledger.Filter{
+		Pipeline: q.Get("pipeline"),
+		Tenant:   q.Get("tenant"),
+		Outcome:  q.Get("outcome"),
+		Limit:    50,
+	}
+	if v := q.Get("anomalous"); v == "1" || v == "true" {
+		f.Anomalous = true
+	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		f.Limit = n
+	}
+	runs := s.RunHistory(f)
+	if runs == nil {
+		runs = []ledger.RunSummary{}
+	}
+	writeJSON(w, http.StatusOK, runHistoryResponse{Runs: runs, Count: len(runs)})
 }
 
 func (s *Server) handleQueryMV(w http.ResponseWriter, r *http.Request) {

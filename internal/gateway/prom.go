@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/shortcircuit-db/sc/internal/obs"
 )
@@ -13,6 +14,10 @@ import (
 // Prometheus text-exposition registry, hand-rolled so the gateway stays
 // dependency-free. Families follow exporter conventions: unit-suffixed
 // names, _total on counters, cumulative _bucket/_sum/_count histograms.
+// Two renderings share the registry: the classic text format (0.0.4) and
+// OpenMetrics 1.0 (negotiated via Accept), which additionally carries
+// exemplars — per-bucket trace IDs tying a latency observation to the run
+// trace that produced it.
 
 // labelKey joins label values into a map key; \x1f cannot appear in a
 // sane label value.
@@ -70,14 +75,20 @@ func (c *counterVec) add(v float64, labelValues ...string) {
 	c.mu.Unlock()
 }
 
-func (c *counterVec) write(w io.Writer) {
+func (c *counterVec) write(w io.Writer, om bool) {
 	c.mu.Lock()
 	keys := make([]string, 0, len(c.vals))
 	for k := range c.vals {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	family := c.name
+	if om {
+		// OpenMetrics names the counter family without the _total suffix;
+		// the sample line keeps it.
+		family = strings.TrimSuffix(c.name, "_total")
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", family, c.help, family)
 	for _, k := range keys {
 		fmt.Fprintf(w, "%s%s %g\n", c.name, labelPairs(c.labels, c.lvs[k]), c.vals[k])
 	}
@@ -99,6 +110,16 @@ type histCell struct {
 	counts []int64
 	sum    float64
 	count  int64
+	// exemplars holds the latest exemplar per bucket (len(buckets)+1, the
+	// last slot for +Inf); rendered only in the OpenMetrics exposition.
+	exemplars []*exemplar
+}
+
+// exemplar ties one histogram observation to its trace.
+type exemplar struct {
+	labels string // rendered label body, e.g. trace_id="abc..."
+	v      float64
+	ts     time.Time
 }
 
 func newHistVec(name, help string, buckets []float64, labels ...string) *histVec {
@@ -107,24 +128,42 @@ func newHistVec(name, help string, buckets []float64, labels ...string) *histVec
 }
 
 func (h *histVec) observe(v float64, labelValues ...string) {
+	h.observeExemplar(v, "", labelValues...)
+}
+
+// observeExemplar records v and, when exLabels is non-empty (e.g.
+// `trace_id="..."`), attaches it as the exemplar of the lowest bucket that
+// counts v.
+func (h *histVec) observeExemplar(v float64, exLabels string, labelValues ...string) {
 	k := labelKey(labelValues)
 	h.mu.Lock()
 	cell := h.m[k]
 	if cell == nil {
-		cell = &histCell{lvs: append([]string(nil), labelValues...), counts: make([]int64, len(h.buckets))}
+		cell = &histCell{
+			lvs:       append([]string(nil), labelValues...),
+			counts:    make([]int64, len(h.buckets)),
+			exemplars: make([]*exemplar, len(h.buckets)+1),
+		}
 		h.m[k] = cell
 	}
+	slot := len(h.buckets) // +Inf
 	for i, ub := range h.buckets {
 		if v <= ub {
 			cell.counts[i]++
+			if i < slot {
+				slot = i
+			}
 		}
 	}
 	cell.sum += v
 	cell.count++
+	if exLabels != "" {
+		cell.exemplars[slot] = &exemplar{labels: exLabels, v: v, ts: time.Now()}
+	}
 	h.mu.Unlock()
 }
 
-func (h *histVec) write(w io.Writer) {
+func (h *histVec) write(w io.Writer, om bool) {
 	h.mu.Lock()
 	keys := make([]string, 0, len(h.m))
 	for k := range h.m {
@@ -134,14 +173,22 @@ func (h *histVec) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
 	for _, k := range keys {
 		cell := h.m[k]
-		for i, ub := range h.buckets {
-			lvs := append(append([]string(nil), cell.lvs...), fmt.Sprintf("%g", ub))
-			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
-				labelPairs(append(append([]string(nil), h.labels...), "le"), lvs), cell.counts[i])
+		bucketLine := func(le string, count int64, slot int) {
+			lvs := append(append([]string(nil), cell.lvs...), le)
+			fmt.Fprintf(w, "%s_bucket%s %d", h.name,
+				labelPairs(append(append([]string(nil), h.labels...), "le"), lvs), count)
+			if om && slot < len(cell.exemplars) {
+				if ex := cell.exemplars[slot]; ex != nil {
+					// OpenMetrics exemplar: value # {labels} exemplar_value ts
+					fmt.Fprintf(w, " # {%s} %g %.3f", ex.labels, ex.v, float64(ex.ts.UnixNano())/1e9)
+				}
+			}
+			fmt.Fprintln(w)
 		}
-		lvs := append(append([]string(nil), cell.lvs...), "+Inf")
-		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
-			labelPairs(append(append([]string(nil), h.labels...), "le"), lvs), cell.count)
+		for i, ub := range h.buckets {
+			bucketLine(fmt.Sprintf("%g", ub), cell.counts[i], i)
+		}
+		bucketLine("+Inf", cell.count, len(h.buckets))
 		fmt.Fprintf(w, "%s_sum%s %g\n", h.name, labelPairs(h.labels, cell.lvs), cell.sum)
 		fmt.Fprintf(w, "%s_count%s %d\n", h.name, labelPairs(h.labels, cell.lvs), cell.count)
 	}
@@ -187,6 +234,9 @@ type prom struct {
 	materialized    *counterVec // tenant, pipeline
 	evictions       *counterVec // tenant, pipeline
 	kernelFallbacks *counterVec // tenant, pipeline
+	anomalies       *counterVec // pipeline, kind
+	eventsDropped   *counterVec // tenant, pipeline
+	traceSampled    *counterVec // decision
 	refreshSeconds  *histVec    // tenant, pipeline
 	queueWait       *histVec    // (none)
 	mvReadSeconds   *histVec    // (none)
@@ -210,6 +260,12 @@ func newProm() *prom {
 			"Flagged outputs released from the shared catalog.", "tenant", "pipeline"),
 		kernelFallbacks: newCounterVec("scserve_kernel_fallbacks_total",
 			"Kernel executions that reverted to the row engine.", "tenant", "pipeline"),
+		anomalies: newCounterVec("scserve_anomalies_total",
+			"Baseline anomalies detected in finished runs.", "pipeline", "kind"),
+		eventsDropped: newCounterVec("scserve_run_events_dropped_total",
+			"Run events dropped by the bounded event buffer.", "tenant", "pipeline"),
+		traceSampled: newCounterVec("scserve_traces_sampled_total",
+			"Tail-sampling decisions on finished run traces.", "decision"),
 		refreshSeconds: newHistVec("scserve_refresh_seconds",
 			"End-to-end refresh latency (trigger to all MVs materialized), including queue wait.",
 			latencyBuckets, "tenant", "pipeline"),
@@ -243,19 +299,27 @@ func (p *prom) addGauge(name, help string, labels []string, collect func() []gau
 	p.gauges = append(p.gauges, &gaugeVec{name: name, help: help, labels: labels, collect: collect})
 }
 
-// write renders the full exposition.
-func (p *prom) write(w io.Writer) {
-	p.refreshes.write(w)
-	p.triggers.write(w)
-	p.decodeBytes.write(w)
-	p.encodeBytes.write(w)
-	p.materialized.write(w)
-	p.evictions.write(w)
-	p.kernelFallbacks.write(w)
+// write renders the full exposition; om selects OpenMetrics 1.0 (counter
+// families named without _total, exemplars on histogram buckets, trailing
+// # EOF) over the classic 0.0.4 text format.
+func (p *prom) write(w io.Writer, om bool) {
+	p.refreshes.write(w, om)
+	p.triggers.write(w, om)
+	p.decodeBytes.write(w, om)
+	p.encodeBytes.write(w, om)
+	p.materialized.write(w, om)
+	p.evictions.write(w, om)
+	p.kernelFallbacks.write(w, om)
+	p.anomalies.write(w, om)
+	p.eventsDropped.write(w, om)
+	p.traceSampled.write(w, om)
 	for _, g := range p.gauges {
 		g.write(w)
 	}
-	p.refreshSeconds.write(w)
-	p.queueWait.write(w)
-	p.mvReadSeconds.write(w)
+	p.refreshSeconds.write(w, om)
+	p.queueWait.write(w, om)
+	p.mvReadSeconds.write(w, om)
+	if om {
+		io.WriteString(w, "# EOF\n")
+	}
 }

@@ -38,13 +38,17 @@ func TestPromExpositionGolden(t *testing.T) {
 				{lvs: []string{"acme"}, v: 12345},
 			}
 		})
+	p.anomalies.add(1, "beer", "wall_regression")
+	p.eventsDropped.add(5, "acme", "beer")
+	p.traceSampled.add(3, "dropped")
+	p.traceSampled.add(1, "kept")
 	p.refreshSeconds.observe(0.2, "acme", "beer")
 	p.refreshSeconds.observe(75, "acme", "beer")
 	p.queueWait.observe(0.004)
 	p.mvReadSeconds.observe(0.03)
 
 	var buf bytes.Buffer
-	p.write(&buf)
+	p.write(&buf, false)
 
 	golden := filepath.Join("testdata", "metrics.golden")
 	if *updateGolden {
@@ -59,6 +63,40 @@ func TestPromExpositionGolden(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("exposition drifted from %s (run with -update to accept):\ngot:\n%s\nwant:\n%s",
 			golden, firstDiff(buf.String(), string(want)), firstDiff(string(want), buf.String()))
+	}
+}
+
+// TestPromOpenMetrics checks the negotiated OpenMetrics rendering:
+// counter families drop the _total suffix in HELP/TYPE (but keep it on
+// samples), exemplars attach to the bucket that counted the observation,
+// and the exposition ends with # EOF.
+func TestPromOpenMetrics(t *testing.T) {
+	p := newProm()
+	p.refreshes.add(1, "acme", "beer", "succeeded")
+	p.refreshSeconds.observeExemplar(0.2, `trace_id="0af7651916cd43dd8448eb211c80319c"`, "acme", "beer")
+
+	var buf bytes.Buffer
+	p.write(&buf, true)
+	out := buf.String()
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition must end with # EOF, got tail %q", out[max(0, len(out)-40):])
+	}
+	if !strings.Contains(out, "# TYPE scserve_refreshes counter\n") {
+		t.Fatalf("counter family should be named without _total in OM mode:\n%s", out)
+	}
+	if !strings.Contains(out, `scserve_refreshes_total{tenant="acme",pipeline="beer",status="succeeded"} 1`) {
+		t.Fatalf("counter sample keeps the _total suffix:\n%s", out)
+	}
+	wantEx := `le="0.25"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.2`
+	if !strings.Contains(out, wantEx) {
+		t.Fatalf("exemplar missing from lowest counting bucket, want substring %q in:\n%s", wantEx, out)
+	}
+	// Classic mode must not leak exemplars.
+	var classic bytes.Buffer
+	p.write(&classic, false)
+	if strings.Contains(classic.String(), "trace_id") {
+		t.Fatal("classic exposition must not carry exemplars")
 	}
 }
 

@@ -1,0 +1,503 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DetectorConfig tunes the anomaly detector. Zero values mean defaults.
+type DetectorConfig struct {
+	// MinSamples is how many succeeded runs a baseline needs before the
+	// detector trusts it. Default 3.
+	MinSamples int64
+	// Z is the z-score threshold for wall/bytes/eviction regressions.
+	// Default 3.
+	Z float64
+	// MinWallDeltaSeconds is the absolute wall-time floor: a node must be
+	// at least this much over its baseline mean to count as regressed, so
+	// microsecond jitter on tiny nodes never trips the z-score. Default 10ms.
+	MinWallDeltaSeconds float64
+	// MinBytesDelta is the absolute output-bytes floor for bytes
+	// regressions. Default 4096.
+	MinBytesDelta float64
+	// RatioCollapse flags a node whose compression ratio fell below this
+	// fraction of its baseline mean. Default 0.5.
+	RatioCollapse float64
+	// EvictionMin is the minimum eviction count for a storm; z-score alone
+	// is not enough when the baseline is near zero. Default 4.
+	EvictionMin int64
+	// SlowSeconds marks a run "slow" for tail sampling when its wall time
+	// exceeds it, even without a baseline. Zero disables the absolute check
+	// (the z-score check against the pipeline baseline still applies).
+	SlowSeconds float64
+	// RelSigmaFloor floors the baseline sigma at this fraction of the mean
+	// so near-constant baselines don't produce infinite z-scores.
+	// Default 0.1.
+	RelSigmaFloor float64
+}
+
+func (d DetectorConfig) withDefaults() DetectorConfig {
+	if d.MinSamples <= 0 {
+		d.MinSamples = 3
+	}
+	if d.Z <= 0 {
+		d.Z = 3
+	}
+	if d.MinWallDeltaSeconds <= 0 {
+		d.MinWallDeltaSeconds = 0.010
+	}
+	if d.MinBytesDelta <= 0 {
+		d.MinBytesDelta = 4096
+	}
+	if d.RatioCollapse <= 0 {
+		d.RatioCollapse = 0.5
+	}
+	if d.EvictionMin <= 0 {
+		d.EvictionMin = 4
+	}
+	if d.RelSigmaFloor <= 0 {
+		d.RelSigmaFloor = 0.1
+	}
+	return d
+}
+
+// Config configures a Ledger.
+type Config struct {
+	// Capacity bounds the in-memory ring; older summaries are evicted (the
+	// NDJSON file, when set, keeps them). Default 512.
+	Capacity int
+	// Path appends every summary as one NDJSON line and is replayed on
+	// open, so baselines and history survive restarts. "" keeps the ledger
+	// in memory only.
+	Path     string
+	Detector DetectorConfig
+}
+
+// Decision is the tail-sampling verdict for one run: whether its full
+// trace is worth keeping.
+type Decision struct {
+	Keep    bool     `json:"keep"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// ewma is an exponentially weighted mean + variance, the same learning
+// rule the metrics store uses for compression ratios.
+type ewma struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	Var  float64 `json:"var"`
+}
+
+const ewmaAlpha = 0.3
+
+func (w *ewma) observe(x float64) {
+	w.N++
+	if w.N == 1 {
+		w.Mean, w.Var = x, 0
+		return
+	}
+	diff := x - w.Mean
+	incr := ewmaAlpha * diff
+	w.Mean += incr
+	w.Var = (1 - ewmaAlpha) * (w.Var + diff*incr)
+}
+
+// z scores x against the baseline with the sigma floored at
+// relFloor×|mean| (plus a tiny epsilon) so constant baselines stay finite.
+func (w *ewma) z(x, relFloor float64) float64 {
+	sigma := math.Sqrt(w.Var)
+	if floor := relFloor * math.Abs(w.Mean); sigma < floor {
+		sigma = floor
+	}
+	if sigma < 1e-12 {
+		sigma = 1e-12
+	}
+	return (x - w.Mean) / sigma
+}
+
+// nodeBaseline is the learned behaviour of one (pipeline, node).
+type nodeBaseline struct {
+	wall      ewma
+	bytes     ewma
+	ratio     ewma
+	fallbacks ewma
+}
+
+// pipelineBaseline aggregates run-level behaviour of one pipeline.
+type pipelineBaseline struct {
+	wall       ewma
+	queue      ewma
+	evictions  ewma
+	mispredict ewma
+	nodes      map[string]*nodeBaseline
+}
+
+// NodeBaseline is the exported snapshot of a learned per-node baseline.
+type NodeBaseline struct {
+	Node             string  `json:"node"`
+	Samples          int64   `json:"samples"`
+	WallMeanSeconds  float64 `json:"wall_mean_seconds"`
+	WallSigmaSeconds float64 `json:"wall_sigma_seconds"`
+	BytesMean        float64 `json:"bytes_mean"`
+	RatioMean        float64 `json:"ratio_mean,omitempty"`
+	FallbackMean     float64 `json:"fallback_mean,omitempty"`
+}
+
+// Filter selects runs from the history. Zero fields match everything.
+type Filter struct {
+	Pipeline  string
+	Tenant    string
+	Outcome   string
+	Anomalous bool // only runs the detector flagged
+	Limit     int  // max runs returned; 0 means all retained
+}
+
+// Ledger is the bounded run-history store plus the learned baselines and
+// the anomaly detector over them. Safe for concurrent use.
+type Ledger struct {
+	mu        sync.Mutex
+	cfg       Config
+	det       DetectorConfig
+	ring      []RunSummary
+	head      int // next slot to overwrite once the ring is full
+	evicted   int64
+	baselines map[string]*pipelineBaseline
+	file      *os.File
+	enc       *json.Encoder
+	err       error
+}
+
+// New opens a ledger. When cfg.Path names an existing NDJSON file its
+// summaries are replayed into the ring and baselines (detection is not
+// re-run; stored anomalies are kept as recorded), then the file is opened
+// for appending.
+func New(cfg Config) (*Ledger, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 512
+	}
+	l := &Ledger{
+		cfg:       cfg,
+		det:       cfg.Detector.withDefaults(),
+		baselines: make(map[string]*pipelineBaseline),
+	}
+	if cfg.Path != "" {
+		if err := l.replay(cfg.Path); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: open %s: %w", cfg.Path, err)
+		}
+		l.file = f
+		l.enc = json.NewEncoder(f)
+	}
+	return l, nil
+}
+
+// replay folds an existing NDJSON history into the ring and baselines.
+func (l *Ledger) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("ledger: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var s RunSummary
+		if err := json.Unmarshal(b, &s); err != nil {
+			return fmt.Errorf("ledger: replay %s line %d: %w", path, line, err)
+		}
+		l.learnLocked(&s)
+		l.pushLocked(s)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ledger: replay %s: %w", path, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the NDJSON file, if any.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return l.err
+	}
+	err := l.file.Close()
+	l.file, l.enc = nil, nil
+	if l.err != nil {
+		return l.err
+	}
+	return err
+}
+
+// Err reports the first persistence error, if any.
+func (l *Ledger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Append records one run: the summary is judged against the learned
+// baselines (filling s.Anomalies), folded into them, pushed onto the ring,
+// and persisted. The returned Decision is the tail-sampling verdict —
+// whether this run's full trace deserves retention.
+func (l *Ledger) Append(s RunSummary) (RunSummary, Decision) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.detectLocked(&s)
+	dec := l.decideLocked(&s)
+	l.learnLocked(&s)
+	l.pushLocked(s)
+	if l.enc != nil {
+		if err := l.enc.Encode(s); err != nil && l.err == nil {
+			l.err = err
+		}
+	}
+	return s, dec
+}
+
+// detectLocked fills s.Anomalies by judging the run against the
+// pre-existing baselines. Only succeeded runs are judged — failed runs are
+// already kept by the tail sampler and their partial numbers would poison
+// comparisons.
+func (l *Ledger) detectLocked(s *RunSummary) {
+	if s.Outcome != OutcomeSucceeded {
+		return
+	}
+	d := l.det
+	pb := l.baselines[s.Pipeline]
+	// Admission misprediction: the reservation proved too small and the run
+	// degraded to blocking writes. Needs no baseline — one occurrence is
+	// already the paper's accounting violated.
+	if s.ReservedBytes > 0 && s.FallbackWrites > 0 {
+		s.Anomalies = append(s.Anomalies, Anomaly{
+			Kind:     KindMispredict,
+			Observed: float64(s.ActualPeakBytes),
+			Baseline: float64(s.ReservedBytes),
+			Detail:   fmt.Sprintf("%d blocking writes: reserved %d B < actual demand", s.FallbackWrites, s.ReservedBytes),
+		})
+	}
+	if pb == nil {
+		return
+	}
+	if pb.evictions.N >= d.MinSamples && s.Evictions >= d.EvictionMin {
+		if z := pb.evictions.z(float64(s.Evictions), d.RelSigmaFloor); z >= d.Z {
+			s.Anomalies = append(s.Anomalies, Anomaly{
+				Kind: KindEvictionStorm, Score: z,
+				Observed: float64(s.Evictions), Baseline: pb.evictions.Mean,
+				Detail: fmt.Sprintf("%d evictions vs baseline %.1f", s.Evictions, pb.evictions.Mean),
+			})
+		}
+	}
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		nb := pb.nodes[ns.Node]
+		if nb == nil || nb.wall.N < d.MinSamples {
+			continue
+		}
+		if z := nb.wall.z(ns.WallSeconds, d.RelSigmaFloor); z >= d.Z && ns.WallSeconds-nb.wall.Mean >= d.MinWallDeltaSeconds {
+			s.Anomalies = append(s.Anomalies, Anomaly{
+				Kind: KindWallRegression, Node: ns.Node, Score: z,
+				Observed: ns.WallSeconds, Baseline: nb.wall.Mean,
+				Detail: fmt.Sprintf("%.1fms vs baseline %.1fms", ns.WallSeconds*1e3, nb.wall.Mean*1e3),
+			})
+		}
+		if ns.OutputBytes > 0 {
+			if z := nb.bytes.z(float64(ns.OutputBytes), d.RelSigmaFloor); z >= d.Z && float64(ns.OutputBytes)-nb.bytes.Mean >= d.MinBytesDelta {
+				s.Anomalies = append(s.Anomalies, Anomaly{
+					Kind: KindBytesRegression, Node: ns.Node, Score: z,
+					Observed: float64(ns.OutputBytes), Baseline: nb.bytes.Mean,
+					Detail: fmt.Sprintf("%d B vs baseline %.0f B", ns.OutputBytes, nb.bytes.Mean),
+				})
+			}
+		}
+		if ns.Ratio > 0 && nb.ratio.N >= d.MinSamples && nb.ratio.Mean > 0 &&
+			ns.Ratio < d.RatioCollapse*nb.ratio.Mean {
+			s.Anomalies = append(s.Anomalies, Anomaly{
+				Kind: KindRatioCollapse, Node: ns.Node,
+				Observed: ns.Ratio, Baseline: nb.ratio.Mean,
+				Detail: fmt.Sprintf("ratio %.2f vs baseline %.2f", ns.Ratio, nb.ratio.Mean),
+			})
+		}
+		if ns.KernelFallbacks > 0 && nb.fallbacks.N >= d.MinSamples && nb.fallbacks.Mean == 0 {
+			s.Anomalies = append(s.Anomalies, Anomaly{
+				Kind: KindKernelFallback, Node: ns.Node,
+				Observed: float64(ns.KernelFallbacks),
+				Detail:   fmt.Sprintf("%d row-engine fallbacks on a node that never fell back", ns.KernelFallbacks),
+			})
+		}
+	}
+}
+
+// decideLocked is the tail-sampling policy: keep the trace when the run is
+// anomalous, did not succeed, or is slow against its own pipeline history.
+func (l *Ledger) decideLocked(s *RunSummary) Decision {
+	var dec Decision
+	if len(s.Anomalies) > 0 {
+		dec.Reasons = append(dec.Reasons, "anomalous")
+	}
+	if s.Outcome != OutcomeSucceeded {
+		dec.Reasons = append(dec.Reasons, s.Outcome)
+	}
+	d := l.det
+	if d.SlowSeconds > 0 && s.WallSeconds > d.SlowSeconds {
+		dec.Reasons = append(dec.Reasons, "slow")
+	} else if pb := l.baselines[s.Pipeline]; pb != nil && pb.wall.N >= d.MinSamples {
+		if z := pb.wall.z(s.WallSeconds, d.RelSigmaFloor); z >= d.Z && s.WallSeconds-pb.wall.Mean >= d.MinWallDeltaSeconds {
+			dec.Reasons = append(dec.Reasons, "slow")
+		}
+	}
+	dec.Keep = len(dec.Reasons) > 0
+	return dec
+}
+
+// learnLocked folds a succeeded run into the pipeline and node baselines.
+func (l *Ledger) learnLocked(s *RunSummary) {
+	if s.Outcome != OutcomeSucceeded {
+		return
+	}
+	pb := l.baselines[s.Pipeline]
+	if pb == nil {
+		pb = &pipelineBaseline{nodes: make(map[string]*nodeBaseline)}
+		l.baselines[s.Pipeline] = pb
+	}
+	pb.wall.observe(s.WallSeconds)
+	pb.queue.observe(s.QueueWaitSeconds)
+	pb.evictions.observe(float64(s.Evictions))
+	if s.ReservedBytes > 0 {
+		pb.mispredict.observe(s.Mispredict)
+	}
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		nb := pb.nodes[ns.Node]
+		if nb == nil {
+			nb = &nodeBaseline{}
+			pb.nodes[ns.Node] = nb
+		}
+		nb.wall.observe(ns.WallSeconds)
+		nb.bytes.observe(float64(ns.OutputBytes))
+		if ns.Ratio > 0 {
+			nb.ratio.observe(ns.Ratio)
+		}
+		nb.fallbacks.observe(float64(ns.KernelFallbacks))
+	}
+}
+
+// pushLocked appends to the bounded ring, evicting the oldest entry when
+// full.
+func (l *Ledger) pushLocked(s RunSummary) {
+	if len(l.ring) < l.cfg.Capacity {
+		l.ring = append(l.ring, s)
+		return
+	}
+	l.ring[l.head] = s
+	l.head = (l.head + 1) % l.cfg.Capacity
+	l.evicted++
+}
+
+// Len reports how many summaries the ring currently holds.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Evicted reports how many summaries the bounded ring has dropped.
+func (l *Ledger) Evicted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// Runs returns retained summaries matching the filter, newest first.
+func (l *Ledger) Runs(f Filter) []RunSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]RunSummary, 0, len(l.ring))
+	for i := len(l.ring) - 1; i >= 0; i-- {
+		// Chronological order in the ring is ring[head:] then ring[:head];
+		// walk it backwards for newest-first.
+		s := l.ring[(l.head+i)%len(l.ring)]
+		if f.Pipeline != "" && s.Pipeline != f.Pipeline {
+			continue
+		}
+		if f.Tenant != "" && s.Tenant != f.Tenant {
+			continue
+		}
+		if f.Outcome != "" && s.Outcome != f.Outcome {
+			continue
+		}
+		if f.Anomalous && len(s.Anomalies) == 0 {
+			continue
+		}
+		out = append(out, s)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// MispredictRatio is the pipeline's learned mean |reserved−actual|/reserved
+// over its admitted runs (0 when the pipeline never reserved).
+func (l *Ledger) MispredictRatio(pipeline string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if pb := l.baselines[pipeline]; pb != nil && pb.mispredict.N > 0 {
+		return pb.mispredict.Mean
+	}
+	return 0
+}
+
+// Baselines snapshots the learned per-node baselines of a pipeline,
+// sorted by node name.
+func (l *Ledger) Baselines(pipeline string) []NodeBaseline {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pb := l.baselines[pipeline]
+	if pb == nil {
+		return nil
+	}
+	out := make([]NodeBaseline, 0, len(pb.nodes))
+	for name, nb := range pb.nodes {
+		out = append(out, NodeBaseline{
+			Node:             name,
+			Samples:          nb.wall.N,
+			WallMeanSeconds:  nb.wall.Mean,
+			WallSigmaSeconds: math.Sqrt(nb.wall.Var),
+			BytesMean:        nb.bytes.Mean,
+			RatioMean:        nb.ratio.Mean,
+			FallbackMean:     nb.fallbacks.Mean,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Pipelines lists the pipelines with learned baselines, sorted.
+func (l *Ledger) Pipelines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.baselines))
+	for p := range l.baselines {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -13,6 +13,7 @@ type eventJSON struct {
 	RunID            string  `json:"run_id,omitempty"`
 	Seq              int64   `json:"seq,omitempty"`
 	Node             string  `json:"node,omitempty"`
+	Source           string  `json:"source,omitempty"`
 	Step             *int    `json:"step,omitempty"`
 	Bytes            int64   `json:"bytes,omitempty"`
 	Encoded          int64   `json:"encoded,omitempty"`
@@ -47,6 +48,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		RunID:            e.RunID,
 		Seq:              e.Seq,
 		Node:             e.Node,
+		Source:           e.Source,
 		Bytes:            e.Bytes,
 		Encoded:          e.Encoded,
 		Ratio:            e.Ratio,

@@ -53,6 +53,11 @@ const (
 	// and served by the session dictionary cache), Bytes (raw bytes the
 	// kernels materialized).
 	KernelDone
+	// CacheHit: a node's input read was served from the Memory Catalog
+	// without decode work — a resident/decoded-view hit or a compressed
+	// chunk handoff. Fields: Node (the consuming node), Source (the
+	// producing node whose cached output was reused), Step, Bytes.
+	CacheHit
 )
 
 // String returns the kind's canonical name.
@@ -76,6 +81,8 @@ func (k Kind) String() string {
 		return "DecodeDone"
 	case KernelDone:
 		return "KernelDone"
+	case CacheHit:
+		return "CacheHit"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -97,6 +104,7 @@ type Event struct {
 	// interleaves events from its worker pool. Zero when not run-scoped.
 	Seq       int64
 	Node      string        // node (MV) name
+	Source    string        // CacheHit: the producing node whose cached output was read
 	Step      int           // plan position of the node, -1 when not applicable
 	Bytes     int64         // payload bytes (output, materialized, evicted, high water)
 	Encoded   int64         // NodeDone/EncodeDone/DecodeDone: encoded (compressed) bytes

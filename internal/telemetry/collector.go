@@ -40,6 +40,13 @@ type CollectorConfig struct {
 	// Profile captures per-run runtime deltas (GC pauses, heap allocation,
 	// goroutine peak) and stamps them on the root span at Finish.
 	Profile bool
+	// LinkResolver maps a node name to the span that produced its cached
+	// output in an earlier run of the same pipeline. When set, cross-run
+	// cache reuse (a session dictionary hit, a catalog entry surviving
+	// between runs) becomes a span link on the consuming node's span
+	// instead of going unrecorded. Called with the collector lock held —
+	// must not call back into the collector.
+	LinkResolver func(node string) (SpanContext, bool)
 }
 
 // Collector assembles one run's obs events into a trace. It implements
@@ -54,6 +61,7 @@ type Collector struct {
 	virtual  bool
 	base     time.Time
 	finished bool
+	linkFor  func(node string) (SpanContext, bool)
 
 	profile   bool
 	memStart  runtime.MemStats
@@ -67,6 +75,7 @@ func NewCollector(cfg CollectorConfig) *Collector {
 		open:    make(map[string]*Span),
 		virtual: cfg.Virtual,
 		profile: cfg.Profile,
+		linkFor: cfg.LinkResolver,
 	}
 	start := cfg.Start
 	if start.IsZero() {
@@ -187,9 +196,85 @@ func (c *Collector) OnEvent(e obs.Event) {
 		}
 		c.nodeSpans++
 		c.done = append(c.done, *sp)
-	case obs.EncodeDone, obs.DecodeDone, obs.KernelDone, obs.Evicted, obs.Materialized, obs.MemoryHighWater:
+	case obs.CacheHit:
+		c.attachEventLocked(e, now)
+		c.linkCacheHitLocked(e)
+	case obs.KernelDone:
+		c.attachEventLocked(e, now)
+		if e.DictReused > 0 {
+			// Chunks served entirely from the session dictionary cache: the
+			// dictionaries were built by a previous run of this pipeline.
+			c.addCrossRunLinkLocked(e.Node, e.Node, "session-dictionary")
+		}
+	case obs.EncodeDone, obs.DecodeDone, obs.Evicted, obs.Materialized, obs.MemoryHighWater:
 		c.attachEventLocked(e, now)
 	}
+}
+
+// linkCacheHitLocked links the consuming node's span (e.Node) to the span
+// that produced the cached output (e.Source): the in-run producer span
+// when this run executed the source node, else — via the LinkResolver —
+// the producing span of a previous run.
+func (c *Collector) linkCacheHitLocked(e obs.Event) {
+	if e.Source == "" {
+		return
+	}
+	if src := c.spanForNodeLocked(e.Source); src != nil {
+		c.addLinkLocked(e.Node, Link{
+			TraceID: c.trace,
+			SpanID:  src.SpanID,
+			Attrs:   []Attr{Str("sc.link.reason", "cached-parent"), Str(AttrNode, e.Source)},
+		})
+		return
+	}
+	c.addCrossRunLinkLocked(e.Node, e.Source, "cached-parent")
+}
+
+// addCrossRunLinkLocked resolves the producing span of a previous run and
+// links consumer's span to it.
+func (c *Collector) addCrossRunLinkLocked(consumer, producer, reason string) {
+	if c.linkFor == nil {
+		return
+	}
+	sc, ok := c.linkFor(producer)
+	if !ok || !sc.IsValid() {
+		return
+	}
+	c.addLinkLocked(consumer, Link{
+		TraceID: sc.TraceID,
+		SpanID:  sc.SpanID,
+		Attrs:   []Attr{Str("sc.link.reason", reason), Str(AttrNode, producer)},
+	})
+}
+
+// spanForNodeLocked finds a node's span in this run: open first, then the
+// latest completed one.
+func (c *Collector) spanForNodeLocked(node string) *Span {
+	if sp := c.open[node]; sp != nil {
+		return sp
+	}
+	for i := len(c.done) - 1; i >= 0; i-- {
+		if c.done[i].StrAttr(AttrNode) == node {
+			return &c.done[i]
+		}
+	}
+	return nil
+}
+
+// addLinkLocked appends a link to the consuming node's span (falling back
+// to the root span), deduplicating identical (span, reason) pairs — a node
+// reading the same cached parent several times yields one link.
+func (c *Collector) addLinkLocked(consumer string, link Link) {
+	sp := c.spanForNodeLocked(consumer)
+	if sp == nil {
+		sp = &c.root
+	}
+	for _, l := range sp.Links {
+		if l.SpanID == link.SpanID && l.TraceID == link.TraceID {
+			return
+		}
+	}
+	sp.Links = append(sp.Links, link)
 }
 
 // attachEventLocked files an observation as a span event: on the named
@@ -218,6 +303,9 @@ func spanEventAttrs(e obs.Event) []Attr {
 	attrs := make([]Attr, 0, 8)
 	if e.Node != "" {
 		attrs = append(attrs, Str(AttrNode, e.Node))
+	}
+	if e.Source != "" {
+		attrs = append(attrs, Str("sc.source", e.Source))
 	}
 	if e.Bytes != 0 {
 		attrs = append(attrs, Int("sc.bytes", e.Bytes))
@@ -336,10 +424,12 @@ func (c *Collector) Spans() []Span {
 	root := c.root
 	root.Attrs = append([]Attr(nil), c.root.Attrs...)
 	root.Events = append([]SpanEvent(nil), c.root.Events...)
+	root.Links = append([]Link(nil), c.root.Links...)
 	out = append(out, root)
 	for _, sp := range c.done {
 		sp.Attrs = append([]Attr(nil), sp.Attrs...)
 		sp.Events = append([]SpanEvent(nil), sp.Events...)
+		sp.Links = append([]Link(nil), sp.Links...)
 		out = append(out, sp)
 	}
 	return out

@@ -17,6 +17,7 @@ type SpanJSON struct {
 	DurationSeconds float64         `json:"duration_seconds"`
 	Attrs           map[string]any  `json:"attrs,omitempty"`
 	Events          []SpanEventJSON `json:"events,omitempty"`
+	Links           []SpanLinkJSON  `json:"links,omitempty"`
 	Error           string          `json:"error,omitempty"`
 }
 
@@ -25,6 +26,13 @@ type SpanEventJSON struct {
 	Name  string         `json:"name"`
 	Time  time.Time      `json:"time"`
 	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanLinkJSON is a span link's HTTP-facing shape.
+type SpanLinkJSON struct {
+	TraceID string         `json:"trace_id"`
+	SpanID  string         `json:"span_id"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
 func attrMap(attrs []Attr) map[string]any {
@@ -56,6 +64,9 @@ func SpanToJSON(s Span) SpanJSON {
 	}
 	for _, ev := range s.Events {
 		j.Events = append(j.Events, SpanEventJSON{Name: ev.Name, Time: ev.Time, Attrs: attrMap(ev.Attrs)})
+	}
+	for _, l := range s.Links {
+		j.Links = append(j.Links, SpanLinkJSON{TraceID: l.TraceID.String(), SpanID: l.SpanID.String(), Attrs: attrMap(l.Attrs)})
 	}
 	return j
 }

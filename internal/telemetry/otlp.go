@@ -251,7 +251,14 @@ type otlpSpan struct {
 	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
 	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
 	Events            []otlpEvent    `json:"events,omitempty"`
+	Links             []otlpLink     `json:"links,omitempty"`
 	Status            *otlpStatus    `json:"status,omitempty"`
+}
+
+type otlpLink struct {
+	TraceID    string         `json:"traceId"`
+	SpanID     string         `json:"spanId"`
+	Attributes []otlpKeyValue `json:"attributes,omitempty"`
 }
 
 type otlpEvent struct {
@@ -332,6 +339,13 @@ func otlpFromSpan(s Span) otlpSpan {
 			TimeUnixNano: unixNano(ev.Time),
 			Name:         ev.Name,
 			Attributes:   otlpAttrs(ev.Attrs),
+		})
+	}
+	for _, l := range s.Links {
+		o.Links = append(o.Links, otlpLink{
+			TraceID:    l.TraceID.String(),
+			SpanID:     l.SpanID.String(),
+			Attributes: otlpAttrs(l.Attrs),
 		})
 	}
 	if s.Err != "" {

@@ -173,6 +173,17 @@ type SpanEvent struct {
 	Attrs []Attr
 }
 
+// Link connects a span to a causally related span it does not parent
+// under — in S/C, a node whose input read was served from cache links to
+// the span that produced (or last encoded) that output, in this run or a
+// previous one. Attributes carry the reason (sc.link.reason) and the
+// producing node (sc.node).
+type Link struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Attrs   []Attr
+}
+
 // Span is one completed (or still-open) trace span.
 type Span struct {
 	TraceID TraceID
@@ -184,6 +195,7 @@ type Span struct {
 	End     time.Time
 	Attrs   []Attr
 	Events  []SpanEvent
+	Links   []Link
 	// Err carries the failure message; empty means STATUS_CODE_OK.
 	Err string
 }

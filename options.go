@@ -28,6 +28,8 @@ type config struct {
 	dictCache     bool
 	tracing       bool
 	traceExporter telemetry.Exporter
+	ledger        bool
+	ledgerPath    string
 	err           error
 }
 
@@ -237,6 +239,28 @@ func WithTelemetry(exp TraceExporter) Option {
 	return func(c *config) {
 		c.tracing = true
 		c.traceExporter = exp
+	}
+}
+
+// WithLedger enables the session run ledger: every Run/Refresh lands a
+// RunSummary — wall and queue time, per-node wall/self/wait, decoded and
+// encoded bytes, compression ratios, kernel fallbacks, evictions, the
+// critical path, and predicted-vs-actual peak memory — in a bounded
+// in-memory history, read back with Refresher.History. Per-(pipeline, node)
+// EWMA baselines learn from succeeded runs and an anomaly detector flags
+// wall/bytes regressions, compression-ratio collapses, eviction storms and
+// kernel-fallback appearances against them; see the Anomalies field of each
+// summary.
+//
+// path, when non-empty, persists summaries as NDJSON and replays them on
+// New, so baselines survive process restarts. WithLedger implies tracing
+// (the summary is derived from the run's spans); combine with WithTelemetry
+// to also export traces.
+func WithLedger(path string) Option {
+	return func(c *config) {
+		c.ledger = true
+		c.ledgerPath = path
+		c.tracing = true
 	}
 }
 

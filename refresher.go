@@ -10,6 +10,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/ledger"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/metrics"
 	"github.com/shortcircuit-db/sc/internal/obs"
@@ -34,6 +35,13 @@ type Refresher struct {
 	chunked  *chunkio.Session // session dictionary cache; nil when disabled
 
 	runSeq atomic.Int64 // run counter feeding telemetry run IDs
+
+	led *ledger.Ledger // run history + baselines; nil without WithLedger
+
+	// linkMu guards lastNodeSpans separately from mu: the collector's link
+	// resolver fires during run execution, outside any mu critical section.
+	linkMu        sync.Mutex
+	lastNodeSpans map[string]telemetry.SpanContext
 
 	mu        sync.Mutex
 	plan      *Plan
@@ -75,6 +83,13 @@ func New(mvs []MV, store Store, opts ...Option) (*Refresher, error) {
 		// The session dictionary cache lives with the Refresher, so each
 		// Refresh reuses the dictionaries the previous run derived.
 		r.chunked = chunkio.NewSession()
+	}
+	if cfg.ledger {
+		led, err := ledger.New(ledger.Config{Path: cfg.ledgerPath})
+		if err != nil {
+			return nil, err
+		}
+		r.led = led
 	}
 	return r, nil
 }
@@ -186,9 +201,10 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 	if r.cfg.tracing {
 		runID = telemetry.RunID(r.runSeq.Add(1))
 		col = telemetry.NewCollector(telemetry.CollectorConfig{
-			RunID:    runID,
-			RootName: "refresh",
-			Profile:  true,
+			RunID:        runID,
+			RootName:     "refresh",
+			Profile:      true,
+			LinkResolver: r.nodeSpanResolver(),
 		})
 	}
 	ctl := &exec.Controller{
@@ -217,11 +233,80 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 		r.mu.Lock()
 		r.lastTrace = tr
 		r.mu.Unlock()
+		r.rememberNodeSpans(spans)
+		if r.led != nil {
+			meta := ledger.Meta{
+				RunID:         runID,
+				Pipeline:      "session",
+				Outcome:       ledger.OutcomeSucceeded,
+				ReservedBytes: r.cfg.memory,
+			}
+			if err != nil {
+				meta.Outcome = ledger.OutcomeFailed
+				meta.Err = msg
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					meta.Outcome = ledger.OutcomeCanceled
+				}
+			}
+			if res != nil {
+				meta.ActualPeakBytes = res.PeakMemory
+				meta.FallbackWrites = res.FallbackWrites
+			}
+			r.led.Append(ledger.Summarize(spans, r.parentNames(), meta))
+		}
 		if r.cfg.traceExporter != nil {
 			r.cfg.traceExporter.Export(spans)
 		}
 	}
 	return res, err
+}
+
+// History returns the session run ledger's summaries, newest first, or nil
+// without WithLedger. An empty filter returns everything retained.
+func (r *Refresher) History(f RunFilter) []RunSummary {
+	if r.led == nil {
+		return nil
+	}
+	return r.led.Runs(f)
+}
+
+// Baselines returns the ledger's learned per-node baselines, or nil without
+// WithLedger.
+func (r *Refresher) Baselines() []NodeBaseline {
+	if r.led == nil {
+		return nil
+	}
+	return r.led.Baselines("session")
+}
+
+// rememberNodeSpans records each node's span context so the next run's
+// cache hits can link back to the producing span.
+func (r *Refresher) rememberNodeSpans(spans []telemetry.Span) {
+	r.linkMu.Lock()
+	defer r.linkMu.Unlock()
+	if r.lastNodeSpans == nil {
+		r.lastNodeSpans = make(map[string]telemetry.SpanContext)
+	}
+	for _, s := range spans {
+		for _, a := range s.Attrs {
+			if a.Key == telemetry.AttrNode && a.Type == telemetry.AttrString {
+				r.lastNodeSpans[a.Str] = telemetry.SpanContext{
+					TraceID: s.TraceID, SpanID: s.SpanID, Sampled: true,
+				}
+			}
+		}
+	}
+}
+
+// nodeSpanResolver resolves a node name to the span that produced its
+// output in a previous run — the cross-run half of span linking.
+func (r *Refresher) nodeSpanResolver() func(string) (telemetry.SpanContext, bool) {
+	return func(node string) (telemetry.SpanContext, bool) {
+		r.linkMu.Lock()
+		defer r.linkMu.Unlock()
+		sc, ok := r.lastNodeSpans[node]
+		return sc, ok
+	}
 }
 
 // parentNames maps each node to its upstream MVs by name, the shape the
