@@ -32,6 +32,7 @@ func main() {
 	dags := flag.Int("dags", 25, "generated DAGs per setting for fig13/fig14")
 	sf := flag.Float64("sf", 1.0, "dataset scale factor for the real-engine run")
 	tenants := flag.Int("tenants", 4, "concurrent tenants for the gateway experiment")
+	workers := flag.Int("workers", 0, "max scheduler tokens for the kernels parallel-scan sweep (0 = no sweep; k sweeps 1,2,4,...,k)")
 	benchout := flag.String("benchout", ".", "directory for machine-readable BENCH_*.json results")
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 			cfg := bench.DefaultKernelsConfig()
 			cfg.ScaleFactor = *sf
 			cfg.OutDir = *benchout
+			cfg.Workers = workerSweep(*workers)
 			err = bench.Kernels(ctx, out, cfg)
 		case "gateway":
 			cfg := bench.DefaultGatewayConfig()
@@ -109,4 +111,17 @@ func main() {
 		fmt.Fprintf(out, "[%s completed in %v]\n\n", exp, time.Since(start).Round(time.Millisecond))
 	}
 	_ = io.Discard
+}
+
+// workerSweep expands -workers k into the token budgets to sweep: powers
+// of two from 1 up to and including k. 0 or 1 disables the sweep.
+func workerSweep(max int) []int {
+	if max <= 1 {
+		return nil
+	}
+	var ws []int
+	for w := 1; w < max; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, max)
 }

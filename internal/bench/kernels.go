@@ -43,6 +43,12 @@ type KernelsConfig struct {
 	Seed       int64
 	// WlgenNodes sizes the synthetic workload for the modeled comparison.
 	WlgenNodes int
+	// Workers, when non-empty, re-runs the kernels mode once per listed
+	// token budget with the chunk-parallel scan path on, reporting
+	// wall_seconds and scaling (wall at 1 worker / wall at k) per count.
+	// Every sweep run's outputs are verified byte-identical to the serial
+	// kernels run.
+	Workers []int
 	// OutDir receives BENCH_kernels.json; empty means current directory.
 	OutDir string
 }
@@ -63,9 +69,14 @@ func DefaultKernelsConfig() KernelsConfig {
 
 // KernelsRun is one measured (or modeled) configuration.
 type KernelsRun struct {
-	Workload         string  `json:"workload"` // "tpcds-real" or "wlgen-sim"
-	Mode             string  `json:"mode"`     // "raw", "decode", "kernels"
-	WallSeconds      float64 `json:"wall_seconds"`
+	Workload    string  `json:"workload"` // "tpcds-real" or "wlgen-sim"
+	Mode        string  `json:"mode"`     // "raw", "decode", "kernels"
+	WallSeconds float64 `json:"wall_seconds"`
+	// Workers and Scaling are set on parallel-sweep rows: the run's
+	// scheduler token budget and its speedup over the 1-worker sweep run
+	// (wall_1 / wall_k).
+	Workers          int     `json:"workers,omitempty"`
+	Scaling          float64 `json:"scaling,omitempty"`
 	BytesWritten     int64   `json:"bytes_written"`
 	DecodedBytes     int64   `json:"decoded_bytes"` // raw bytes materialized by reads (chunked modes)
 	ChunksSkipped    int64   `json:"chunks_skipped,omitempty"`
@@ -118,6 +129,9 @@ type KernelsReport struct {
 	TPCDSWallSpeedupX      float64      `json:"tpcds_wall_speedup_x"`
 	WlgenDecodedReductionX float64      `json:"wlgen_decoded_reduction_x"`
 	WlgenWallSpeedupX      float64      `json:"wlgen_wall_speedup_x"`
+	// ScanScalingX is the parallel sweep's speedup at its widest token
+	// budget (wall at 1 worker / wall at max workers); 0 without a sweep.
+	ScanScalingX float64 `json:"scan_scaling_x,omitempty"`
 }
 
 // kernelCounters sums the decode/kernel event stream of one run.
@@ -189,7 +203,7 @@ func Kernels(ctx context.Context, w io.Writer, cfg KernelsConfig) error {
 	stores := make(map[string]storage.Store)
 	var rawOut int64
 	for _, m := range modes {
-		run, store, rawBytes, err := kernelsRealRun(ctx, cfg, ds, memory, device, m.enc, m.vectorized)
+		run, store, rawBytes, err := kernelsRealRun(ctx, cfg, ds, memory, device, m.enc, m.vectorized, 0)
 		if err != nil {
 			return fmt.Errorf("bench: kernels %s: %w", m.name, err)
 		}
@@ -224,6 +238,40 @@ func Kernels(ctx context.Context, w io.Writer, cfg KernelsConfig) error {
 	report.TPCDSWallSpeedupX = decodeRun.WallSeconds / kernelsRun.WallSeconds
 	t.printf("TPC-DS decoded-bytes reduction (kernels vs decode): %.2fx, wall speedup %.2fx\n\n",
 		report.TPCDSDecodedReductionX, report.TPCDSWallSpeedupX)
+
+	// Parallel-scan sweep: the kernels mode again, once per token budget,
+	// with the chunk-parallel path on. Outputs must stay byte-identical to
+	// the serial kernels run — that's the determinism claim, checked here
+	// on every sweep width.
+	if len(cfg.Workers) > 0 {
+		serialWall := kernelsRun.WallSeconds
+		t.printf("Parallel scan sweep (kernels mode, scheduler tokens = workers):\n")
+		t.printf("%-8s %10s %8s\n", "workers", "wall", "scaling")
+		wall1 := serialWall
+		for _, wkr := range cfg.Workers {
+			run, store, _, err := kernelsRealRun(ctx, cfg, ds, memory, device, &auto, true, wkr)
+			if err != nil {
+				return fmt.Errorf("bench: kernels sweep w=%d: %w", wkr, err)
+			}
+			run.Mode = "kernels"
+			run.Workers = wkr
+			if wkr <= 1 {
+				wall1 = run.WallSeconds
+			}
+			if run.WallSeconds > 0 {
+				run.Scaling = wall1 / run.WallSeconds
+			}
+			if err := verifySameOutputs(stores["kernels"], store, g); err != nil {
+				return fmt.Errorf("bench: sweep w=%d diverged from serial: %w", wkr, err)
+			}
+			report.Runs = append(report.Runs, *run)
+			report.ScanScalingX = run.Scaling
+			t.printf("%-8d %10s %7.2fx\n", wkr,
+				time.Duration(run.WallSeconds*float64(time.Second)).Round(time.Millisecond),
+				run.Scaling)
+		}
+		t.printf("verified: every sweep width byte-identical to the serial kernels run\n\n")
+	}
 
 	// Calibrate the simulator's encoding model from the measured run.
 	measuredRatio := ratioOf(rawOut, kernelsRun.BytesWritten)
@@ -272,8 +320,10 @@ func ratioOf(a, b int64) float64 {
 // kernelsRealRun executes observe → optimize → refresh on the real engine
 // with one configuration and measures the optimized refresh. Base tables
 // are stored chunked for the compressed modes (the kernels' per-chunk
-// readers scan them directly) and v1 for the raw baseline.
-func kernelsRealRun(ctx context.Context, cfg KernelsConfig, ds *tpcds.Dataset, memory int64, device costmodel.DeviceProfile, enc *encoding.Options, vectorized bool) (*KernelsRun, storage.Store, int64, error) {
+// readers scan them directly) and v1 for the raw baseline. workers > 1
+// gives the measured pass that many scheduler tokens with the
+// chunk-parallel scan path on; 0 or 1 keeps it serial.
+func kernelsRealRun(ctx context.Context, cfg KernelsConfig, ds *tpcds.Dataset, memory int64, device costmodel.DeviceProfile, enc *encoding.Options, vectorized bool, workers int) (*KernelsRun, storage.Store, int64, error) {
 	newStore := func() (storage.Store, error) {
 		inner := storage.NewMemStore()
 		save := exec.SaveTable
@@ -354,7 +404,11 @@ func kernelsRealRun(ctx context.Context, cfg KernelsConfig, ds *tpcds.Dataset, m
 		RunID:    telemetry.RunID(1),
 		RootName: "bench kernels",
 	})
-	ctl2 := &exec.Controller{Store: store2, Mem: memcat.New(memory), Encoding: enc, Vectorized: vectorized, Obs: obs.Multi(counters, col.Observer()), Chunked: sess}
+	ctl2 := &exec.Controller{
+		Store: store2, Mem: memcat.New(memory), Encoding: enc, Vectorized: vectorized,
+		Obs: obs.Multi(counters, col.Observer()), Chunked: sess,
+		Concurrency: workers, ParallelScan: workers > 1,
+	}
 	res, err := ctl2.Run(ctx, wl, g, plan)
 	if err != nil {
 		return nil, nil, 0, err

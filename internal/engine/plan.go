@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"github.com/shortcircuit-db/sc/internal/encoding"
+	"github.com/shortcircuit-db/sc/internal/sched"
 	"github.com/shortcircuit-db/sc/internal/table"
 )
 
@@ -21,6 +22,15 @@ type Context struct {
 	// per chunk instead of per table; (nil, nil) means the table is not
 	// available in chunked form and the caller should fall back to Resolve.
 	ResolveCompressed func(name string) (*encoding.Compressed, error)
+	// Sched, when non-nil, is the scheduler-wide token budget shared with
+	// the exec Controller's node dispatcher. Kernels may widen a chunk scan
+	// by borrowing idle tokens (sched.Scheduler.TryAcquire — never
+	// blocking), so intra-node parallelism composes with node-level
+	// parallelism under one bound.
+	Sched *sched.Scheduler
+	// ParallelScan enables the kernels' partitioned chunk path when Sched
+	// has idle tokens to lend. Output stays byte-identical to serial.
+	ParallelScan bool
 }
 
 // Node is an executable plan operator.
@@ -455,6 +465,58 @@ func (acc *AggAcc) AddRepeat(row []table.Value, n int) error {
 		}
 	}
 	return nil
+}
+
+// ExactMergeable reports whether partial accumulators for this aggregate
+// merge without changing the result's bytes. Counts, integer sums and
+// Compare-based min/max are order-insensitive; an output-relevant float
+// sum (AVG, or SUM with a float result) is not — its value depends on the
+// exact addition order — so such aggregates must accumulate serially.
+func (acc *AggAcc) ExactMergeable() bool {
+	for _, live := range acc.sumFLive {
+		if live {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds another accumulator for the same aggregate into acc,
+// preserving first-appearance group order: groups already in acc keep
+// their position, and other's new groups append in other's own order. The
+// chunk-parallel aggregation kernel merges per-partition accumulators in
+// partition order, which makes the merged result identical to a serial
+// pass whenever ExactMergeable holds.
+func (acc *AggAcc) Merge(other *AggAcc) {
+	for _, k := range other.order {
+		og := other.groups[k]
+		grp, ok := acc.groups[k]
+		if !ok {
+			acc.groups[k] = og
+			acc.order = append(acc.order, k)
+			continue
+		}
+		for si := range grp.states {
+			st, os := &grp.states[si], &og.states[si]
+			st.count += os.count
+			st.sumI += os.sumI
+			st.sumF += os.sumF
+			if os.haveExt {
+				if !st.haveExt {
+					st.min, st.max, st.haveExt = os.min, os.max, true
+					continue
+				}
+				// Strict comparisons keep acc's (earlier partition's) value
+				// on ties, matching what serial accumulation would have kept.
+				if c, err := os.min.Compare(st.min); err == nil && c < 0 {
+					st.min = os.min
+				}
+				if c, err := os.max.Compare(st.max); err == nil && c > 0 {
+					st.max = os.max
+				}
+			}
+		}
+	}
 }
 
 // Result builds the output table: group keys in first-appearance order,

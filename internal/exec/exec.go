@@ -28,6 +28,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/kernels"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/obs"
+	"github.com/shortcircuit-db/sc/internal/sched"
 	"github.com/shortcircuit-db/sc/internal/sql"
 	"github.com/shortcircuit-db/sc/internal/storage"
 	"github.com/shortcircuit-db/sc/internal/table"
@@ -154,13 +155,28 @@ type Controller struct {
 	// refreshes, a trace exporter — can attribute interleaved events to the
 	// right run. Empty leaves events unscoped (single-run CLI usage).
 	RunID string
-	// Concurrency is the worker-pool size for executing independent DAG
-	// nodes. Values <= 1 run nodes serially in exact plan order. With k > 1
-	// a node starts as soon as all its parents have finished, preferring
-	// nodes earliest in the plan order; the Memory Catalog budget is still
-	// enforced byte-for-byte (an output that no longer fits falls back to a
-	// blocking write, exactly as in the serial path).
+	// Concurrency is the run's token budget: up to k independent DAG nodes
+	// execute at a time, each on one borrowed token. Values <= 1 run nodes
+	// serially in exact plan order. With k > 1 a node starts as soon as all
+	// its parents have finished, preferring nodes earliest in the plan
+	// order; the Memory Catalog budget is still enforced byte-for-byte (an
+	// output that no longer fits falls back to a blocking write, exactly as
+	// in the serial path). When Sched is nil a private k-token pool is
+	// created per Run; tokens the dispatcher is not using are available to
+	// the kernels' chunk-parallel scans (see ParallelScan), which is how a
+	// chain-shaped plan still saturates k cores.
 	Concurrency int
+	// Sched, when non-nil, is a shared scheduler-wide token pool (the
+	// gateway hands every concurrent run the same one, so tenants cannot
+	// oversubscribe cores). The dispatcher borrows a token per in-flight
+	// node — still capped at Concurrency per run — and returns it when the
+	// node finishes. Nil creates a private pool of Concurrency tokens.
+	Sched *sched.Scheduler
+	// ParallelScan (with Vectorized) lets kernels split a chunk walk
+	// across idle scheduler tokens, with byte-identical output. Tokens are
+	// only ever borrowed non-blocking, so nested parallelism cannot
+	// deadlock the node dispatcher.
+	ParallelScan bool
 	// Encoding, when non-nil, enables the compressed columnar subsystem:
 	// outputs are compressed once per node, stored compressed in the
 	// Memory Catalog (accounted at compressed size, decoded lazily on
@@ -201,6 +217,7 @@ type runState struct {
 	g       *dag.Graph
 	pos     []int // plan position per node
 	schemas *schemaCache
+	sched   *sched.Scheduler // resolved token pool (Controller.Sched or private)
 
 	states []*flaggedState // per node; non-nil once the node's output was Put
 
@@ -263,26 +280,27 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > n && n > 0 {
-		workers = n
+	// The node dispatcher borrows one token per in-flight node from the
+	// scheduler-wide pool — shared across runs when the caller supplies
+	// one, private otherwise. The pool is deliberately NOT capped at the
+	// node count: on a chain-shaped plan only one node runs at a time, and
+	// the idle tokens are exactly what the kernels' chunk-parallel scans
+	// borrow to keep the cores busy.
+	sc := c.Sched
+	if sc == nil {
+		sc = sched.New(workers, 0)
 	}
+	rs.sched = sc
 
-	taskCh := make(chan dag.NodeID)
 	doneCh := make(chan completion)
-	var wgWorkers sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wgWorkers.Add(1)
-		go func() {
-			defer wgWorkers.Done()
-			for id := range taskCh {
-				m, err := rs.execNode(ctx, id, plan.Flagged[id])
-				doneCh <- completion{id: id, m: m, err: err}
-			}
-		}()
-	}
+	var wgNodes sync.WaitGroup
 
-	// Dispatcher: hand the earliest-in-plan ready node to an idle worker,
-	// fold completions back into the schedule.
+	// Dispatcher: when a ready node and a token are both available, start
+	// the earliest-in-plan ready node on its own goroutine holding that
+	// token; fold completions back into the schedule. Nodes release their
+	// token before reporting done, so a finishing node's token is
+	// immediately available — to this dispatcher, to a concurrent run
+	// sharing the pool, or to an intra-node scan.
 	indeg := make([]int, n)
 	ready := &posHeap{pos: rs.pos}
 	for i := 0; i < n; i++ {
@@ -324,22 +342,27 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 	}
 
 	for executed < n && runErr == nil {
-		var sendCh chan dag.NodeID
-		var next dag.NodeID
+		var tokenCh <-chan struct{}
 		if ready.len() > 0 && inflight < workers {
-			sendCh = taskCh
-			next = ready.peek()
+			tokenCh = sc.TokenCh()
 		}
-		if sendCh == nil && inflight == 0 {
+		if tokenCh == nil && inflight == 0 {
 			// Nothing runnable and nothing in flight: the only way out is a
 			// bug (the order was validated topological above).
 			runErr = fmt.Errorf("exec: scheduler stalled with %d/%d nodes executed", executed, n)
 			break
 		}
 		select {
-		case sendCh <- next:
-			ready.pop()
+		case <-tokenCh:
+			id := ready.pop()
 			inflight++
+			wgNodes.Add(1)
+			go func(id dag.NodeID) {
+				defer wgNodes.Done()
+				m, err := rs.execNode(ctx, id, plan.Flagged[id])
+				sc.Release()
+				doneCh <- completion{id: id, m: m, err: err}
+			}(id)
 		case comp := <-doneCh:
 			handle(comp)
 		case <-ctx.Done():
@@ -348,11 +371,10 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 			}
 		}
 	}
-	close(taskCh)
 	for inflight > 0 {
 		handle(<-doneCh)
 	}
-	wgWorkers.Wait()
+	wgNodes.Wait()
 
 	// All MVs materialized: the end-to-end point the paper measures.
 	rs.wgBG.Wait()
@@ -533,6 +555,11 @@ func (rs *runState) execNode(ctx context.Context, id dag.NodeID, flagged bool) (
 		return t, nil
 	}}
 	if c.Vectorized {
+		// Kernels may widen a chunk walk by borrowing tokens the node
+		// dispatcher is not using (non-blocking, so nesting never
+		// deadlocks); output stays byte-identical to serial.
+		ectx.Sched = rs.sched
+		ectx.ParallelScan = c.ParallelScan
 		// Per-chunk lazy resolution for kernel scans: compressed catalog
 		// entries are served as-is (no decode), chunked storage files are
 		// parsed without decompressing any chunk. (nil, nil) sends the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/sched"
 )
 
 // ErrQueueFull reports that the refresh queue is at capacity; the HTTP
@@ -20,10 +21,12 @@ type ticket struct {
 	tenant   string
 	pipeline string
 	need     int64 // predicted footprint to reserve (bytes)
+	tokens   int   // scheduler tokens to commit alongside the bytes
 	deadline time.Time
 
 	mu       sync.Mutex
 	canceled bool
+	blocked  string // what last held this ticket at the queue head
 
 	// start runs the admitted trigger (called outside the admitter lock);
 	// expire finalizes a ticket whose deadline passed while queued.
@@ -43,6 +46,20 @@ func (t *ticket) isCanceled() bool {
 	return t.canceled
 }
 
+// setBlocked records why the pump could not admit this ticket, so the
+// run's queue-admission span can attribute its wait.
+func (t *ticket) setBlocked(reason string) {
+	t.mu.Lock()
+	t.blocked = reason
+	t.mu.Unlock()
+}
+
+func (t *ticket) blockedOn() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.blocked
+}
+
 // tenantBudget is one tenant's slice of the shared catalog: admission
 // reserves against it exactly as against the global pool, so a noisy
 // tenant queues behind its own slice instead of starving the others.
@@ -60,6 +77,7 @@ type tenantBudget struct {
 // storage objects and session dictionary cache are per-pipeline state).
 type admitter struct {
 	pool     *memcat.Pool
+	sched    *sched.Scheduler // token budget committed alongside bytes; nil skips token gating
 	maxQueue int
 	now      func() time.Time
 
@@ -75,12 +93,13 @@ type admitter struct {
 	expired  int64
 }
 
-func newAdmitter(pool *memcat.Pool, maxQueue int, now func() time.Time) *admitter {
+func newAdmitter(pool *memcat.Pool, sc *sched.Scheduler, maxQueue int, now func() time.Time) *admitter {
 	if now == nil {
 		now = time.Now
 	}
 	return &admitter{
 		pool:     pool,
+		sched:    sc,
 		maxQueue: maxQueue,
 		now:      now,
 		tenants:  make(map[string]*tenantBudget),
@@ -146,9 +165,9 @@ func (a *admitter) submit(t *ticket) (bool, error) {
 	return admittedNow, nil
 }
 
-// finish releases a completed refresh's reservation and admits whatever
-// now fits, in order.
-func (a *admitter) finish(tenant, pipeline string, need int64) {
+// finish releases a completed refresh's reservation — bytes and scheduler
+// tokens — and admits whatever now fits, in order.
+func (a *admitter) finish(tenant, pipeline string, need int64, tokens int) {
 	a.mu.Lock()
 	delete(a.busy, pipeline)
 	if tb, ok := a.tenants[tenant]; ok {
@@ -158,6 +177,9 @@ func (a *admitter) finish(tenant, pipeline string, need int64) {
 		}
 	}
 	a.pool.Release(need)
+	if a.sched != nil {
+		a.sched.Uncommit(tokens)
+	}
 	started, expired := a.pumpLocked()
 	a.mu.Unlock()
 	dispatch(nil, started, expired)
@@ -206,13 +228,25 @@ func (a *admitter) pumpLocked() (started, expired []*ticket) {
 			continue
 		}
 		if a.busy[head.pipeline] {
+			head.setBlocked("pipeline-busy")
 			break
 		}
 		tb := a.tenants[head.tenant]
 		if tb == nil || tb.reserved+head.need > tb.slice {
+			head.setBlocked("tenant-slice")
 			break
 		}
 		if !a.pool.TryReserve(head.need) {
+			head.setBlocked("catalog-bytes")
+			break
+		}
+		// The run's node-pool width is soft-committed against the scheduler
+		// token budget, so admission bounds planned cores exactly as it
+		// bounds planned bytes. Commitments don't consume runtime tokens —
+		// they cap how many runs' worth of width can be in flight at once.
+		if a.sched != nil && !a.sched.TryCommit(head.tokens) {
+			a.pool.Release(head.need)
+			head.setBlocked("sched-tokens")
 			break
 		}
 		tb.reserved += head.need

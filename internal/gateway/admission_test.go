@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/sched"
 )
 
 // fakeClock is a manually advanced clock for deadline tests.
@@ -165,7 +166,7 @@ func TestAdmissionControl(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			clock := newFakeClock()
 			pool := memcat.NewPool(tc.budget)
-			a := newAdmitter(pool, tc.maxQueue, clock.now)
+			a := newAdmitter(pool, nil, tc.maxQueue, clock.now)
 			for tenant, slice := range tc.slices {
 				a.addTenant(tenant, slice)
 			}
@@ -200,7 +201,7 @@ func TestAdmissionControl(t *testing.T) {
 						t.Fatalf("step %d submit %s: admittedNow = %v, want %v", i, label, now, step.wantNow)
 					}
 				case step.finishPipe != "":
-					a.finish(step.finishTenant, step.finishPipe, step.finishNeed)
+					a.finish(step.finishTenant, step.finishPipe, step.finishNeed, 0)
 				case step.advance > 0:
 					clock.advance(step.advance)
 					a.reap()
@@ -237,6 +238,58 @@ func equalStrings(a, b []string) bool {
 	return true
 }
 
+// TestAdmissionTokenGating pins the scheduler-token side of admission:
+// each admitted run soft-commits its token budget, a run that doesn't fit
+// queues with blocked_on = sched-tokens AND has its byte reservation rolled
+// back, and a finishing run's tokens let it through.
+func TestAdmissionTokenGating(t *testing.T) {
+	pool := memcat.NewPool(1000)
+	sc := sched.New(4, 0)
+	a := newAdmitter(pool, sc, 8, time.Now)
+	a.addTenant("t", 1000)
+
+	var mu sync.Mutex
+	var started []string
+	mk := func(name string) *ticket {
+		tk := &ticket{tenant: "t", pipeline: name, need: 10, tokens: 2}
+		tk.start = func(*ticket) {
+			mu.Lock()
+			started = append(started, name)
+			mu.Unlock()
+		}
+		return tk
+	}
+	t1, t2, t3 := mk("p1"), mk("p2"), mk("p3")
+	for i, tk := range []*ticket{t1, t2} {
+		if now, err := a.submit(tk); err != nil || !now {
+			t.Fatalf("submit %d: admittedNow=%v err=%v, want immediate", i, now, err)
+		}
+	}
+	if got := sc.Committed(); got != 4 {
+		t.Fatalf("committed = %d, want 4", got)
+	}
+	// Tokens exhausted: p3 queues even though bytes and its tenant slice
+	// would fit, and the pump must have released its byte reservation.
+	if now, err := a.submit(t3); err != nil || now {
+		t.Fatalf("submit p3: admittedNow=%v err=%v, want queued", now, err)
+	}
+	if got := pool.Reserved(); got != 20 {
+		t.Fatalf("reserved = %d after token block, want 20 (p3 rolled back)", got)
+	}
+	if got := t3.blockedOn(); got != "sched-tokens" {
+		t.Fatalf("blockedOn = %q, want sched-tokens", got)
+	}
+	a.finish("t", "p1", 10, 2)
+	if got := sc.Committed(); got != 4 {
+		t.Fatalf("committed = %d after finish+admit, want 4 (p2 + p3)", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(started) != 3 || started[2] != "p3" {
+		t.Fatalf("started = %v, want p1 p2 p3", started)
+	}
+}
+
 // TestAdmissionConcurrentBurst hammers the admitter from many goroutines
 // (run with -race): reservations never exceed the budget, and every
 // submitted ticket eventually starts exactly once.
@@ -246,7 +299,7 @@ func TestAdmissionConcurrentBurst(t *testing.T) {
 		tickets = 64
 	)
 	pool := memcat.NewPool(budget)
-	a := newAdmitter(pool, tickets, time.Now)
+	a := newAdmitter(pool, nil, tickets, time.Now)
 	a.addTenant("a", 600)
 	a.addTenant("b", 600)
 
@@ -275,7 +328,7 @@ func TestAdmissionConcurrentBurst(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				a.finish(tk.tenant, tk.pipeline, tk.need)
+				a.finish(tk.tenant, tk.pipeline, tk.need, 0)
 				done <- struct{}{}
 			}()
 		}

@@ -28,6 +28,7 @@ import (
 	"github.com/shortcircuit-db/sc/internal/metrics"
 	"github.com/shortcircuit-db/sc/internal/obs"
 	"github.com/shortcircuit-db/sc/internal/opt"
+	"github.com/shortcircuit-db/sc/internal/sched"
 	"github.com/shortcircuit-db/sc/internal/storage"
 	"github.com/shortcircuit-db/sc/internal/table"
 	"github.com/shortcircuit-db/sc/internal/telemetry"
@@ -61,8 +62,19 @@ type Config struct {
 	// SizeGuess is the per-node output-size assumption before any
 	// observation. Default 1MB.
 	SizeGuess int64
-	// Concurrency is the intra-refresh worker pool per run. Default 2.
+	// Concurrency is each run's scheduler-token budget — up to this many
+	// DAG nodes of one refresh execute at a time. Default 2.
 	Concurrency int
+	// SchedTokens is the server-wide scheduler token budget (one token ≈
+	// one core) that every run's node pool and — with ParallelScan —
+	// intra-node chunk walks draw from. Admission soft-commits each run's
+	// Concurrency against it, so the planned width across all tenants
+	// never exceeds the machine's budget. Default 4×Concurrency.
+	SchedTokens int
+	// ParallelScan lets the compressed-execution kernels split a node's
+	// chunk walk across idle scheduler tokens; outputs stay byte-identical
+	// to the serial walk. Off by default.
+	ParallelScan bool
 	// NewStore creates a pipeline's storage backend; default is an
 	// in-memory store per pipeline.
 	NewStore func(pipeline string) storage.Store
@@ -113,6 +125,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Concurrency < 1 {
 		c.Concurrency = 2
+	}
+	if c.SchedTokens < 1 {
+		c.SchedTokens = 4 * c.Concurrency
+	}
+	if c.SchedTokens < c.Concurrency {
+		c.SchedTokens = c.Concurrency
 	}
 	if c.NewStore == nil {
 		c.NewStore = func(string) storage.Store { return storage.NewMemStore() }
@@ -207,6 +225,11 @@ type Run struct {
 	pipeline string
 	tenant   string
 	need     int64 // reserved catalog bytes
+	tokens   int   // scheduler tokens committed at admission
+
+	// admission predictions, for the trace and status surfaces
+	predictedWall float64 // ledger-learned wall seconds, 0 without history
+	learnedNeed   bool    // need came from observed peaks, not the planner
 
 	events  *eventBuf
 	done    chan struct{} // closed on any terminal state
@@ -236,6 +259,9 @@ type RunStatus struct {
 	Tenant           string    `json:"tenant"`
 	State            string    `json:"state"`
 	ReservedBytes    int64     `json:"reserved_bytes"`
+	ReservedTokens   int       `json:"reserved_tokens,omitempty"`
+	LearnedReserve   bool      `json:"learned_reserve,omitempty"`
+	PredictedSeconds float64   `json:"predicted_seconds,omitempty"`
 	ActualPeakBytes  int64     `json:"actual_peak_bytes,omitempty"`
 	EnqueuedAt       time.Time `json:"enqueued_at"`
 	StartedAt        time.Time `json:"started_at,omitzero"`
@@ -272,7 +298,9 @@ func (r *Run) status() RunStatus {
 	defer r.mu.Unlock()
 	st := RunStatus{
 		ID: r.id, Pipeline: r.pipeline, Tenant: r.tenant, State: r.state,
-		ReservedBytes: r.need, ActualPeakBytes: r.actualPeak, EnqueuedAt: r.enqueuedAt,
+		ReservedBytes: r.need, ReservedTokens: r.tokens,
+		LearnedReserve: r.learnedNeed, PredictedSeconds: r.predictedWall,
+		ActualPeakBytes: r.actualPeak, EnqueuedAt: r.enqueuedAt,
 		StartedAt: r.startedAt, FinishedAt: r.finishedAt,
 		Nodes: r.nodes, Flagged: r.flagged, FallbackWrites: r.fallbacks,
 		Error: r.errMsg, EventsDropped: r.events.droppedCount(),
@@ -299,6 +327,13 @@ type Stats struct {
 	UsedBytes     int64 `json:"used_bytes"`
 	PeakUsedBytes int64 `json:"peak_used_bytes"`
 	PeakReserved  int64 `json:"peak_reserved_bytes"`
+	// Scheduler token budget: total pool size, tokens idle right now,
+	// tokens soft-committed by admitted runs, and lifetime chunk-parallel
+	// borrows by the kernels.
+	SchedTokens    int   `json:"sched_tokens"`
+	SchedIdle      int   `json:"sched_tokens_idle"`
+	SchedCommitted int   `json:"sched_tokens_committed"`
+	SchedBorrows   int64 `json:"sched_borrows"`
 }
 
 // Server hosts the pipelines and schedules their refreshes against the
@@ -306,6 +341,7 @@ type Stats struct {
 type Server struct {
 	cfg    Config
 	pool   *memcat.Pool
+	sched  *sched.Scheduler
 	adm    *admitter
 	prom   *prom
 	device costmodel.DeviceProfile
@@ -346,10 +382,15 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	pool := memcat.NewPool(cfg.GlobalBudget)
+	// One scheduler-wide token budget for every run's node pool and
+	// chunk-parallel scans; its byte ceiling (in-flight decoded partition
+	// bytes) rides the same global budget the catalog pool enforces.
+	tok := sched.New(cfg.SchedTokens, cfg.GlobalBudget)
 	s := &Server{
 		cfg:           cfg,
 		pool:          pool,
-		adm:           newAdmitter(pool, cfg.QueueLimit, cfg.Clock),
+		sched:         tok,
+		adm:           newAdmitter(pool, tok, cfg.QueueLimit, cfg.Clock),
 		prom:          newProm(),
 		device:        costmodel.PaperProfile(),
 		led:           led,
@@ -583,6 +624,12 @@ func (s *Server) Pipelines() []PipelineInfo {
 type planned struct {
 	plan *core.Plan
 	need int64
+	// predictedWall is the ledger's learned run wall time, 0 before enough
+	// succeeded runs exist to trust it.
+	predictedWall float64
+	// learnedNeed reports whether need came from the ledger's observed
+	// peaks rather than the planner's static estimate.
+	learnedNeed bool
 }
 
 // planTrigger re-plans the pipeline from its current execution metadata
@@ -615,7 +662,23 @@ func (s *Server) planTrigger(ctx context.Context, p *pipeline) (planned, error) 
 	if need < peak {
 		need = peak
 	}
-	return planned{plan: plan, need: need}, nil
+	pl := planned{plan: plan, need: need}
+	// Once enough succeeded runs exist, the ledger's observed peaks beat
+	// the planner's static size guesses. Shrink-only: the learned estimate
+	// (mean + sigma, inflated by the same headroom) may trim an
+	// over-reservation so more tenants fit, but never grows the ask beyond
+	// what the planner proved admissible — and a miss merely degrades to
+	// blocking writes, which the mispredict detector flags and the next
+	// runs' learning corrects.
+	if hint, ok := s.led.AdmissionHint(p.name); ok {
+		learned := int64((hint.PeakBytesMean + hint.PeakBytesSigma) * s.cfg.Headroom)
+		if learned > 0 && learned < pl.need {
+			pl.need = learned
+			pl.learnedNeed = true
+		}
+		pl.predictedWall = hint.WallMeanSeconds
+	}
+	return pl, nil
 }
 
 // Trigger requests a refresh of the named pipeline. It returns the run in
@@ -642,13 +705,16 @@ func (s *Server) TriggerTrace(name string, parent telemetry.SpanContext) (*Run, 
 	s.mu.Lock()
 	s.runSeq++
 	r := &Run{
-		id:       fmt.Sprintf("run-%06d", s.runSeq),
-		pipeline: p.name,
-		tenant:   p.tenant,
-		need:     pl.need,
-		events:   newEventBuf(),
-		done:     make(chan struct{}),
-		state:    StateQueued,
+		id:            fmt.Sprintf("run-%06d", s.runSeq),
+		pipeline:      p.name,
+		tenant:        p.tenant,
+		need:          pl.need,
+		tokens:        s.cfg.Concurrency,
+		predictedWall: pl.predictedWall,
+		learnedNeed:   pl.learnedNeed,
+		events:        newEventBuf(),
+		done:          make(chan struct{}),
+		state:         StateQueued,
 	}
 	r.enqueuedAt = now
 	if !s.cfg.DisableTracing {
@@ -660,11 +726,16 @@ func (s *Server) TriggerTrace(name string, parent telemetry.SpanContext) (*Run, 
 			Profile:      true,
 			LinkResolver: s.nodeSpanResolver(p.name),
 		})
-		r.trace.SetRootAttrs(
+		attrs := []telemetry.Attr{
 			telemetry.Str("sc.pipeline", p.name),
 			telemetry.Str("sc.tenant", p.tenant),
 			telemetry.Int("sc.reserved_bytes", pl.need),
-		)
+			telemetry.Int("sc.reserved_tokens", int64(r.tokens)),
+		}
+		if pl.predictedWall > 0 {
+			attrs = append(attrs, telemetry.Float("sc.predicted_seconds", pl.predictedWall))
+		}
+		r.trace.SetRootAttrs(attrs...)
 		r.parents = p.parents
 	}
 	s.runs[r.id] = r
@@ -674,6 +745,7 @@ func (s *Server) TriggerTrace(name string, parent telemetry.SpanContext) (*Run, 
 		tenant:   p.tenant,
 		pipeline: p.name,
 		need:     pl.need,
+		tokens:   r.tokens,
 		deadline: now.Add(s.cfg.QueueTimeout),
 		start:    func(*ticket) { s.startRun(r, p, pl.plan) },
 		expire:   func(*ticket) { s.expireRun(r) },
@@ -702,7 +774,7 @@ func (s *Server) startRun(r *Run, p *pipeline, plan *core.Plan) {
 	if r.state != StateQueued {
 		// Canceled between pump and callback; give the reservation back.
 		r.mu.Unlock()
-		s.adm.finish(r.tenant, r.pipeline, r.need)
+		s.adm.finish(r.tenant, r.pipeline, r.need, r.tokens)
 		return
 	}
 	r.state = StateRunning
@@ -711,9 +783,18 @@ func (s *Server) startRun(r *Run, p *pipeline, plan *core.Plan) {
 	r.cancelRun = cancel
 	r.mu.Unlock()
 	if r.trace != nil {
-		r.trace.AddChildSpan("queue admission", r.enqueuedAt, now,
+		attrs := []telemetry.Attr{
 			telemetry.Str("sc.tenant", r.tenant),
-			telemetry.Int("sc.reserved_bytes", r.need))
+			telemetry.Int("sc.reserved_bytes", r.need),
+			telemetry.Int("sc.reserved_tokens", int64(r.tokens)),
+		}
+		// Attribute the queue wait: what the pump last saw holding this
+		// trigger at the head — catalog bytes, scheduler tokens, the
+		// tenant's slice, or its own pipeline still running.
+		if b := r.tkt.blockedOn(); b != "" {
+			attrs = append(attrs, telemetry.Str("sc.blocked_on", b))
+		}
+		r.trace.AddChildSpan("queue admission", r.enqueuedAt, now, attrs...)
 	}
 	s.prom.queueWait.observe(now.Sub(r.enqueuedAt).Seconds())
 	s.runWG.Add(1)
@@ -733,20 +814,22 @@ func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Pl
 	r.mu.Unlock()
 
 	ctl := &exec.Controller{
-		Store:       p.store,
-		Mem:         cat,
-		Obs:         obs.Multi(metrics.NewRecorder(p.md), r.events, s.prom.runObserver(r.tenant, r.pipeline), r.trace.Observer()),
-		RunID:       r.id,
-		Concurrency: s.cfg.Concurrency,
-		Encoding:    p.encOpts,
-		Vectorized:  p.vectorized,
-		Chunked:     p.session,
+		Store:        p.store,
+		Mem:          cat,
+		Obs:          obs.Multi(metrics.NewRecorder(p.md), r.events, s.prom.runObserver(r.tenant, r.pipeline), r.trace.Observer()),
+		RunID:        r.id,
+		Concurrency:  s.cfg.Concurrency,
+		Sched:        s.sched,
+		ParallelScan: s.cfg.ParallelScan,
+		Encoding:     p.encOpts,
+		Vectorized:   p.vectorized,
+		Chunked:      p.session,
 	}
 	res, runErr := ctl.Run(ctx, p.workload, p.graph, plan)
 
 	actualPeak := cat.Peak() // before Detach zeroes the accounting
 	leftover := cat.Detach()
-	s.adm.finish(r.tenant, r.pipeline, r.need)
+	s.adm.finish(r.tenant, r.pipeline, r.need, r.tokens)
 
 	now := s.cfg.Clock()
 	state := StateSucceeded
@@ -1054,18 +1137,23 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	n := len(s.pipelines)
 	s.mu.Unlock()
+	snap := s.sched.Stats()
 	return Stats{
-		Pipelines:     n,
-		QueueDepth:    s.adm.depth(),
-		Admitted:      adm,
-		Enqueued:      enq,
-		Rejected:      rej,
-		Expired:       exp,
-		BudgetBytes:   s.pool.Capacity(),
-		ReservedBytes: s.pool.Reserved(),
-		UsedBytes:     s.pool.Used(),
-		PeakUsedBytes: s.pool.PeakUsed(),
-		PeakReserved:  s.pool.PeakReserved(),
+		Pipelines:      n,
+		QueueDepth:     s.adm.depth(),
+		Admitted:       adm,
+		Enqueued:       enq,
+		Rejected:       rej,
+		Expired:        exp,
+		BudgetBytes:    s.pool.Capacity(),
+		ReservedBytes:  s.pool.Reserved(),
+		UsedBytes:      s.pool.Used(),
+		PeakUsedBytes:  s.pool.PeakUsed(),
+		PeakReserved:   s.pool.PeakReserved(),
+		SchedTokens:    snap.Tokens,
+		SchedIdle:      snap.Idle,
+		SchedCommitted: snap.Committed,
+		SchedBorrows:   snap.Borrowed,
 	}
 }
 
@@ -1121,6 +1209,14 @@ func (s *Server) registerGauges() {
 				out = append(out, gaugeSample{lvs: []string{t}, v: float64(s.adm.tenantReserved(t))})
 			}
 			return out
+		})
+	s.prom.addGauge("scserve_sched_tokens_idle",
+		"Scheduler tokens currently idle in the shared pool.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.sched.Stats().Idle)}}
+		})
+	s.prom.addGauge("scserve_sched_tokens_committed",
+		"Scheduler tokens soft-committed by admitted refreshes.", nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.sched.Stats().Committed)}}
 		})
 	s.prom.addGauge("scserve_ledger_runs",
 		"Run summaries retained in the ledger ring.", nil, func() []gaugeSample {

@@ -1,0 +1,64 @@
+package gateway
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/shortcircuit-db/sc/internal/leakcheck"
+)
+
+// TestServerCloseNoGoroutineLeak shuts the gateway down with work in
+// every state — a finished run, a running refresh, and a queued ticket —
+// and asserts Close reaps all of it: the scheduler loop, the async run
+// goroutines, and the admission queue waiters all exit.
+func TestServerCloseNoGoroutineLeak(t *testing.T) {
+	defer leakcheck.Check(t)
+
+	cfg := Config{
+		GlobalBudget: 1 << 20,
+		LedgerPath:   t.TempDir() + "/ledger.ndjson",
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	// One completed synchronous run.
+	resp := postJSON(t, ts.URL+"/v1/pipelines", pipelineRequest("leak_done", "acme"))
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/pipelines/leak_done/refresh?wait=1", nil)
+	resp.Body.Close()
+
+	// One async run: likely still in flight when Close fires.
+	resp = postJSON(t, ts.URL+"/v1/pipelines/leak_done/refresh", nil)
+	resp.Body.Close()
+
+	ts.Close()
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Server.Close did not return within 30s")
+	}
+	// leakcheck runs in the deferred Check: anything the gateway spawned
+	// and failed to reap is reported with its stack.
+}
+
+// TestServerDoubleCloseNoGoroutineLeak pins that Close is idempotent and
+// still leaves nothing behind when called twice.
+func TestServerDoubleCloseNoGoroutineLeak(t *testing.T) {
+	defer leakcheck.Check(t)
+
+	s, err := NewServer(Config{GlobalBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+}

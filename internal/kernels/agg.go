@@ -84,6 +84,19 @@ func (a *AggScan) Run(ctx *engine.Context) (*table.Table, error) {
 		}
 	}
 	acc := a.Agg.NewAcc()
+	if acc.ExactMergeable() {
+		// Partition the group walk across borrowed tokens; per-partition
+		// accumulators merge in partition order. Aggregates with an
+		// output-relevant float sum skip this: their result depends on the
+		// exact addition order, so only the serial walk is byte-identical.
+		if pp := planPartitions(ctx, ct, groups); pp != nil {
+			out, err := a.runParallel(pp, ct, groups)
+			if err != nil {
+				return nil, fmt.Errorf("kernels: aggregate %s: %w", a.label(), err)
+			}
+			return out, nil
+		}
+	}
 	row := make([]table.Value, a.inSchema().NumCols())
 	for g, rows := range groups {
 		cc := newChunkCtx(ct, g, rows, a.St)

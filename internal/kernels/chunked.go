@@ -53,18 +53,30 @@ func (f *FilterScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *tab
 		t, err := f.Orig.Run(ctx)
 		return nil, t, err
 	}
+	// Predicate evaluation and chunk parsing partition across borrowed
+	// tokens; builder emission below stays serial in group order (the
+	// builder and its session dictionaries are single-threaded), so the
+	// output bytes match the serial walk exactly.
+	pp := planPartitions(ctx, ct, groups)
+	nparts := 1
+	if pp != nil {
+		nparts = len(pp.parts)
+	}
+	sts := make([]Stats, nparts)
+	pre, err := prepass(pp, ct, groups, f.Pred, sts)
+	if err != nil {
+		foldStats(f.St, sts)
+		return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+	}
 	b := f.Env.builderFor(f.Scan.Sch, f.ID)
 	for g, rows := range groups {
-		cc := newChunkCtx(ct, g, rows, f.St)
-		sel, err := f.Pred.eval(cc)
-		if err != nil {
-			return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
-		}
+		cc, sel := pre[g].cc, pre[g].sel
 		switch {
 		case sel.none():
 			// Nothing survives: no column beyond the predicate's is touched.
 		case sel.all():
 			if err := b.PassGroup(func(ci int) encoding.Chunk { return cc.chunk(ci) }, rows); err != nil {
+				foldStats(f.St, sts)
 				return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
 			}
 			for ci := range cc.cols {
@@ -74,15 +86,18 @@ func (f *FilterScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *tab
 			idxs := sel.indexes()
 			for ci := range cc.cols {
 				if err := appendColumn(b, cc, ci, ci, idxs); err != nil {
+					foldStats(f.St, sts)
 					return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
 				}
 			}
 			if err := b.FlushFull(); err != nil {
+				foldStats(f.St, sts)
 				return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
 			}
 		}
 		cc.finish()
 	}
+	foldStats(f.St, sts)
 	out, err := b.Finish()
 	if err != nil {
 		return nil, nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
@@ -101,15 +116,27 @@ func (p *ProjectScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *ta
 		t, err := p.Orig.Run(ctx)
 		return nil, t, err
 	}
+	// Without a filter every kept group passes through untouched — there is
+	// no per-group work worth borrowing tokens for.
+	var pp *partPlan
+	if p.Pred != nil {
+		pp = planPartitions(ctx, ct, groups)
+	}
+	nparts := 1
+	if pp != nil {
+		nparts = len(pp.parts)
+	}
+	sts := make([]Stats, nparts)
+	pre, err := prepass(pp, ct, groups, p.Pred, sts)
+	if err != nil {
+		foldStats(p.St, sts)
+		return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
+	}
 	b := p.Env.builderFor(p.Sch, p.ID)
 	for g, rows := range groups {
-		cc := newChunkCtx(ct, g, rows, p.St)
+		cc, sel := pre[g].cc, pre[g].sel
 		var idxs []int32
-		if p.Pred != nil {
-			sel, err := p.Pred.eval(cc)
-			if err != nil {
-				return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
-			}
+		if sel != nil {
 			if sel.none() {
 				cc.finish()
 				continue
@@ -121,6 +148,7 @@ func (p *ProjectScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *ta
 		if idxs == nil {
 			err := b.PassGroup(func(oc int) encoding.Chunk { return cc.chunk(p.Cols[oc]) }, rows)
 			if err != nil {
+				foldStats(p.St, sts)
 				return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
 			}
 			for _, ic := range p.Cols {
@@ -129,15 +157,18 @@ func (p *ProjectScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *ta
 		} else {
 			for oc, ic := range p.Cols {
 				if err := appendColumn(b, cc, oc, ic, idxs); err != nil {
+					foldStats(p.St, sts)
 					return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
 				}
 			}
 			if err := b.FlushFull(); err != nil {
+				foldStats(p.St, sts)
 				return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
 			}
 		}
 		cc.finish()
 	}
+	foldStats(p.St, sts)
 	out, err := b.Finish()
 	if err != nil {
 		return nil, nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)

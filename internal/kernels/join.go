@@ -180,7 +180,7 @@ func (j *HashJoinScan) Run(ctx *engine.Context) (*table.Table, error) {
 		j.St.Fallbacks++
 		return j.Orig.Run(ctx)
 	}
-	out, err := j.runChunked(lct, lgroups, rct, rgroups)
+	out, err := j.runChunked(ctx, lct, lgroups, rct, rgroups)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.label(), j.Right.label(), err)
 	}
@@ -200,7 +200,7 @@ func (j *HashJoinScan) RunChunked(ctx *engine.Context) (*encoding.Compressed, *t
 		t, err := j.Orig.Run(ctx)
 		return nil, t, err
 	}
-	ct, err := j.joinChunked(lct, lgroups, rct, rgroups)
+	ct, err := j.joinChunked(ctx, lct, lgroups, rct, rgroups)
 	if err != nil {
 		return nil, nil, fmt.Errorf("kernels: join %s⋈%s: %w", j.Left.label(), j.Right.label(), err)
 	}
@@ -303,23 +303,71 @@ func (j *HashJoinScan) outLayout() (leftOut, rightOut []outCol) {
 	return leftOut, rightOut
 }
 
-func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*table.Table, error) {
+func (j *HashJoinScan) runChunked(ctx *engine.Context, lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*table.Table, error) {
 	bp, err := j.buildPhase(rct, rgroups)
 	if err != nil {
 		return nil, err
 	}
 	leftOut, rightOut := j.outLayout()
-	nKeys := len(j.LeftKeys)
 
 	// Probe phase: translate each left chunk's codes against the build-side
-	// keys and emit surviving pairs. Left values materialize inline —
-	// pairs for one group are contiguous and their left rows non-decreasing,
-	// so appends stay in output order and RLE cursors never rewind.
+	// keys and emit surviving pairs. The build table and shared key
+	// dictionaries are read-only from here, so probe partitions across
+	// borrowed tokens — each with its own output table, ordinal list,
+	// scratch and Stats — and the partials concatenate in partition order,
+	// which is the serial probe order.
 	out := table.New(j.Sch)
 	var rightIdx []int // build-side ordinals per output row
+	if pp := planPartitions(ctx, lct, lgroups); pp != nil {
+		outs := make([]*table.Table, len(pp.parts))
+		idxs := make([][]int, len(pp.parts))
+		sts := make([]Stats, len(pp.parts))
+		err := pp.run(func(p, lo, hi int) error {
+			pout := table.New(j.Sch)
+			ri, err := j.probeMat(lct, lgroups, lo, hi, bp, leftOut, &sts[p], pout)
+			outs[p], idxs[p] = pout, ri
+			return err
+		})
+		pp.done()
+		foldStats(j.St, sts)
+		if err != nil {
+			return nil, err
+		}
+		for p := range outs {
+			appendTable(out, outs[p])
+			rightIdx = append(rightIdx, idxs[p]...)
+		}
+	} else {
+		if rightIdx, err = j.probeMat(lct, lgroups, 0, len(lgroups), bp, leftOut, j.St, out); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := j.gatherRight(out, rightOut, rightIdx, bp.groups); err != nil {
+		return nil, err
+	}
+	for _, jg := range bp.groups {
+		if jg.n > 0 { // empty-selection groups finished during the build
+			jg.cc.finish()
+		}
+	}
+	return out, nil
+}
+
+// probeMat probes the left row groups in [lo, hi) against the build table,
+// appending surviving pairs' left values to out (probe order: pairs for
+// one group are contiguous and their left rows non-decreasing, so appends
+// stay in output order and RLE cursors never rewind) and their build-side
+// ordinals to the returned list. st receives the range's counters; it must
+// be thread-local when ranges run concurrently.
+func (j *HashJoinScan) probeMat(lct *encoding.Compressed, lgroups []int, lo, hi int, bp *buildState, leftOut []outCol, st *Stats, out *table.Table) ([]int, error) {
+	nKeys := len(j.LeftKeys)
+	scratch := make([]byte, 8*nKeys)
+	var rightIdx []int
 	probed := 0
-	for g, rows := range lgroups {
-		cc := newChunkCtx(lct, g, rows, j.St)
+	for g := lo; g < hi; g++ {
+		rows := lgroups[g]
+		cc := newChunkCtx(lct, g, rows, st)
 		var sel *bitmap
 		if j.Left.Pred != nil {
 			var err error
@@ -359,9 +407,9 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 				if id < 0 {
 					continue rowLoop // key exists only on the probe side
 				}
-				binary.LittleEndian.PutUint64(bp.scratch[8*p:], uint64(id))
+				binary.LittleEndian.PutUint64(scratch[8*p:], uint64(id))
 			}
-			matches := bp.build[string(bp.scratch)]
+			matches := bp.build[string(scratch)]
 			if len(matches) == 0 {
 				continue
 			}
@@ -390,7 +438,7 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 							dst.Strs = append(dst.Strs, v.S)
 						}
 					} else {
-						appendValue(j.St, dst, v)
+						appendValue(st, dst, v)
 					}
 				}
 				rightIdx = append(rightIdx, r)
@@ -398,17 +446,8 @@ func (j *HashJoinScan) runChunked(lct *encoding.Compressed, lgroups []int, rct *
 		}
 		cc.finish()
 	}
-	j.St.JoinProbeRows += int64(probed)
-
-	if err := j.gatherRight(out, rightOut, rightIdx, bp.groups); err != nil {
-		return nil, err
-	}
-	for _, jg := range bp.groups {
-		if jg.n > 0 { // empty-selection groups finished during the build
-			jg.cc.finish()
-		}
-	}
-	return out, nil
+	st.JoinProbeRows += int64(probed)
+	return rightIdx, nil
 }
 
 // gatherRight scatters the build-side rows of the surviving pairs into the
@@ -479,64 +518,44 @@ func bucketByGroup(rightIdx []int, groups []*joinGroup) [][]int {
 // assemble through a chunkio.Builder — dictionary-encoded source columns as
 // remapped codes, everything else as late-materialized values — in the row
 // engine's exact output order (probe order, then build order).
-func (j *HashJoinScan) joinChunked(lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*encoding.Compressed, error) {
+func (j *HashJoinScan) joinChunked(ctx *engine.Context, lct *encoding.Compressed, lgroups []int, rct *encoding.Compressed, rgroups []int) (*encoding.Compressed, error) {
 	bp, err := j.buildPhase(rct, rgroups)
 	if err != nil {
 		return nil, err
 	}
 	leftOut, rightOut := j.outLayout()
-	nKeys := len(j.LeftKeys)
 
 	// Probe phase: record pairs, touching only key columns. Left groups stay
-	// alive until the assembly phase reads the survivors.
-	leftGroups := make([]*joinGroup, 0, len(lgroups))
+	// alive until the assembly phase reads the survivors. The pair lists
+	// partition across borrowed tokens (thread-local lists concatenated in
+	// partition order = serial probe order); the builder assembly below is
+	// serial, single-threaded state.
+	leftGroups := make([]*joinGroup, len(lgroups))
 	var pairLeft []int64 // left (group << 32 | local row) per output row
 	var pairRight []int  // build-side ordinal per output row
-	probed := 0
-	for g, rows := range lgroups {
-		cc := newChunkCtx(lct, g, rows, j.St)
-		leftGroups = append(leftGroups, &joinGroup{cc: cc})
-		var sel *bitmap
-		if j.Left.Pred != nil {
-			sel, err = j.Left.Pred.eval(cc)
-			if err != nil {
-				return nil, err
-			}
-			if sel.none() {
-				continue
-			}
-			if sel.all() {
-				sel = nil
-			}
+	if pp := planPartitions(ctx, lct, lgroups); pp != nil {
+		lefts := make([][]int64, len(pp.parts))
+		rights := make([][]int, len(pp.parts))
+		sts := make([]Stats, len(pp.parts))
+		err := pp.run(func(p, lo, hi int) error {
+			var err error
+			lefts[p], rights[p], err = j.probePairs(lct, lgroups, lo, hi, bp, &sts[p], leftGroups)
+			return err
+		})
+		pp.done()
+		foldStats(j.St, sts)
+		if err != nil {
+			return nil, err
 		}
-		ids := make([]func(int) int, nKeys)
-		for p, lc := range j.LeftKeys {
-			fn, err := keyReader(cc, lc, bp.kds[p], false)
-			if err != nil {
-				return nil, err
-			}
-			ids[p] = fn
+		for p := range lefts {
+			pairLeft = append(pairLeft, lefts[p]...)
+			pairRight = append(pairRight, rights[p]...)
 		}
-	rowLoop:
-		for i := 0; i < rows; i++ {
-			if sel != nil && !sel.get(i) {
-				continue
-			}
-			probed++
-			for p := range ids {
-				id := ids[p](i)
-				if id < 0 {
-					continue rowLoop
-				}
-				binary.LittleEndian.PutUint64(bp.scratch[8*p:], uint64(id))
-			}
-			for _, r := range bp.build[string(bp.scratch)] {
-				pairLeft = append(pairLeft, int64(g)<<32|int64(i))
-				pairRight = append(pairRight, r)
-			}
+	} else {
+		if pairLeft, pairRight, err = j.probePairs(lct, lgroups, 0, len(lgroups), bp, j.St, leftGroups); err != nil {
+			return nil, err
 		}
 	}
-	j.St.JoinProbeRows += int64(probed)
 
 	b := j.Env.builderFor(j.Sch, j.ID)
 	for _, oc := range leftOut {
@@ -561,6 +580,65 @@ func (j *HashJoinScan) joinChunked(lct *encoding.Compressed, lgroups []int, rct 
 	}
 	j.St.addBuilder(b.Counters)
 	return ct, nil
+}
+
+// probePairs probes the left row groups in [lo, hi), recording surviving
+// (left group/row, build ordinal) pairs without touching non-key columns.
+// It fills the [lo, hi) slots of leftGroups — disjoint across concurrent
+// ranges — and st must be thread-local when ranges run concurrently.
+func (j *HashJoinScan) probePairs(lct *encoding.Compressed, lgroups []int, lo, hi int, bp *buildState, st *Stats, leftGroups []*joinGroup) ([]int64, []int, error) {
+	nKeys := len(j.LeftKeys)
+	scratch := make([]byte, 8*nKeys)
+	var pairLeft []int64
+	var pairRight []int
+	probed := 0
+	for g := lo; g < hi; g++ {
+		rows := lgroups[g]
+		cc := newChunkCtx(lct, g, rows, st)
+		leftGroups[g] = &joinGroup{cc: cc}
+		var sel *bitmap
+		if j.Left.Pred != nil {
+			var err error
+			sel, err = j.Left.Pred.eval(cc)
+			if err != nil {
+				return nil, nil, err
+			}
+			if sel.none() {
+				continue
+			}
+			if sel.all() {
+				sel = nil
+			}
+		}
+		ids := make([]func(int) int, nKeys)
+		for p, lc := range j.LeftKeys {
+			fn, err := keyReader(cc, lc, bp.kds[p], false)
+			if err != nil {
+				return nil, nil, err
+			}
+			ids[p] = fn
+		}
+	rowLoop:
+		for i := 0; i < rows; i++ {
+			if sel != nil && !sel.get(i) {
+				continue
+			}
+			probed++
+			for p := range ids {
+				id := ids[p](i)
+				if id < 0 {
+					continue rowLoop
+				}
+				binary.LittleEndian.PutUint64(scratch[8*p:], uint64(id))
+			}
+			for _, r := range bp.build[string(scratch)] {
+				pairLeft = append(pairLeft, int64(g)<<32|int64(i))
+				pairRight = append(pairRight, r)
+			}
+		}
+	}
+	st.JoinProbeRows += int64(probed)
+	return pairLeft, pairRight, nil
 }
 
 // assembleLeft streams one probe-side output column into the builder. Pairs

@@ -572,6 +572,13 @@ func (f *FilterScan) Run(ctx *engine.Context) (*table.Table, error) {
 		f.St.Fallbacks++
 		return f.Orig.Run(ctx)
 	}
+	if pp := planPartitions(ctx, ct, groups); pp != nil {
+		out, err := f.runParallel(pp, ct, groups)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: filter %q: %w", f.Scan.Name, err)
+		}
+		return out, nil
+	}
 	out := table.New(f.Scan.Sch)
 	for g, rows := range groups {
 		cc := newChunkCtx(ct, g, rows, f.St)

@@ -42,6 +42,13 @@ func (p *ProjectScan) Run(ctx *engine.Context) (*table.Table, error) {
 		p.St.Fallbacks++
 		return p.Orig.Run(ctx)
 	}
+	if pp := planPartitions(ctx, ct, groups); pp != nil {
+		out, err := p.runParallel(pp, ct, groups)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: project %q: %w", p.Scan.Name, err)
+		}
+		return out, nil
+	}
 	out := table.New(p.Sch)
 	for g, rows := range groups {
 		cc := newChunkCtx(ct, g, rows, p.St)

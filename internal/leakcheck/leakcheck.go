@@ -1,0 +1,80 @@
+// Package leakcheck is a dependency-free goroutine-leak assertion in the
+// spirit of go.uber.org/goleak (which the build deliberately does not
+// vendor). Check parses the full runtime stack dump, discards the test
+// harness's own goroutines, and retries with a deadline so goroutines
+// that are mid-exit when the test body returns get a grace period before
+// being reported.
+//
+// Usage, first line of the test so the cleanup runs after all others:
+//
+//	defer leakcheck.Check(t)
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T Check needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check asserts every goroutine started during the test has exited. It
+// retries for up to five seconds — goroutines unwinding after a cancel
+// or Close are given time to finish — then reports the surviving stacks.
+func Check(t TB) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked []string
+	for {
+		leaked = leakedGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("leaked %d goroutine(s):\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// leakedGoroutines returns the stacks of all non-harness goroutines other
+// than the caller's.
+func leakedGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	n := runtime.Stack(buf, true)
+	stacks := strings.Split(string(buf[:n]), "\n\n")
+	var out []string
+	for i, g := range stacks {
+		if i == 0 || harness(g) {
+			// The current goroutine is always first in the dump.
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// harness reports whether a goroutine belongs to the test binary itself
+// rather than code under test: the testing main loop, parked runners of
+// parallel tests, and the os/signal watcher the runtime starts lazily.
+func harness(g string) bool {
+	for _, pat := range []string{
+		"testing.Main(",
+		"testing.(*T).Run(",
+		"testing.tRunner(",
+		"testing.runTests(",
+		"signal.signal_recv",
+		"signal.loop",
+		"runtime.ensureSigM",
+	} {
+		if strings.Contains(g, pat) {
+			return true
+		}
+	}
+	return false
+}

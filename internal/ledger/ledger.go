@@ -74,8 +74,14 @@ type Config struct {
 	// Path appends every summary as one NDJSON line and is replayed on
 	// open, so baselines and history survive restarts. "" keeps the ledger
 	// in memory only.
-	Path     string
-	Detector DetectorConfig
+	Path string
+	// MaxFileBytes bounds the NDJSON file: when an append (or replay)
+	// pushes past it, the file is compacted — rewritten from the retained
+	// ring to a temp file and atomically renamed into place — so the
+	// history on disk can never grow without bound. Default 4MB; negative
+	// disables the cap.
+	MaxFileBytes int64
+	Detector     DetectorConfig
 }
 
 // Decision is the tail-sampling verdict for one run: whether its full
@@ -134,6 +140,7 @@ type pipelineBaseline struct {
 	queue      ewma
 	evictions  ewma
 	mispredict ewma
+	peak       ewma // actual catalog high-water mark per run, in bytes
 	nodes      map[string]*nodeBaseline
 }
 
@@ -168,7 +175,7 @@ type Ledger struct {
 	evicted   int64
 	baselines map[string]*pipelineBaseline
 	file      *os.File
-	enc       *json.Encoder
+	fileBytes int64 // current NDJSON file size, vs cfg.MaxFileBytes
 	err       error
 }
 
@@ -179,6 +186,9 @@ type Ledger struct {
 func New(cfg Config) (*Ledger, error) {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 512
+	}
+	if cfg.MaxFileBytes == 0 {
+		cfg.MaxFileBytes = 4 << 20
 	}
 	l := &Ledger{
 		cfg:       cfg,
@@ -194,7 +204,14 @@ func New(cfg Config) (*Ledger, error) {
 			return nil, fmt.Errorf("ledger: open %s: %w", cfg.Path, err)
 		}
 		l.file = f
-		l.enc = json.NewEncoder(f)
+		if fi, err := f.Stat(); err == nil {
+			l.fileBytes = fi.Size()
+		}
+		// A replayed history already past the cap compacts immediately, so
+		// restarts trim the file instead of inheriting unbounded growth.
+		if l.cfg.MaxFileBytes > 0 && l.fileBytes > l.cfg.MaxFileBytes {
+			l.compactLocked()
+		}
 	}
 	return l, nil
 }
@@ -239,7 +256,7 @@ func (l *Ledger) Close() error {
 		return l.err
 	}
 	err := l.file.Close()
-	l.file, l.enc = nil, nil
+	l.file = nil
 	if l.err != nil {
 		return l.err
 	}
@@ -264,12 +281,96 @@ func (l *Ledger) Append(s RunSummary) (RunSummary, Decision) {
 	dec := l.decideLocked(&s)
 	l.learnLocked(&s)
 	l.pushLocked(s)
-	if l.enc != nil {
-		if err := l.enc.Encode(s); err != nil && l.err == nil {
+	l.persistLocked(&s)
+	return s, dec
+}
+
+// persistLocked appends one summary to the NDJSON file and compacts when
+// the append pushed the file past the size cap.
+func (l *Ledger) persistLocked(s *RunSummary) {
+	if l.file == nil {
+		return
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		if l.err == nil {
 			l.err = err
 		}
+		return
 	}
-	return s, dec
+	b = append(b, '\n')
+	if _, err := l.file.Write(b); err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		return
+	}
+	l.fileBytes += int64(len(b))
+	if l.cfg.MaxFileBytes > 0 && l.fileBytes > l.cfg.MaxFileBytes {
+		l.compactLocked()
+	}
+}
+
+// compactLocked rewrites the NDJSON file from the retained ring (oldest
+// first) to a temp file and renames it into place, dropping lines the
+// bounded ring has already evicted. Failures leave the original file in
+// place and record the first error.
+func (l *Ledger) compactLocked() {
+	path := l.cfg.Path
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		if l.err == nil {
+			l.err = fmt.Errorf("ledger: compact %s: %w", path, err)
+		}
+		return
+	}
+	var n int64
+	for i := 0; i < len(l.ring); i++ {
+		s := l.ring[(l.head+i)%len(l.ring)]
+		b, err := json.Marshal(s)
+		if err != nil {
+			continue
+		}
+		b = append(b, '\n')
+		nn, err := f.Write(b)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			if l.err == nil {
+				l.err = fmt.Errorf("ledger: compact %s: %w", path, err)
+			}
+			return
+		}
+		n += int64(nn)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		if l.err == nil {
+			l.err = fmt.Errorf("ledger: compact %s: %w", path, err)
+		}
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		if l.err == nil {
+			l.err = fmt.Errorf("ledger: compact %s: %w", path, err)
+		}
+		return
+	}
+	if l.file != nil {
+		l.file.Close()
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.file = nil
+		if l.err == nil {
+			l.err = fmt.Errorf("ledger: reopen %s: %w", path, err)
+		}
+		return
+	}
+	l.file = af
+	l.fileBytes = n
 }
 
 // detectLocked fills s.Anomalies by judging the run against the
@@ -383,6 +484,9 @@ func (l *Ledger) learnLocked(s *RunSummary) {
 	if s.ReservedBytes > 0 {
 		pb.mispredict.observe(s.Mispredict)
 	}
+	if s.ActualPeakBytes > 0 {
+		pb.peak.observe(float64(s.ActualPeakBytes))
+	}
 	for i := range s.Nodes {
 		ns := &s.Nodes[i]
 		nb := pb.nodes[ns.Node]
@@ -463,6 +567,39 @@ func (l *Ledger) MispredictRatio(pipeline string) float64 {
 		return pb.mispredict.Mean
 	}
 	return 0
+}
+
+// AdmissionHint is what the learned baselines predict about a pipeline's
+// next run: its catalog footprint and wall time.
+type AdmissionHint struct {
+	// PeakBytesMean is the learned mean of the run catalog high-water mark.
+	PeakBytesMean float64 `json:"peak_bytes_mean"`
+	// PeakBytesSigma spreads the peak estimate; admission adds headroom on
+	// top of it.
+	PeakBytesSigma float64 `json:"peak_bytes_sigma"`
+	// WallMeanSeconds is the learned mean run wall time (enqueue to
+	// finish), the gateway's latency prediction.
+	WallMeanSeconds float64 `json:"wall_mean_seconds"`
+	// Samples is how many succeeded runs back the estimate.
+	Samples int64 `json:"samples"`
+}
+
+// AdmissionHint reports the learned footprint/latency prediction for a
+// pipeline, and whether enough succeeded runs back it (the detector's
+// MinSamples) for admission to trust it over the planner's static guess.
+func (l *Ledger) AdmissionHint(pipeline string) (AdmissionHint, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pb := l.baselines[pipeline]
+	if pb == nil || pb.peak.N < l.det.MinSamples {
+		return AdmissionHint{}, false
+	}
+	return AdmissionHint{
+		PeakBytesMean:   pb.peak.Mean,
+		PeakBytesSigma:  math.Sqrt(pb.peak.Var),
+		WallMeanSeconds: pb.wall.Mean,
+		Samples:         pb.peak.N,
+	}, true
 }
 
 // Baselines snapshots the learned per-node baselines of a pipeline,

@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -127,6 +128,82 @@ func TestPersistenceReplay(t *testing.T) {
 	}
 	if got := l3.Runs(Filter{Anomalous: true}); len(got) != 1 || got[0].RunID != "r6" {
 		t.Fatalf("anomaly not persisted: %+v", got)
+	}
+}
+
+// TestFileCompaction appends far more than MaxFileBytes allows and checks
+// the NDJSON file is compacted down to the retained ring — bounded on
+// disk, still replayable, newest entries intact.
+func TestFileCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.ndjson")
+	l, err := New(Config{Capacity: 8, Path: path, MaxFileBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 200; i++ {
+		l.Append(run(fmt.Sprintf("r%d", i), "p", 1, map[string]float64{"n": 0.1}))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One ring's worth of lines plus at most one cap overshoot before the
+	// compaction triggers.
+	if fi.Size() > 2048+1024 {
+		t.Fatalf("file = %d bytes after compaction, cap 2048", fi.Size())
+	}
+	l2, err := New(Config{Capacity: 8, Path: path, MaxFileBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	runs := l2.Runs(Filter{})
+	if len(runs) == 0 || runs[0].RunID != "r200" {
+		t.Fatalf("replay after compaction lost the newest run: %+v", runs)
+	}
+	for i, r := range runs {
+		want := fmt.Sprintf("r%d", 200-i)
+		if r.RunID != want {
+			t.Fatalf("runs[%d] = %s, want %s", i, r.RunID, want)
+		}
+	}
+}
+
+// TestAdmissionHint checks the learned footprint/latency prediction: no
+// hint before MinSamples succeeded runs, then the peak and wall means.
+func TestAdmissionHint(t *testing.T) {
+	l, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, peak int64, wall float64) RunSummary {
+		s := run(id, "p", wall, nil)
+		s.ReservedBytes = 2 * peak
+		s.ActualPeakBytes = peak
+		return s
+	}
+	l.Append(mk("r1", 1000, 1))
+	l.Append(mk("r2", 1000, 1))
+	if _, ok := l.AdmissionHint("p"); ok {
+		t.Fatal("hint trusted before MinSamples runs")
+	}
+	l.Append(mk("r3", 1000, 1))
+	h, ok := l.AdmissionHint("p")
+	if !ok {
+		t.Fatal("no hint after MinSamples succeeded runs")
+	}
+	if h.PeakBytesMean != 1000 || h.WallMeanSeconds != 1 || h.Samples != 3 {
+		t.Fatalf("hint = %+v", h)
+	}
+	// Failed runs must not move the estimate.
+	bad := mk("r4", 900000, 50)
+	bad.Outcome = OutcomeFailed
+	l.Append(bad)
+	if h2, _ := l.AdmissionHint("p"); h2.PeakBytesMean != 1000 {
+		t.Fatalf("failed run moved the baseline: %+v", h2)
 	}
 }
 

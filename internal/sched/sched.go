@@ -1,0 +1,174 @@
+// Package sched is S/C's scheduler-wide token budget: one pool of worker
+// tokens (one token ≈ one core's worth of work) plus a byte ceiling for
+// in-flight decoded partitions, shared by every layer that creates
+// parallelism — the exec Controller's node dispatcher, the kernels'
+// intra-node chunk-parallel scans, and gateway admission. Because all of
+// them draw from the same pool, concurrency × memory stays bounded no
+// matter how parallelism nests: a Controller running k nodes has handed
+// out k tokens, and a kernel inside one of those nodes can only widen by
+// borrowing tokens the dispatcher is not using.
+//
+// Deadlock freedom comes from a simple discipline: only top-level
+// dispatchers block waiting for a token (via TokenCh); nested borrowers —
+// the chunk-parallel kernels — use TryAcquire and fall back to running
+// serially on the token their node already holds. A borrower therefore
+// never waits on a resource held by its own ancestor.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Scheduler is a fixed-size token pool with a byte ceiling. The zero value
+// is not usable; construct with New. All methods are safe for concurrent
+// use.
+type Scheduler struct {
+	tokens int
+	ch     chan struct{}
+
+	byteCeiling int64
+	bytes       atomic.Int64 // reserved in-flight partition bytes
+
+	committed atomic.Int64 // admission-side soft commitments, in tokens
+
+	borrowed  atomic.Int64 // successful TryAcquire grants
+	borrowsNA atomic.Int64 // TryAcquire misses (pool empty)
+}
+
+// New builds a scheduler with the given token count and byte ceiling for
+// in-flight decoded partition bytes. tokens < 1 defaults to GOMAXPROCS;
+// byteCeiling <= 0 means unlimited bytes.
+func New(tokens int, byteCeiling int64) *Scheduler {
+	if tokens < 1 {
+		tokens = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{tokens: tokens, ch: make(chan struct{}, tokens), byteCeiling: byteCeiling}
+	for i := 0; i < tokens; i++ {
+		s.ch <- struct{}{}
+	}
+	return s
+}
+
+// Tokens returns the pool size.
+func (s *Scheduler) Tokens() int { return s.tokens }
+
+// TokenCh exposes the pool for select-based blocking acquisition: a
+// receive that succeeds grants one token, which must be returned with
+// Release. Only top-level dispatchers may block here.
+func (s *Scheduler) TokenCh() <-chan struct{} { return s.ch }
+
+// Acquire blocks until a token is available. Only top-level dispatchers
+// may call it; nested work must use TryAcquire.
+func (s *Scheduler) Acquire() { <-s.ch }
+
+// TryAcquire grants a token without blocking. Callers that already hold a
+// token (kernels widening a scan) use this so nesting can never deadlock:
+// a miss means "run on the token you have".
+func (s *Scheduler) TryAcquire() bool {
+	select {
+	case <-s.ch:
+		s.borrowed.Add(1)
+		return true
+	default:
+		s.borrowsNA.Add(1)
+		return false
+	}
+}
+
+// Release returns one token to the pool. Releasing more tokens than were
+// acquired panics: it means two layers think they own the same token.
+func (s *Scheduler) Release() {
+	select {
+	case s.ch <- struct{}{}:
+	default:
+		panic("sched: Release without matching acquire")
+	}
+}
+
+// TryReserveBytes reserves n bytes of in-flight decoded partition budget,
+// failing (without blocking) when the ceiling would be exceeded. n <= 0 is
+// a no-op success. A successful reservation must be returned with
+// ReleaseBytes(n).
+func (s *Scheduler) TryReserveBytes(n int64) bool {
+	if n <= 0 || s.byteCeiling <= 0 {
+		return true
+	}
+	for {
+		cur := s.bytes.Load()
+		if cur+n > s.byteCeiling {
+			return false
+		}
+		if s.bytes.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// ReleaseBytes returns a TryReserveBytes reservation.
+func (s *Scheduler) ReleaseBytes(n int64) {
+	if n <= 0 || s.byteCeiling <= 0 {
+		return
+	}
+	if s.bytes.Add(-n) < 0 {
+		panic(fmt.Sprintf("sched: ReleaseBytes(%d) below zero", n))
+	}
+}
+
+// TryCommit records an admission-side soft commitment of n tokens — the
+// planned width of a run about to be admitted — failing when commitments
+// would exceed the pool size. Commitments do not remove runtime tokens
+// (runs borrow those as they execute); they bound how much planned
+// parallelism admission lets in at once. Undo with Uncommit.
+func (s *Scheduler) TryCommit(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	for {
+		cur := s.committed.Load()
+		if cur+int64(n) > int64(s.tokens) {
+			return false
+		}
+		if s.committed.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+// Uncommit returns a TryCommit commitment.
+func (s *Scheduler) Uncommit(n int) {
+	if n <= 0 {
+		return
+	}
+	if s.committed.Add(-int64(n)) < 0 {
+		panic(fmt.Sprintf("sched: Uncommit(%d) below zero", n))
+	}
+}
+
+// Committed returns the current admission commitment, in tokens.
+func (s *Scheduler) Committed() int { return int(s.committed.Load()) }
+
+// Snapshot is a point-in-time view of the pool for gauges and tests.
+type Snapshot struct {
+	Tokens        int   // pool size
+	Idle          int   // tokens currently in the pool
+	Committed     int   // admission soft commitments
+	ReservedBytes int64 // in-flight decoded partition bytes
+	ByteCeiling   int64
+	Borrowed      int64 // lifetime successful TryAcquire grants
+	BorrowMisses  int64 // lifetime TryAcquire misses
+}
+
+// Stats returns a snapshot of the pool.
+func (s *Scheduler) Stats() Snapshot {
+	return Snapshot{
+		Tokens:        s.tokens,
+		Idle:          len(s.ch),
+		Committed:     int(s.committed.Load()),
+		ReservedBytes: s.bytes.Load(),
+		ByteCeiling:   s.byteCeiling,
+		Borrowed:      s.borrowed.Load(),
+		BorrowMisses:  s.borrowsNA.Load(),
+	}
+}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTokenPool(t *testing.T) {
+	s := New(2, 0)
+	if s.Tokens() != 2 {
+		t.Fatalf("Tokens() = %d, want 2", s.Tokens())
+	}
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("expected two tokens available")
+	}
+	if s.TryAcquire() {
+		t.Fatal("third TryAcquire should miss on a 2-token pool")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released token should be borrowable again")
+	}
+	s.Release()
+	s.Release()
+	st := s.Stats()
+	if st.Idle != 2 || st.Borrowed != 3 || st.BorrowMisses != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on a full pool should panic")
+		}
+	}()
+	New(1, 0).Release()
+}
+
+func TestByteCeiling(t *testing.T) {
+	s := New(1, 100)
+	if !s.TryReserveBytes(60) {
+		t.Fatal("60 of 100 should fit")
+	}
+	if s.TryReserveBytes(50) {
+		t.Fatal("60+50 exceeds the 100-byte ceiling")
+	}
+	if !s.TryReserveBytes(40) {
+		t.Fatal("60+40 exactly fits")
+	}
+	s.ReleaseBytes(60)
+	s.ReleaseBytes(40)
+	if s.Stats().ReservedBytes != 0 {
+		t.Fatalf("bytes not returned: %+v", s.Stats())
+	}
+	// Unlimited ceiling accepts anything and never tracks.
+	u := New(1, 0)
+	if !u.TryReserveBytes(1 << 60) {
+		t.Fatal("unlimited ceiling should accept any reservation")
+	}
+}
+
+func TestCommitLedger(t *testing.T) {
+	s := New(4, 0)
+	if !s.TryCommit(3) {
+		t.Fatal("3 of 4 should commit")
+	}
+	if s.TryCommit(2) {
+		t.Fatal("3+2 exceeds 4 tokens")
+	}
+	if !s.TryCommit(1) {
+		t.Fatal("3+1 exactly fits")
+	}
+	s.Uncommit(4)
+	if s.Committed() != 0 {
+		t.Fatalf("Committed() = %d after full uncommit", s.Committed())
+	}
+	// Commitments are a planning ledger: they do not consume runtime tokens.
+	if !s.TryCommit(4) {
+		t.Fatal("recommit failed")
+	}
+	for i := 0; i < 4; i++ {
+		if !s.TryAcquire() {
+			t.Fatal("commitments must not remove runtime tokens")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		s.Release()
+	}
+	s.Uncommit(4)
+}
+
+func TestConcurrentBorrowNeverOversubscribes(t *testing.T) {
+	const tokens = 4
+	s := New(tokens, 0)
+	var held, peak, mu = 0, 0, sync.Mutex{}
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !s.TryAcquire() {
+					continue
+				}
+				mu.Lock()
+				held++
+				if held > peak {
+					peak = held
+				}
+				mu.Unlock()
+				mu.Lock()
+				held--
+				mu.Unlock()
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > tokens {
+		t.Fatalf("peak concurrent holders %d > pool size %d", peak, tokens)
+	}
+	if s.Stats().Idle != tokens {
+		t.Fatalf("tokens leaked: %+v", s.Stats())
+	}
+}
+
+func TestDefaultTokens(t *testing.T) {
+	if New(0, 0).Tokens() < 1 {
+		t.Fatal("default token count must be at least 1")
+	}
+}

@@ -25,6 +25,7 @@ type config struct {
 	sizeGuess     int64
 	encoding      *encoding.Options
 	vectorized    bool
+	parallelScan  bool
 	dictCache     bool
 	tracing       bool
 	traceExporter telemetry.Exporter
@@ -128,8 +129,12 @@ func WithObserver(obs Observer) Option {
 	return func(c *config) { c.observer = obs }
 }
 
-// WithConcurrency executes up to k independent DAG nodes at a time on a
-// bounded worker pool. The Memory Catalog budget remains enforced
+// WithConcurrency sets the session's scheduler token budget to k — one
+// token is roughly one core's worth of work. Up to k independent DAG nodes
+// execute at a time, each holding one token; with WithParallelScan the
+// kernels additionally borrow tokens the node dispatcher is not using to
+// walk a single node's chunks in parallel, so a chain-shaped plan still
+// saturates k cores. The Memory Catalog budget remains enforced
 // byte-for-byte (outputs that no longer fit fall back to blocking writes)
 // and materialized outputs are byte-identical to a serial run. k <= 1 (the
 // default) runs nodes serially in exact plan order.
@@ -208,6 +213,20 @@ func WithEncoding(opts EncodingOptions) Option {
 // rebuilding them; see WithSessionDictCache to turn that cache off.
 func WithVectorized(enabled bool) Option {
 	return func(c *config) { c.vectorized = enabled }
+}
+
+// WithParallelScan lets the compressed-execution kernels split a node's
+// chunk walk across idle scheduler tokens (see WithConcurrency): row-group
+// partitions evaluate concurrently with thread-local selection vectors and
+// accumulators, and the partial results merge in chunk order, so the
+// output — and every byte-level artifact downstream — is identical to the
+// serial walk. Aggregates whose result depends on float addition order
+// (AVG, SUM over floats) keep the serial path automatically. Tokens are
+// borrowed non-blocking, so intra-node parallelism composes with the
+// node-level pool under the one budget and can never deadlock it. Only
+// effective together with WithVectorized and WithConcurrency(k > 1).
+func WithParallelScan(enabled bool) Option {
+	return func(c *config) { c.parallelScan = enabled }
 }
 
 // WithSessionDictCache controls the session dictionary cache that rides

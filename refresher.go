@@ -208,14 +208,15 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 		})
 	}
 	ctl := &exec.Controller{
-		Store:       r.store,
-		Mem:         memcat.New(r.cfg.memory),
-		Obs:         obs.Multi(metrics.NewRecorder(r.md), r.cfg.observer, col.Observer()),
-		RunID:       runID,
-		Concurrency: r.cfg.concurrency,
-		Encoding:    r.cfg.encoding,
-		Vectorized:  r.cfg.vectorized,
-		Chunked:     r.chunked,
+		Store:        r.store,
+		Mem:          memcat.New(r.cfg.memory),
+		Obs:          obs.Multi(metrics.NewRecorder(r.md), r.cfg.observer, col.Observer()),
+		RunID:        runID,
+		Concurrency:  r.cfg.concurrency,
+		Encoding:     r.cfg.encoding,
+		Vectorized:   r.cfg.vectorized,
+		ParallelScan: r.cfg.parallelScan,
+		Chunked:      r.chunked,
 	}
 	res, err := ctl.Run(ctx, r.workload, r.graph, plan)
 	if col != nil {
