@@ -13,8 +13,10 @@
 // the virtual clock) is written as OTLP/HTTP JSON, one payload per line;
 // "-" writes to stdout. With -ledger-file, the run's summary is appended to
 // an NDJSON run ledger whose history seeds per-node baselines; -explain
-// then diffs this run against those baselines and calls out regressed
-// nodes and detector anomalies.
+// then diffs this run against those baselines, calls out regressed nodes
+// and detector anomalies, and exits 3 when any anomaly was flagged — so CI
+// jobs and cron wrappers fail loudly on a regression instead of needing to
+// parse the report.
 package main
 
 import (
@@ -121,6 +123,7 @@ func main() {
 	fmt.Printf("\nend-to-end %.1fs  (read %.1fs, compute %.1fs, blocking write %.1fs, peak memory %.1f MB)\n",
 		res.Total, res.ReadSeconds, res.ComputeSeconds, res.WriteSeconds, float64(res.PeakMemory)/1e6)
 
+	regressionExit := false
 	if col != nil {
 		col.Finish(time.Time{}, "")
 		spans := col.Spans()
@@ -152,6 +155,9 @@ func main() {
 			}))
 			if *explain {
 				printExplain(os.Stdout, led, pipeline, sum)
+				// A flagged regression fails the command (exit 3) after the
+				// ledger and trace are safely written.
+				regressionExit = len(sum.Anomalies) > 0
 			}
 			if err := led.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "scrun: ledger:", err)
@@ -174,6 +180,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if regressionExit {
+		fmt.Fprintln(os.Stderr, "scrun: regression flagged against baseline (see explain above)")
+		os.Exit(3)
 	}
 }
 

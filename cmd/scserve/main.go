@@ -7,7 +7,8 @@
 //	        [-queue-timeout 30s] [-headroom 1.25] [-concurrency 2]
 //	        [-data DIR] [-trace-otlp URL] [-trace-file PATH]
 //	        [-ledger-file PATH] [-ledger-cap 512] [-tail-sample]
-//	        [-slo-seconds 60] [-pprof ADDR]
+//	        [-slo-seconds 60] [-alert-webhook URL] [-alert-cooldown 5m]
+//	        [-pprof ADDR]
 //
 // Pipelines are registered and refreshed over the /v1 HTTP API; see the
 // README's Serving section for the routes and an example curl session.
@@ -19,6 +20,15 @@
 // at /v1/pipelines/{name}/health. -ledger-file persists run summaries as
 // NDJSON and replays them on restart so baselines survive. -tail-sample
 // keeps exported traces only for anomalous, failed, or slow runs.
+//
+// Live state introspection is always on: GET /v1/state/catalog (Memory
+// Catalog residents, codec mix, eviction timeline), GET /v1/state/sched
+// (token pool, reservations, admission queue with blocking reasons) and
+// GET /v1/pipelines/{name}/explain (per-MV flag decisions with flip
+// conditions). -alert-webhook pushes ledger anomalies and health-verdict
+// transitions to that URL as JSON POSTs — bounded queue, retried with
+// backoff, deduplicated per (pipeline, kind) within -alert-cooldown —
+// instead of waiting for /metrics to be scraped.
 //
 // Every refresh run is traced (root span, queue-admission span, one span
 // per executed node); traces are served at /v1/runs/{id}/trace and
@@ -61,6 +71,8 @@ func main() {
 	ledgerCap := flag.Int("ledger-cap", 512, "in-memory run ledger capacity")
 	tailSample := flag.Bool("tail-sample", false, "export only anomalous, failed, or slow run traces")
 	sloSeconds := flag.Float64("slo-seconds", 60, "refresh latency SLO used by /health and tail sampling")
+	alertWebhook := flag.String("alert-webhook", "", "POST anomaly and health-transition alerts to this URL")
+	alertCooldown := flag.Duration("alert-cooldown", 5*time.Minute, "alert dedup window per (pipeline, kind)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
@@ -76,6 +88,11 @@ func main() {
 		LedgerCapacity: *ledgerCap,
 		TailSample:     *tailSample,
 		SLOSeconds:     *sloSeconds,
+		AlertWebhook:   *alertWebhook,
+		AlertCooldown:  *alertCooldown,
+	}
+	if *alertWebhook != "" {
+		log.Printf("scserve: alerting to %s (cooldown %s)", *alertWebhook, *alertCooldown)
 	}
 	if *traceOTLP != "" && *traceFile != "" {
 		fmt.Fprintln(os.Stderr, "scserve: -trace-otlp and -trace-file are mutually exclusive")

@@ -126,6 +126,24 @@ func NodeScoreSized(d DeviceProfile, g *dag.Graph, memSizes, diskSizes []int64, 
 	return saved.Seconds()
 }
 
+// NodeScoreParts splits NodeScoreSized into its two savings terms, for
+// the flagging-explain surface: readSave is what the node's children save
+// by reading its output from memory instead of disk, writeSave is what
+// the node itself saves by replacing its blocking disk write with an
+// in-memory create plus background materialization. Unlike
+// NodeScoreSized, the parts are not clamped at zero — a negative sum
+// means flagging would cost time, which is exactly what an explain wants
+// to show.
+func NodeScoreParts(d DeviceProfile, g *dag.Graph, memSizes, diskSizes []int64, i dag.NodeID) (readSave, writeSave float64) {
+	mem, disk := memSizes[i], diskSizes[i]
+	var read time.Duration
+	for range g.Children(i) {
+		read += d.DiskRead(disk) - d.MemRead(mem)
+	}
+	write := d.DiskWrite(disk) - d.MemWrite(mem)
+	return read.Seconds(), write.Seconds()
+}
+
 // Scores computes NodeScore for every node.
 func Scores(d DeviceProfile, g *dag.Graph, sizes []int64) []float64 {
 	return ScoresSized(d, g, sizes, sizes)

@@ -402,7 +402,7 @@ func (c *Controller) Run(ctx context.Context, w *Workload, g *dag.Graph, plan *c
 				id := dag.NodeID(i)
 				name := g.Name(id)
 				if size, err := c.Mem.Size(name); err == nil {
-					_ = c.Mem.Delete(name)
+					_ = c.Mem.DeleteReason(name, "sweep")
 					obs.Emit(c.Obs, obs.Event{Kind: obs.Evicted, Node: name, Step: rs.pos[id], Bytes: size})
 				}
 			}
@@ -752,7 +752,7 @@ func (rs *runState) release(id dag.NodeID, st *flaggedState) {
 		name := rs.g.Name(id)
 		// Size, not Get: eviction must not pay a decompression.
 		size, _ := rs.c.Mem.Size(name)
-		_ = rs.c.Mem.Delete(name)
+		_ = rs.c.Mem.DeleteReason(name, "release")
 		obs.Emit(rs.c.Obs, obs.Event{Kind: obs.Evicted, Node: name, Step: rs.pos[id], Bytes: size})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/shortcircuit-db/sc/internal/introspect"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/sched"
 )
@@ -192,6 +193,37 @@ func (a *admitter) reap() {
 	started, expired := a.pumpLocked()
 	a.mu.Unlock()
 	dispatch(nil, started, expired)
+}
+
+// queueSnapshot lists the queued tickets in admission order for the
+// introspection layer, each with the reason the pump last recorded for
+// not admitting it. Only the head carries a live blocking reason (strict
+// FIFO: the tail waits on the head), so deeper entries report
+// "queued-behind-head" unless they were once blocked at the head
+// themselves.
+func (a *admitter) queueSnapshot() []introspect.QueueEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]introspect.QueueEntry, 0, len(a.queue))
+	for i, t := range a.queue {
+		if t.isCanceled() {
+			continue
+		}
+		qe := introspect.QueueEntry{
+			Position:  i,
+			Tenant:    t.tenant,
+			Pipeline:  t.pipeline,
+			NeedBytes: t.need,
+			Tokens:    t.tokens,
+			Deadline:  t.deadline,
+			BlockedOn: t.blockedOn(),
+		}
+		if i > 0 && qe.BlockedOn == "" {
+			qe.BlockedOn = "queued-behind-head"
+		}
+		out = append(out, qe)
+	}
+	return out
 }
 
 // depth returns the number of queued (not yet admitted) tickets.

@@ -23,6 +23,8 @@ import (
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/introspect"
+	"github.com/shortcircuit-db/sc/internal/introspect/alert"
 	"github.com/shortcircuit-db/sc/internal/ledger"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/metrics"
@@ -102,6 +104,13 @@ type Config struct {
 	// SLOSeconds is the refresh-latency objective /v1/pipelines/{p}/health
 	// reports attainment against. Default 60.
 	SLOSeconds float64
+	// AlertWebhook, when set, pushes ledger anomalies and health-verdict
+	// transitions to this URL as JSON POSTs instead of waiting to be
+	// scraped: bounded queue, exponential-backoff retry, per-(pipeline,
+	// kind) dedup. "" disables alerting.
+	AlertWebhook string
+	// AlertCooldown is the dedup window per (pipeline, kind). Default 5m.
+	AlertCooldown time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -346,6 +355,19 @@ type Server struct {
 	prom   *prom
 	device costmodel.DeviceProfile
 	led    *ledger.Ledger
+	alerts *alert.Notifier // nil without AlertWebhook
+
+	// lastVerdict tracks each pipeline's health verdict so notifyRun can
+	// alert on transitions, not states. Own mutex: read on the run finish
+	// path, which must not contend with s.mu.
+	verMu       sync.Mutex
+	lastVerdict map[string]string
+
+	// evlog is the server-wide eviction timeline, harvested from run
+	// catalogs as they detach (bounded at serverEvLogCap, oldest dropped).
+	evMu   sync.Mutex
+	evlog  []introspect.EvictionEvent
+	evSeen int64
 
 	mu        sync.Mutex
 	pipelines map[string]*pipeline
@@ -397,7 +419,15 @@ func NewServer(cfg Config) (*Server, error) {
 		pipelines:     make(map[string]*pipeline),
 		runs:          make(map[string]*Run),
 		lastNodeSpans: make(map[string]map[string]telemetry.SpanContext),
+		lastVerdict:   make(map[string]string),
 		stopCh:        make(chan struct{}),
+	}
+	if cfg.AlertWebhook != "" {
+		s.alerts = alert.New(alert.Config{
+			URL:      cfg.AlertWebhook,
+			Cooldown: cfg.AlertCooldown,
+			Now:      cfg.Clock,
+		})
 	}
 	s.registerGauges()
 	s.wg.Add(1)
@@ -423,6 +453,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.runWG.Wait()
+	if s.alerts != nil {
+		s.alerts.Close() // after runWG: every finish path has notified
+	}
 	_ = s.led.Close()
 }
 
@@ -640,16 +673,7 @@ type planned struct {
 // IS the paper's observe → re-optimize loop.
 func (s *Server) planTrigger(ctx context.Context, p *pipeline) (planned, error) {
 	slice := s.adm.tenantSlice(p.tenant)
-	raw := p.md.Sizes(p.graph, s.cfg.SizeGuess)
-	prob := &core.Problem{G: p.graph, Memory: slice}
-	if p.encOpts != nil {
-		enc := p.md.EncodedSizes(p.graph, s.cfg.SizeGuess)
-		prob.Sizes = enc
-		prob.Scores = p.md.ScoresSized(p.graph, raw, enc, s.device)
-	} else {
-		prob.Sizes = raw
-		prob.Scores = p.md.Scores(p.graph, raw, s.device)
-	}
+	prob, _ := s.buildProblem(p)
 	plan, _, err := opt.Solve(ctx, prob, opt.Options{})
 	if err != nil {
 		return planned{}, err
@@ -677,6 +701,13 @@ func (s *Server) planTrigger(ctx context.Context, p *pipeline) (planned, error) 
 			pl.learnedNeed = true
 		}
 		pl.predictedWall = hint.WallMeanSeconds
+		// The learned per-node wall baselines give a structural estimate —
+		// the DAG's critical path through EWMA node means — that tracks the
+		// workload's shape where the run-level mean only tracks its history.
+		// Prefer it whenever enough per-node history exists.
+		if cp := s.led.CriticalPathSeconds(p.name, p.parents); cp > 0 {
+			pl.predictedWall = cp
+		}
 	}
 	return pl, nil
 }
@@ -828,6 +859,7 @@ func (s *Server) execute(ctx context.Context, r *Run, p *pipeline, plan *core.Pl
 	res, runErr := ctl.Run(ctx, p.workload, p.graph, plan)
 
 	actualPeak := cat.Peak() // before Detach zeroes the accounting
+	s.harvestEvictions(r, cat)
 	leftover := cat.Detach()
 	s.adm.finish(r.tenant, r.pipeline, r.need, r.tokens)
 
@@ -911,6 +943,7 @@ func (s *Server) finishTrace(r *Run, now time.Time, state string) {
 	for _, a := range sum.Anomalies {
 		s.prom.anomalies.add(1, r.pipeline, a.Kind)
 	}
+	s.notifyRun(r, sum)
 	if st.EventsDropped > 0 {
 		s.prom.eventsDropped.add(float64(st.EventsDropped), r.tenant, r.pipeline)
 	}
@@ -1234,6 +1267,56 @@ func (s *Server) registerGauges() {
 				out = append(out, gaugeSample{lvs: []string{p}, v: s.led.MispredictRatio(p)})
 			}
 			return out
+		})
+	s.prom.addGauge("scserve_catalog_entry_bytes",
+		"Bytes resident across run catalogs, summed from per-entry accounting (pins the /v1/state/catalog byte totals).",
+		nil, func() []gaugeSample {
+			return []gaugeSample{{v: float64(s.CatalogState().EntryBytes)}}
+		})
+	s.prom.addGauge("scserve_catalog_codec_bytes",
+		"Compressed bytes resident in run catalogs, by codec.", []string{"codec"}, func() []gaugeSample {
+			var out []gaugeSample
+			for codec, b := range s.CatalogState().CodecBytes {
+				out = append(out, gaugeSample{lvs: []string{codec}, v: float64(b)})
+			}
+			return out
+		})
+	s.prom.addGauge("scserve_catalog_codec_chunks",
+		"Compressed chunks resident in run catalogs, by codec.", []string{"codec"}, func() []gaugeSample {
+			var out []gaugeSample
+			for codec, n := range s.CatalogState().CodecChunks {
+				out = append(out, gaugeSample{lvs: []string{codec}, v: float64(n)})
+			}
+			return out
+		})
+	s.prom.addGauge("scserve_catalog_evictions_total",
+		"Catalog entries evicted across all run catalogs.", nil, func() []gaugeSample {
+			s.evMu.Lock()
+			n := s.evSeen
+			s.evMu.Unlock()
+			s.mu.Lock()
+			for _, r := range s.runs {
+				r.mu.Lock()
+				if r.cat != nil {
+					n += r.cat.EvictionsSeen()
+				}
+				r.mu.Unlock()
+			}
+			s.mu.Unlock()
+			return []gaugeSample{{v: float64(n)}}
+		})
+	s.prom.addGauge("scserve_alerts_total",
+		"Alert webhook delivery outcomes.", []string{"outcome"}, func() []gaugeSample {
+			if s.alerts == nil {
+				return nil
+			}
+			st := s.alerts.Stats()
+			return []gaugeSample{
+				{lvs: []string{"delivered"}, v: float64(st.Delivered)},
+				{lvs: []string{"dropped"}, v: float64(st.Dropped)},
+				{lvs: []string{"deduped"}, v: float64(st.Deduped)},
+				{lvs: []string{"retried"}, v: float64(st.Retries)},
+			}
 		})
 	s.prom.addGauge("scserve_tenant_catalog_bytes",
 		"Bytes resident in a tenant's live run catalogs.", []string{"tenant"}, func() []gaugeSample {

@@ -164,6 +164,9 @@ func writeError(w http.ResponseWriter, err error) {
 //	POST   /v1/pipelines/{name}/refresh       trigger a refresh (?wait=1 blocks)
 //	GET    /v1/pipelines/{name}/mvs/{mv}      query a materialized view (?limit=N)
 //	GET    /v1/pipelines/{name}/health        SLO attainment, baselines, regressions
+//	GET    /v1/pipelines/{name}/explain       per-MV flag decisions: scores, byte costs, flip conditions
+//	GET    /v1/state/catalog                  Memory Catalog residents, codec mix, eviction ranks and timeline
+//	GET    /v1/state/sched                    scheduler tokens, byte reservations, admission queue with blockers
 //	GET    /v1/runs                           ledger history (?pipeline=&tenant=&outcome=&anomalous=1&limit=N)
 //	GET    /v1/runs/{id}                      run status
 //	POST   /v1/runs/{id}/cancel               cancel a queued or running refresh
@@ -205,6 +208,20 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, h)
+	})
+	mux.HandleFunc("GET /v1/pipelines/{name}/explain", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := s.ExplainPipeline(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("GET /v1/state/catalog", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.CatalogState())
+	})
+	mux.HandleFunc("GET /v1/state/sched", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.SchedState())
 	})
 	mux.HandleFunc("GET /v1/runs", s.handleRunHistory)
 	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,252 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/shortcircuit-db/sc/internal/core"
+	"github.com/shortcircuit-db/sc/internal/introspect"
+	"github.com/shortcircuit-db/sc/internal/introspect/alert"
+	"github.com/shortcircuit-db/sc/internal/ledger"
+	"github.com/shortcircuit-db/sc/internal/memcat"
+	"github.com/shortcircuit-db/sc/internal/opt"
+)
+
+// serverEvLogCap bounds the server-wide eviction timeline: evictions
+// harvested from finished run catalogs, newest wins.
+const serverEvLogCap = 256
+
+// buildProblem assembles the pipeline's current knapsack exactly as
+// planTrigger sees it: learned (EWMA) encoded sizes and sized scores when
+// the pipeline encodes, raw sizes otherwise. raw is always the
+// uncompressed footprint vector (the memory-access side of the scores).
+func (s *Server) buildProblem(p *pipeline) (prob *core.Problem, raw []int64) {
+	slice := s.adm.tenantSlice(p.tenant)
+	raw = p.md.Sizes(p.graph, s.cfg.SizeGuess)
+	prob = &core.Problem{G: p.graph, Memory: slice}
+	if p.encOpts != nil {
+		enc := p.md.EncodedSizes(p.graph, s.cfg.SizeGuess)
+		prob.Sizes = enc
+		prob.Scores = p.md.ScoresSized(p.graph, raw, enc, s.device)
+	} else {
+		prob.Sizes = raw
+		prob.Scores = p.md.Scores(p.graph, raw, s.device)
+	}
+	return prob, raw
+}
+
+// CatalogState snapshots the shared Memory Catalog for
+// GET /v1/state/catalog: every entry resident in a live run's catalog with
+// its owner, codec mix, decoded-view residency and eviction rank under the
+// cost-model score, plus the bounded eviction timeline. The report's
+// UsedBytes comes from the pool and EntryBytes from summing entries — the
+// two agree byte-for-byte because every run catalog draws from the pool.
+func (s *Server) CatalogState() introspect.CatalogReport {
+	now := s.cfg.Clock()
+	rep := introspect.CatalogReport{
+		At:            now,
+		BudgetBytes:   s.pool.Capacity(),
+		ReservedBytes: s.pool.Reserved(),
+		UsedBytes:     s.pool.Used(),
+		PeakUsedBytes: s.pool.PeakUsed(),
+	}
+
+	type liveRun struct {
+		id, pipeline, tenant string
+		cat                  *memcat.Catalog
+		p                    *pipeline
+	}
+	var live []liveRun
+	s.mu.Lock()
+	for _, r := range s.runs {
+		r.mu.Lock()
+		cat := r.cat
+		r.mu.Unlock()
+		if cat != nil {
+			live = append(live, liveRun{r.id, r.pipeline, r.tenant, cat, s.pipelines[r.pipeline]})
+		}
+	}
+	s.mu.Unlock()
+
+	for _, lr := range live {
+		// Score each resident entry under the pipeline's current knapsack,
+		// so eviction rank reflects what the optimizer values right now.
+		score := make(map[string]float64)
+		if lr.p != nil {
+			prob, _ := s.buildProblem(lr.p)
+			for i, n := range lr.p.workload.Nodes {
+				score[n.Name] = prob.Scores[i]
+			}
+		}
+		for _, e := range lr.cat.Entries() {
+			ce := introspect.CatalogEntry{
+				Pipeline: lr.pipeline, Tenant: lr.tenant, RunID: lr.id,
+				EntryInfo: e,
+			}
+			if !e.LastAccess.IsZero() {
+				ce.LastAccessAgeSeconds = now.Sub(e.LastAccess).Seconds()
+			}
+			ce.ScoreSeconds = score[e.Name]
+			rep.Entries = append(rep.Entries, ce)
+		}
+		for _, ev := range lr.cat.Evictions() {
+			rep.Evictions = append(rep.Evictions, introspect.EvictionEvent{
+				Pipeline: lr.pipeline, Tenant: lr.tenant, RunID: lr.id, Eviction: ev,
+			})
+		}
+		rep.EvictionsSeen += lr.cat.EvictionsSeen()
+	}
+
+	// Prepend the server-wide timeline (evictions harvested from finished
+	// runs), oldest first, before the live catalogs' own rings.
+	s.evMu.Lock()
+	rep.Evictions = append(append([]introspect.EvictionEvent{}, s.evlog...), rep.Evictions...)
+	rep.EvictionsSeen += s.evSeen
+	s.evMu.Unlock()
+
+	introspect.FinishCatalogReport(&rep)
+	return rep
+}
+
+// harvestEvictions folds a finishing run catalog's eviction ring into the
+// server-wide timeline, attributed to the run whose budget pressure caused
+// them.
+func (s *Server) harvestEvictions(r *Run, cat *memcat.Catalog) {
+	evs := cat.Evictions()
+	seen := cat.EvictionsSeen()
+	if seen == 0 {
+		return
+	}
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	s.evSeen += seen
+	for _, ev := range evs {
+		s.evlog = append(s.evlog, introspect.EvictionEvent{
+			Pipeline: r.pipeline, Tenant: r.tenant, RunID: r.id, Eviction: ev,
+		})
+	}
+	if over := len(s.evlog) - serverEvLogCap; over > 0 {
+		s.evlog = append(s.evlog[:0], s.evlog[over:]...)
+	}
+}
+
+// SchedState snapshots the scheduler for GET /v1/state/sched: the
+// token pool (in flight, idle, soft-committed), the in-flight byte
+// reservations, and the admission queue with each trigger's blocking
+// reason.
+func (s *Server) SchedState() introspect.SchedReport {
+	rep := introspect.SchedReport{
+		At:                  s.cfg.Clock(),
+		Snapshot:            s.sched.Stats(),
+		BudgetBytes:         s.pool.Capacity(),
+		ReservedCatalogByte: s.pool.Reserved(),
+		Queue:               s.adm.queueSnapshot(),
+	}
+	rep.QueueDepth = len(rep.Queue)
+	for _, t := range s.tenantNames() {
+		rep.Tenants = append(rep.Tenants, introspect.TenantState{
+			Tenant:        t,
+			SliceBytes:    s.adm.tenantSlice(t),
+			ReservedBytes: s.adm.tenantReserved(t),
+		})
+	}
+	return rep
+}
+
+// ExplainPipeline re-solves the pipeline's knapsack from its current
+// learned execution metadata — exactly the plan the next trigger would run
+// — and explains every MV's flag decision: the sized score, predicted
+// encoded bytes, the marginal byte cost that decided it, and what would
+// flip it. The body of GET /v1/pipelines/{p}/explain.
+func (s *Server) ExplainPipeline(name string) (*introspect.ExplainReport, error) {
+	s.mu.Lock()
+	p, ok := s.pipelines[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: pipeline %q", ErrNotFound, name)
+	}
+	prob, raw := s.buildProblem(p)
+	plan, _, err := opt.Solve(context.Background(), prob, opt.Options{})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(p.workload.Nodes))
+	for i, n := range p.workload.Nodes {
+		names[i] = n.Name
+	}
+	in := introspect.ExplainInput{
+		Pipeline: name,
+		Problem:  prob,
+		Plan:     plan,
+		Names:    names,
+		RawBytes: raw,
+		Encoding: p.encOpts != nil,
+		Device:   s.device,
+	}
+	if p.encOpts != nil {
+		in.PredictedBytes = make([]int64, len(names))
+		for i, n := range names {
+			in.PredictedBytes[i] = p.md.PredictEncoded(n, raw[i])
+		}
+	}
+	return introspect.Explain(in), nil
+}
+
+// notifyRun pushes the run's flagging-adjacent surprises to the alert
+// webhook: one event per ledger anomaly, plus the pipeline's
+// health-verdict transition when this run changed it. The first observed
+// verdict for a pipeline establishes the baseline silently, so a fresh
+// gateway does not alert "unknown became healthy" on every first run.
+func (s *Server) notifyRun(r *Run, sum ledger.RunSummary) {
+	if s.alerts == nil {
+		return
+	}
+	for _, a := range sum.Anomalies {
+		s.alerts.Notify(alert.Event{
+			Pipeline: r.pipeline,
+			Kind:     a.Kind,
+			Severity: "warning",
+			Summary:  anomalySummary(r.pipeline, a),
+			RunID:    r.id,
+			Node:     a.Node,
+			Observed: a.Observed,
+			Baseline: a.Baseline,
+			Sigma:    a.Score,
+		})
+	}
+	h := s.led.Health(r.pipeline, ledger.HealthConfig{SLOSeconds: s.cfg.SLOSeconds})
+	s.verMu.Lock()
+	prev := s.lastVerdict[r.pipeline]
+	s.lastVerdict[r.pipeline] = h.Verdict
+	s.verMu.Unlock()
+	if prev == "" || prev == h.Verdict {
+		return
+	}
+	sev := "info"
+	switch h.Verdict {
+	case ledger.VerdictFailing:
+		sev = "critical"
+	case ledger.VerdictDegraded:
+		sev = "warning"
+	}
+	s.alerts.Notify(alert.Event{
+		Pipeline:    r.pipeline,
+		Kind:        "health_transition",
+		Severity:    sev,
+		Summary:     fmt.Sprintf("pipeline %s went %s (was %s)", r.pipeline, h.Verdict, prev),
+		RunID:       r.id,
+		FromVerdict: prev,
+		ToVerdict:   h.Verdict,
+	})
+}
+
+func anomalySummary(pipeline string, a ledger.Anomaly) string {
+	msg := fmt.Sprintf("pipeline %s: %s", pipeline, a.Kind)
+	if a.Node != "" {
+		msg += " at node " + a.Node
+	}
+	if a.Detail != "" {
+		msg += ": " + a.Detail
+	}
+	return msg
+}

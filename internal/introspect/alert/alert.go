@@ -1,0 +1,225 @@
+// Package alert pushes state changes instead of waiting to be scraped: a
+// webhook notifier for health-verdict transitions and ledger anomalies.
+// Events enqueue onto a bounded queue (full queue = drop + count) and a
+// single worker posts them with exponential-backoff retry; a
+// per-(pipeline, kind) dedup window suppresses repeats inside a cooldown
+// so a flapping pipeline produces one alert per episode, not one per run.
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one alert. Kind is the dedup axis within a pipeline: an
+// anomaly kind ("wall_regression", "eviction_storm", ...) or
+// "health_transition".
+type Event struct {
+	At       time.Time `json:"at"`
+	Pipeline string    `json:"pipeline"`
+	Kind     string    `json:"kind"`
+	Severity string    `json:"severity"` // "warning" | "critical" | "info"
+	Summary  string    `json:"summary"`
+	RunID    string    `json:"run_id,omitempty"`
+	// Verdict transitions carry the edge; anomalies carry the numbers.
+	FromVerdict string  `json:"from_verdict,omitempty"`
+	ToVerdict   string  `json:"to_verdict,omitempty"`
+	Node        string  `json:"node,omitempty"`
+	Observed    float64 `json:"observed,omitempty"`
+	Baseline    float64 `json:"baseline,omitempty"`
+	Sigma       float64 `json:"sigma,omitempty"`
+}
+
+// Config configures a Notifier. Zero values take the documented defaults.
+type Config struct {
+	// URL receives one POST per event, body = the Event as JSON.
+	URL string
+	// QueueSize bounds the pending-event queue; when full, new events are
+	// dropped and counted rather than blocking the refresh finish path.
+	// Default 128.
+	QueueSize int
+	// MaxRetries bounds re-attempts after a retriable failure (429/5xx/
+	// network). Default 3.
+	MaxRetries int
+	// RetryBase is the first backoff delay, doubled per attempt.
+	// Default 250ms.
+	RetryBase time.Duration
+	// Cooldown is the per-(pipeline, kind) dedup window: a repeat inside
+	// it is suppressed and counted. Default 5m; negative disables dedup.
+	Cooldown time.Duration
+	// Timeout bounds each HTTP attempt. Default 5s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests). Nil = a client with Timeout.
+	Client *http.Client
+	// Now overrides the clock (tests). Nil = time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 128
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 5 * time.Minute
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	return c
+}
+
+// Stats are the notifier's lifetime delivery counters, exported as
+// scserve_alerts_* gauges.
+type Stats struct {
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"` // queue full or retries exhausted
+	Deduped   int64 `json:"deduped"` // suppressed inside a cooldown window
+	Retries   int64 `json:"retries"` // re-attempts after retriable failures
+}
+
+// Notifier delivers Events to a webhook. Construct with New; Close drains.
+type Notifier struct {
+	cfg   Config
+	queue chan Event
+	done  chan struct{}
+
+	mu   sync.Mutex
+	last map[string]time.Time // (pipeline \x00 kind) -> last enqueue
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	deduped   atomic.Int64
+	retries   atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// New builds a notifier and starts its delivery worker.
+func New(cfg Config) *Notifier {
+	cfg = cfg.withDefaults()
+	n := &Notifier{
+		cfg:   cfg,
+		queue: make(chan Event, cfg.QueueSize),
+		done:  make(chan struct{}),
+		last:  make(map[string]time.Time),
+	}
+	go n.worker()
+	return n
+}
+
+// Notify enqueues an event without blocking. Repeats of the same
+// (pipeline, kind) inside the cooldown are suppressed; a full queue drops
+// the event. Both outcomes are counted, never waited on — Notify is
+// called from the refresh finish path.
+func (n *Notifier) Notify(ev Event) {
+	if n.cfg.Cooldown > 0 {
+		key := ev.Pipeline + "\x00" + ev.Kind
+		now := n.cfg.Now()
+		n.mu.Lock()
+		if prev, ok := n.last[key]; ok && now.Sub(prev) < n.cfg.Cooldown {
+			n.mu.Unlock()
+			n.deduped.Add(1)
+			return
+		}
+		n.last[key] = now
+		n.mu.Unlock()
+	}
+	if ev.At.IsZero() {
+		ev.At = n.cfg.Now()
+	}
+	select {
+	case n.queue <- ev:
+	default:
+		n.dropped.Add(1)
+	}
+}
+
+// Stats returns the lifetime delivery counters.
+func (n *Notifier) Stats() Stats {
+	return Stats{
+		Delivered: n.delivered.Load(),
+		Dropped:   n.dropped.Load(),
+		Deduped:   n.deduped.Load(),
+		Retries:   n.retries.Load(),
+	}
+}
+
+// Close stops accepting events, flushes the queue, and waits for the
+// worker to drain. Safe to call more than once.
+func (n *Notifier) Close() {
+	n.closeOnce.Do(func() {
+		close(n.queue)
+		<-n.done
+	})
+}
+
+func (n *Notifier) worker() {
+	defer close(n.done)
+	for ev := range n.queue {
+		n.send(ev)
+	}
+}
+
+// send posts one event, retrying retriable failures (429/5xx/network)
+// with exponential backoff; exhausted retries and non-retriable statuses
+// count as drops.
+func (n *Notifier) send(ev Event) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		n.dropped.Add(1)
+		return
+	}
+	delay := n.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		retriable, err := n.post(payload)
+		if err == nil {
+			n.delivered.Add(1)
+			return
+		}
+		if !retriable || attempt >= n.cfg.MaxRetries {
+			n.dropped.Add(1)
+			return
+		}
+		n.retries.Add(1)
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+func (n *Notifier) post(payload []byte) (retriable bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, n.cfg.URL, bytes.NewReader(payload))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return true, err // network errors are retriable
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return false, nil
+	}
+	retriable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+	return retriable, errStatus(resp.StatusCode)
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return "alert: webhook HTTP " + http.StatusText(int(e)) }

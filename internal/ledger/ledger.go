@@ -627,6 +627,70 @@ func (l *Ledger) Baselines(pipeline string) []NodeBaseline {
 	return out
 }
 
+// CriticalPathSeconds predicts a pipeline's refresh execution time from
+// the learned per-node baselines: the longest chain of mean node wall
+// times through the DAG described by parents (node -> upstream MV names).
+// Unlike AdmissionHint's run-level mean — which folds in queue wait and
+// needs MinSamples of whole runs — this is structural: it prices exactly
+// the dependency chain a refresh cannot parallelize away, and it works as
+// soon as individual nodes have trusted baselines. Nodes without
+// MinSamples observations contribute zero. Returns 0 before anything is
+// learned.
+func (l *Ledger) CriticalPathSeconds(pipeline string, parents map[string][]string) float64 {
+	l.mu.Lock()
+	pb := l.baselines[pipeline]
+	if pb == nil {
+		l.mu.Unlock()
+		return 0
+	}
+	wall := make(map[string]float64, len(pb.nodes))
+	for name, nb := range pb.nodes {
+		if nb.wall.N >= l.det.MinSamples {
+			wall[name] = nb.wall.Mean
+		}
+	}
+	l.mu.Unlock()
+	if len(wall) == 0 {
+		return 0
+	}
+	// Memoized longest path over node names; the graph is a DAG, but a
+	// visiting guard keeps malformed parent maps from recursing forever.
+	memo := make(map[string]float64)
+	visiting := make(map[string]bool)
+	var chain func(n string) float64
+	chain = func(n string) float64 {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		if visiting[n] {
+			return 0
+		}
+		visiting[n] = true
+		var up float64
+		for _, p := range parents[n] {
+			if c := chain(p); c > up {
+				up = c
+			}
+		}
+		delete(visiting, n)
+		v := wall[n] + up
+		memo[n] = v
+		return v
+	}
+	var cp float64
+	for n := range wall {
+		if c := chain(n); c > cp {
+			cp = c
+		}
+	}
+	for n := range parents {
+		if c := chain(n); c > cp {
+			cp = c
+		}
+	}
+	return cp
+}
+
 // Pipelines lists the pipelines with learned baselines, sorted.
 func (l *Ledger) Pipelines() []string {
 	l.mu.Lock()

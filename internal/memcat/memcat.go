@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/table"
@@ -68,11 +69,24 @@ type Catalog struct {
 	// pool, when non-nil, is the shared budget this catalog's entry bytes
 	// are additionally accounted against (see Pool). Guarded by mu.
 	pool *Pool
+
+	// evLog is a bounded ring of entries that left the catalog, oldest
+	// first once full — the introspection layer's eviction timeline.
+	// Guarded by mu.
+	evLog  []Eviction
+	evHead int
+	evSeen int64
+
+	// now injects time for tests; nil means time.Now. Set before use.
+	now func() time.Time
 }
 
 type entryT struct {
 	e    Entry
 	size int64 // e.SizeBytes() captured at Put, so accounting never drifts
+	// lastAccess is when a reader last touched the entry (Put counts),
+	// feeding the inspector's last-access age. Guarded by the catalog mu.
+	lastAccess time.Time
 }
 
 // decView caches one entry's decoded table. Its mutex single-flights the
@@ -90,6 +104,39 @@ type decView struct {
 	skip bool
 }
 
+// evLogCap bounds the eviction timeline ring per catalog.
+const evLogCap = 64
+
+// Eviction records one entry leaving the catalog: the release protocol
+// ("release"), the controller's cancellation sweep ("sweep"), a Put that
+// replaced it ("replaced"), or a plain Delete ("delete").
+type Eviction struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	Reason string `json:"reason"`
+	// UsedBytes is the catalog's accounted bytes right after the eviction
+	// — the budget pressure the entry left behind.
+	UsedBytes int64     `json:"used_bytes"`
+	At        time.Time `json:"at"`
+}
+
+// EntryInfo is a point-in-time view of one resident entry for the
+// introspection layer: accounted vs raw bytes, the per-codec chunk mix of
+// compressed entries, decoded-view-cache residency and last access.
+type EntryInfo struct {
+	Name          string           `json:"name"`
+	SizeBytes     int64            `json:"size_bytes"` // accounted (compressed) footprint
+	Compressed    bool             `json:"compressed"`
+	RawBytes      int64            `json:"raw_bytes,omitempty"` // uncompressed footprint when known
+	Rows          int              `json:"rows,omitempty"`
+	Chunks        int              `json:"chunks,omitempty"`
+	CodecChunks   map[string]int   `json:"codec_chunks,omitempty"`
+	CodecBytes    map[string]int64 `json:"codec_bytes,omitempty"` // encoded payload bytes per codec
+	DecodedCached bool             `json:"decoded_cached,omitempty"`
+	DecodedBytes  int64            `json:"decoded_bytes,omitempty"`
+	LastAccess    time.Time        `json:"last_access"`
+}
+
 // New returns a catalog with the given byte capacity. The decoded-view
 // cache budget defaults to the same capacity; SetDecodedBudget overrides
 // it.
@@ -103,6 +150,22 @@ func New(capacity int64) *Catalog {
 		decBudget: capacity,
 		dec:       make(map[string]*decView),
 	}
+}
+
+// SetClock injects the time source for last-access stamps and the
+// eviction timeline; nil restores time.Now. For tests.
+func (c *Catalog) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}
+
+// nowLocked reads the injected clock. Callers hold c.mu.
+func (c *Catalog) nowLocked() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
 }
 
 // Capacity returns the configured byte capacity.
@@ -123,14 +186,16 @@ func (c *Catalog) PutEntry(name string, e Entry) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var old int64
+	replaced := false
 	if prev, ok := c.entries[name]; ok {
 		old = prev.size
+		replaced = true
 	}
 	if c.used-old+size > c.capacity {
 		return fmt.Errorf("%w: %s needs %d bytes, %d free of %d",
 			ErrNoSpace, name, size, c.capacity-(c.used-old), c.capacity)
 	}
-	c.entries[name] = &entryT{e: e, size: size}
+	c.entries[name] = &entryT{e: e, size: size, lastAccess: c.nowLocked()}
 	c.dropDecodedLocked(name) // a replaced entry's decoded view is stale
 	c.used += size - old
 	if c.used > c.peak {
@@ -138,6 +203,9 @@ func (c *Catalog) PutEntry(name string, e Entry) error {
 	}
 	if c.pool != nil {
 		c.pool.charge(size - old)
+	}
+	if replaced {
+		c.recordEvictionLocked(name, old, "replaced")
 	}
 	return nil
 }
@@ -182,6 +250,7 @@ func (c *Catalog) GetTable(name string) (*table.Table, ReadInfo, bool) {
 		return nil, ReadInfo{}, false
 	}
 	c.hits++
+	ent.lastAccess = c.nowLocked()
 	if pe, plain := ent.e.(plainEntry); plain {
 		c.mu.Unlock()
 		return pe.t, ReadInfo{}, true
@@ -345,6 +414,7 @@ func (c *Catalog) GetEntry(name string) (Entry, bool) {
 		return nil, false
 	}
 	c.hits++
+	e.lastAccess = c.nowLocked()
 	return e.e, true
 }
 
@@ -382,11 +452,20 @@ func (c *Catalog) GetCompressed(name string) (*encoding.Compressed, ReadInfo, bo
 		return nil, ReadInfo{}, false
 	}
 	c.hits++
+	e.lastAccess = c.nowLocked()
 	return ct, ReadInfo{Compressed: true, Encoded: e.size}, true
 }
 
 // Delete frees the named table and its cached decoded view.
 func (c *Catalog) Delete(name string) error {
+	return c.DeleteReason(name, "delete")
+}
+
+// DeleteReason is Delete with the removal's cause recorded on the
+// eviction timeline: the exec layer passes "release" (the §III-C release
+// protocol freed it) or "sweep" (the cancellation sweep of a failed or
+// canceled run).
+func (c *Catalog) DeleteReason(name, reason string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[name]
@@ -399,7 +478,78 @@ func (c *Catalog) Delete(name string) error {
 	if c.pool != nil {
 		c.pool.charge(-e.size)
 	}
+	c.recordEvictionLocked(name, e.size, reason)
 	return nil
+}
+
+// recordEvictionLocked appends to the bounded eviction ring. Callers hold
+// c.mu and have already adjusted used.
+func (c *Catalog) recordEvictionLocked(name string, size int64, reason string) {
+	ev := Eviction{Name: name, Bytes: size, Reason: reason, UsedBytes: c.used, At: c.nowLocked()}
+	if len(c.evLog) < evLogCap {
+		c.evLog = append(c.evLog, ev)
+	} else {
+		c.evLog[c.evHead] = ev
+		c.evHead = (c.evHead + 1) % evLogCap
+	}
+	c.evSeen++
+}
+
+// Evictions snapshots the eviction timeline, oldest first. At most the
+// most recent evLogCap removals are retained; EvictionsSeen counts all.
+func (c *Catalog) Evictions() []Eviction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Eviction, 0, len(c.evLog))
+	out = append(out, c.evLog[c.evHead:]...)
+	out = append(out, c.evLog[:c.evHead]...)
+	return out
+}
+
+// EvictionsSeen returns the lifetime count of entries that left the
+// catalog, including those the bounded timeline no longer holds.
+func (c *Catalog) EvictionsSeen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evSeen
+}
+
+// Entries snapshots every resident entry for the introspection layer,
+// sorted by name. Compressed entries report their codec mix (chunk counts
+// and encoded payload bytes per codec) without decoding anything.
+func (c *Catalog) Entries() []EntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryInfo, 0, len(c.entries))
+	for name, e := range c.entries {
+		info := EntryInfo{
+			Name:       name,
+			SizeBytes:  e.size,
+			LastAccess: e.lastAccess,
+		}
+		if ct, ok := e.e.(*encoding.Compressed); ok {
+			info.Compressed = true
+			info.RawBytes = ct.RawBytes
+			info.Rows = ct.NRows
+			info.CodecChunks = make(map[string]int)
+			info.CodecBytes = make(map[string]int64)
+			for _, col := range ct.Cols {
+				for _, ch := range col {
+					codec := ch.Codec.String()
+					info.Chunks++
+					info.CodecChunks[codec]++
+					info.CodecBytes[codec] += int64(len(ch.Data))
+				}
+			}
+		}
+		if dv, ok := c.dec[name]; ok && dv.t != nil {
+			info.DecodedCached = true
+			info.DecodedBytes = dv.size
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Detach credits any bytes the catalog still holds back to its pool and

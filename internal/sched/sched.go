@@ -149,22 +149,26 @@ func (s *Scheduler) Uncommit(n int) {
 // Committed returns the current admission commitment, in tokens.
 func (s *Scheduler) Committed() int { return int(s.committed.Load()) }
 
-// Snapshot is a point-in-time view of the pool for gauges and tests.
+// Snapshot is a point-in-time view of the pool for gauges, tests and the
+// introspection layer (it serializes into GET /v1/state/sched).
 type Snapshot struct {
-	Tokens        int   // pool size
-	Idle          int   // tokens currently in the pool
-	Committed     int   // admission soft commitments
-	ReservedBytes int64 // in-flight decoded partition bytes
-	ByteCeiling   int64
-	Borrowed      int64 // lifetime successful TryAcquire grants
-	BorrowMisses  int64 // lifetime TryAcquire misses
+	Tokens        int   `json:"tokens"`           // pool size
+	Idle          int   `json:"tokens_idle"`      // tokens currently in the pool
+	InFlight      int   `json:"tokens_in_flight"` // tokens handed out right now
+	Committed     int   `json:"tokens_committed"` // admission soft commitments
+	ReservedBytes int64 `json:"reserved_bytes"`   // in-flight decoded partition bytes
+	ByteCeiling   int64 `json:"byte_ceiling"`
+	Borrowed      int64 `json:"borrows"`       // lifetime successful TryAcquire grants
+	BorrowMisses  int64 `json:"borrow_misses"` // lifetime TryAcquire misses
 }
 
 // Stats returns a snapshot of the pool.
 func (s *Scheduler) Stats() Snapshot {
+	idle := len(s.ch)
 	return Snapshot{
 		Tokens:        s.tokens,
-		Idle:          len(s.ch),
+		Idle:          idle,
+		InFlight:      s.tokens - idle,
 		Committed:     int(s.committed.Load()),
 		ReservedBytes: s.bytes.Load(),
 		ByteCeiling:   s.byteCeiling,

@@ -1,0 +1,127 @@
+package sc_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sc "github.com/shortcircuit-db/sc"
+)
+
+// slowReadStore injects a settable latency into reads of one object — the
+// library-facade twin of the gateway's synthetic node slowdown.
+type slowReadStore struct {
+	sc.Store
+	target  string
+	delayNs atomic.Int64
+}
+
+func (s *slowReadStore) Read(name string) ([]byte, error) {
+	if ns := s.delayNs.Load(); ns > 0 && strings.Contains(name, s.target) {
+		time.Sleep(time.Duration(ns))
+	}
+	return s.Store.Read(name)
+}
+
+// TestRefresherExplainAndAlerts pins the facade half of the introspection
+// layer: Explain reports a decision with a flip condition for every MV
+// before any refresh has run, and WithAlerts pushes an induced wall
+// regression to the webhook exactly once inside the dedup cooldown.
+func TestRefresherExplainAndAlerts(t *testing.T) {
+	var (
+		hookMu sync.Mutex
+		bodies []string
+	)
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		hookMu.Lock()
+		bodies = append(bodies, string(b))
+		hookMu.Unlock()
+	}))
+	defer hook.Close()
+
+	store := sc.NewMemStore()
+	baseTables(t, store)
+	ds := &slowReadStore{Store: store, target: "events"}
+	ref, err := sc.New(chainMVs(), ds,
+		sc.WithMemory(1<<20),
+		sc.WithAlerts(hook.URL, time.Minute),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ref.Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 4 || len(rep.Decisions) != 4 {
+		t.Fatalf("explain covers %d/%d nodes, want 4", len(rep.Decisions), rep.Nodes)
+	}
+	var flagged int
+	for _, d := range rep.Decisions {
+		if d.Class == "" || d.Flip == "" {
+			t.Fatalf("decision %s missing class or flip: %+v", d.Node, d)
+		}
+		if d.Flagged {
+			flagged++
+		}
+	}
+	if flagged != rep.FlaggedCount {
+		t.Fatalf("flagged count %d != %d flagged decisions", rep.FlaggedCount, flagged)
+	}
+
+	// Three healthy refreshes learn per-node wall baselines; two slowed
+	// ones regress. Only the first may alert — the second lands inside the
+	// cooldown window.
+	for i := 0; i < 3; i++ {
+		if _, err := ref.Refresh(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds.delayNs.Store(int64(150 * time.Millisecond))
+	for i := 0; i < 2; i++ {
+		if _, err := ref.Refresh(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds.delayNs.Store(0)
+	if err := ref.Close(); err != nil { // drains the alert queue
+		t.Fatal(err)
+	}
+
+	hookMu.Lock()
+	got := append([]string(nil), bodies...)
+	hookMu.Unlock()
+	var wall int
+	for _, b := range got {
+		if strings.Contains(b, `"kind":"wall_regression"`) {
+			wall++
+			if !strings.Contains(b, `"node":"m1"`) {
+				t.Fatalf("regression alert names wrong node: %s", b)
+			}
+		}
+	}
+	if wall != 1 {
+		t.Fatalf("wall_regression deliveries = %d, want exactly 1 (bodies: %q)", wall, got)
+	}
+	st := ref.AlertStats()
+	if st.Delivered != int64(len(got)) || st.Delivered == 0 {
+		t.Fatalf("stats %+v disagree with %d webhook bodies", st, len(got))
+	}
+}
+
+// TestWithAlertsValidation covers the option's error path.
+func TestWithAlertsValidation(t *testing.T) {
+	store := sc.NewMemStore()
+	baseTables(t, store)
+	if _, err := sc.New(chainMVs(), store, sc.WithMemory(1<<20), sc.WithAlerts("", 0)); err == nil {
+		t.Fatal("empty webhook URL accepted")
+	}
+}

@@ -2,6 +2,7 @@ package sc
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/shortcircuit-db/sc/internal/encoding"
 	"github.com/shortcircuit-db/sc/internal/telemetry"
@@ -31,6 +32,8 @@ type config struct {
 	traceExporter telemetry.Exporter
 	ledger        bool
 	ledgerPath    string
+	alertURL      string
+	alertCooldown time.Duration
 	err           error
 }
 
@@ -279,6 +282,28 @@ func WithLedger(path string) Option {
 	return func(c *config) {
 		c.ledger = true
 		c.ledgerPath = path
+		c.tracing = true
+	}
+}
+
+// WithAlerts pushes the session's flagging-adjacent surprises to a
+// webhook instead of waiting for History to be read: every ledger anomaly
+// (wall/bytes regressions, ratio collapses, eviction storms, kernel
+// fallbacks) and every health-verdict transition POSTs one JSON event to
+// webhookURL through a bounded queue with exponential-backoff retry;
+// repeats of the same (pipeline, kind) within cooldown are suppressed
+// (0 = the 5m default). Call Refresher.Close to drain pending deliveries.
+// WithAlerts implies WithLedger's in-memory ledger — the anomalies are its
+// verdicts — and therefore tracing.
+func WithAlerts(webhookURL string, cooldown time.Duration) Option {
+	return func(c *config) {
+		if webhookURL == "" {
+			c.fail("sc: empty alert webhook URL")
+			return
+		}
+		c.alertURL = webhookURL
+		c.alertCooldown = cooldown
+		c.ledger = true
 		c.tracing = true
 	}
 }

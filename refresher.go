@@ -10,6 +10,8 @@ import (
 	"github.com/shortcircuit-db/sc/internal/chunkio"
 	"github.com/shortcircuit-db/sc/internal/dag"
 	"github.com/shortcircuit-db/sc/internal/exec"
+	"github.com/shortcircuit-db/sc/internal/introspect"
+	"github.com/shortcircuit-db/sc/internal/introspect/alert"
 	"github.com/shortcircuit-db/sc/internal/ledger"
 	"github.com/shortcircuit-db/sc/internal/memcat"
 	"github.com/shortcircuit-db/sc/internal/metrics"
@@ -37,6 +39,10 @@ type Refresher struct {
 	runSeq atomic.Int64 // run counter feeding telemetry run IDs
 
 	led *ledger.Ledger // run history + baselines; nil without WithLedger
+
+	alerts      *alert.Notifier // webhook notifier; nil without WithAlerts
+	verMu       sync.Mutex
+	lastVerdict string // previous health verdict, for transition alerts
 
 	// linkMu guards lastNodeSpans separately from mu: the collector's link
 	// resolver fires during run execution, outside any mu critical section.
@@ -91,7 +97,23 @@ func New(mvs []MV, store Store, opts ...Option) (*Refresher, error) {
 		}
 		r.led = led
 	}
+	if cfg.alertURL != "" {
+		r.alerts = alert.New(alert.Config{URL: cfg.alertURL, Cooldown: cfg.alertCooldown})
+	}
 	return r, nil
+}
+
+// Close drains the session's push surfaces: pending alert webhook
+// deliveries are flushed and the ledger (and its NDJSON file, if any) is
+// closed. A Refresher without WithAlerts/WithLedger needs no Close.
+func (r *Refresher) Close() error {
+	if r.alerts != nil {
+		r.alerts.Close()
+	}
+	if r.led != nil {
+		return r.led.Close()
+	}
+	return nil
 }
 
 // Graph exposes the extracted dependency graph.
@@ -253,13 +275,115 @@ func (r *Refresher) RunPlan(ctx context.Context, plan *Plan) (*RunResult, error)
 				meta.ActualPeakBytes = res.PeakMemory
 				meta.FallbackWrites = res.FallbackWrites
 			}
-			r.led.Append(ledger.Summarize(spans, r.parentNames(), meta))
+			sum, _ := r.led.Append(ledger.Summarize(spans, r.parentNames(), meta))
+			r.notifyRun(sum)
 		}
 		if r.cfg.traceExporter != nil {
 			r.cfg.traceExporter.Export(spans)
 		}
 	}
 	return res, err
+}
+
+// notifyRun pushes the run's ledger anomalies — and the session's
+// health-verdict transition, when this run changed it — to the WithAlerts
+// webhook. The first observed verdict establishes the baseline silently.
+func (r *Refresher) notifyRun(sum ledger.RunSummary) {
+	if r.alerts == nil {
+		return
+	}
+	for _, a := range sum.Anomalies {
+		r.alerts.Notify(alert.Event{
+			Pipeline: sum.Pipeline,
+			Kind:     a.Kind,
+			Severity: "warning",
+			Summary:  "session refresh: " + a.Kind + " " + a.Detail,
+			RunID:    sum.RunID,
+			Node:     a.Node,
+			Observed: a.Observed,
+			Baseline: a.Baseline,
+			Sigma:    a.Score,
+		})
+	}
+	h := r.led.Health(sum.Pipeline, ledger.HealthConfig{})
+	r.verMu.Lock()
+	prev := r.lastVerdict
+	r.lastVerdict = h.Verdict
+	r.verMu.Unlock()
+	if prev == "" || prev == h.Verdict {
+		return
+	}
+	sev := "info"
+	switch h.Verdict {
+	case ledger.VerdictFailing:
+		sev = "critical"
+	case ledger.VerdictDegraded:
+		sev = "warning"
+	}
+	r.alerts.Notify(alert.Event{
+		Pipeline:    sum.Pipeline,
+		Kind:        "health_transition",
+		Severity:    sev,
+		Summary:     "session went " + h.Verdict + " (was " + prev + ")",
+		RunID:       sum.RunID,
+		FromVerdict: prev,
+		ToVerdict:   h.Verdict,
+	})
+}
+
+// AlertStats reports the WithAlerts notifier's lifetime delivery counters
+// (delivered, dropped, deduped, retried), or zeros without WithAlerts.
+func (r *Refresher) AlertStats() AlertStats {
+	if r.alerts == nil {
+		return AlertStats{}
+	}
+	return r.alerts.Stats()
+}
+
+// Explain reconstructs, for every MV of the session, why the current plan
+// flags or skips it under the bounded Memory Catalog budget: the sized
+// speedup score (split into read and write savings), raw vs
+// EWMA-predicted encoded bytes, the marginal byte cost at the node's
+// residency window that decided the flag, and what would flip the
+// decision. It explains the plan subsequent Run/Refresh calls would
+// execute — solving one first when the session has not optimized yet —
+// and re-decides nothing.
+func (r *Refresher) Explain(ctx context.Context) (*ExplainReport, error) {
+	prob := r.Problem()
+	plan := r.Plan()
+	if plan == nil {
+		var err error
+		plan, _, err = Solve(ctx, prob,
+			WithFlagSelector(r.cfg.selector),
+			WithOrderer(r.cfg.orderer),
+			WithSeed(r.cfg.seed),
+			WithMaxIterations(r.cfg.maxIterations),
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := r.graph.Len()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = r.graph.Name(dag.NodeID(i))
+	}
+	raw := r.md.Sizes(r.graph, r.cfg.sizeGuess)
+	in := introspect.ExplainInput{
+		Problem:  prob,
+		Plan:     plan,
+		Names:    names,
+		RawBytes: raw,
+		Encoding: r.cfg.encoding != nil,
+		Device:   r.cfg.device,
+	}
+	if r.cfg.encoding != nil {
+		in.PredictedBytes = make([]int64, n)
+		for i, name := range names {
+			in.PredictedBytes[i] = r.md.PredictEncoded(name, raw[i])
+		}
+	}
+	return introspect.Explain(in), nil
 }
 
 // History returns the session run ledger's summaries, newest first, or nil
